@@ -1,0 +1,89 @@
+// ABL-ALIGN — the paper's second small-buffer strategy ("we consider an
+// aligned data placement", §1/§4) at the MPI level: gather-send latency
+// when the NIC reads user buffers directly (SGE path) with buffers placed
+// by memalign(64) versus buffers deliberately shifted to awkward offsets.
+// This is Figure 4's mechanism surfaced through the allocator API.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ibp/mpi/comm.hpp"
+
+using namespace ibp;
+
+namespace {
+
+TimePs measure(bool aligned, std::uint32_t pieces,
+               std::uint32_t piece_bytes) {
+  core::ClusterConfig cfg;
+  cfg.platform = platform::systemp_gx_ehca();
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  core::Cluster cluster(cfg);
+  mpi::CommConfig ccfg;
+  ccfg.sge_gather = true;
+  constexpr int kIters = 30;
+  constexpr int kWarmup = 5;
+
+  TimePs elapsed = 0;
+  cluster.run([&](core::RankEnv& env) {
+    mpi::Comm comm(env, ccfg);
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(pieces) * piece_bytes;
+    if (env.rank() == 0) {
+      std::vector<mpi::Seg> segs;
+      for (std::uint32_t p = 0; p < pieces; ++p) {
+        // Aligned: memalign(64). Misaligned: nudge each piece to a
+        // different odd offset inside its cache line / burst window.
+        const auto r = env.lib().memalign(64, piece_bytes + 128);
+        env.sim().advance(r.cost);
+        const VirtAddr addr =
+            aligned ? r.addr : r.addr + 20 + (p % 6) * 17;
+        segs.push_back({addr, piece_bytes});
+      }
+      const VirtAddr ack = env.alloc(64);
+      for (int it = 0; it < kIters + kWarmup; ++it) {
+        if (it == kWarmup) elapsed = env.now();
+        mpi::Req r = comm.isend_gather(segs, 1, 7);
+        comm.wait(r);
+        comm.recv(ack, 8, 1, 8);
+      }
+      elapsed = (env.now() - elapsed) / kIters;
+    } else {
+      const VirtAddr buf = env.alloc(std::max<std::uint64_t>(total, 64) + 64);
+      for (int it = 0; it < kIters + kWarmup; ++it) {
+        comm.recv(buf, total, 0, 7);
+        comm.send(buf, 8, 0, 8);
+      }
+    }
+  });
+  return elapsed;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ABL-ALIGN: SGE gather-send with memalign(64) buffers vs "
+              "odd-offset buffers (platform=systemp, round-trip us)\n\n");
+  TextTable t({"pieces x bytes", "misaligned [us]", "aligned [us]",
+               "saved"});
+  const std::uint32_t shapes[][2] = {
+      {2, 32}, {4, 32}, {8, 32}, {4, 64}, {8, 64}, {4, 128}, {8, 128}};
+  for (const auto& sh : shapes) {
+    const TimePs mis = measure(false, sh[0], sh[1]);
+    const TimePs al = measure(true, sh[0], sh[1]);
+    char label[32], rel[32];
+    std::snprintf(label, sizeof label, "%u x %u B", sh[0], sh[1]);
+    std::snprintf(rel, sizeof rel, "%.1f %%",
+                  (1.0 - static_cast<double>(al) / static_cast<double>(mis)) *
+                      100.0);
+    t.add_row(std::string(label), ps_to_us(mis), ps_to_us(al),
+              std::string(rel));
+  }
+  t.print();
+  std::printf("\n(§4: 'the memory access of the InfiniBand adapter ... is "
+              "optimized for certain offsets' — aligned placement turns "
+              "that into free latency)\n");
+  return 0;
+}

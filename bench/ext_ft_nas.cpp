@@ -1,0 +1,43 @@
+// EXT-FT — extension beyond the paper's evaluation: the placement study
+// applied to an alltoall-dominated 3D-FFT kernel (NAS FT's pattern). FT
+// moves nearly its whole dataset through the network every transpose, so
+// it probes the bandwidth end of the spectrum the paper's five kernels
+// leave thin. Expectation from the model: gains mirror IS (transfer-
+// bound; adapter translation savings only where the DMA side binds).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ibp/workloads/nas.hpp"
+
+using namespace ibp;
+
+int main() {
+  std::printf("EXT-FT: 3D-FFT kernel with the hugepage library (positive "
+              "= hugepages faster)\n\n");
+  TextTable t({"platform", "comm impr %", "other impr %", "overall impr %",
+               "verified"});
+  for (const auto& plat : {platform::opteron_pcie_infinihost(),
+                           platform::systemp_gx_ehca()}) {
+    workloads::NasResult r[2];
+    for (int huge = 0; huge < 2; ++huge) {
+      core::ClusterConfig cfg;
+      cfg.platform = plat;
+      cfg.nodes = 2;
+      cfg.ranks_per_node = 4;
+      cfg.hugepage_library = huge != 0;
+      core::Cluster cluster(cfg);
+      r[huge] = workloads::run_ft(cluster);
+    }
+    t.add_row(plat.name,
+              bench::pct_change(static_cast<double>(r[0].comm_avg),
+                                static_cast<double>(r[1].comm_avg)),
+              bench::pct_change(static_cast<double>(r[0].other_avg),
+                                static_cast<double>(r[1].other_avg)),
+              bench::pct_change(static_cast<double>(r[0].total),
+                                static_cast<double>(r[1].total)),
+              r[0].verified && r[1].verified ? "yes" : "NO");
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// EXT-SCALE — extension: does the paper's hugepage benefit survive scale?
+// The 2006 evaluation stops at 2 nodes; here the same kernels run on 2/4/8
+// nodes (4 ranks each) over a 2:1-oversubscribed fat-tree (pods of 2
+// nodes, one core link per pod pair), the configuration where fabric
+// contention should amplify any per-byte adapter savings.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ibp/workloads/nas.hpp"
+
+using namespace ibp;
+
+namespace {
+
+workloads::NasResult run_one(int nodes, const char* kernel, bool huge) {
+  core::ClusterConfig cfg;
+  cfg.platform = platform::systemp_gx_ehca();
+  cfg.nodes = nodes;
+  cfg.ranks_per_node = 4;
+  cfg.hugepage_library = huge;
+  if (nodes > 2) {
+    cfg.fabric_pod_nodes = 2;
+    cfg.fabric_core_links = nodes / 4;  // 2:1 oversubscription
+  }
+  core::Cluster cluster(cfg);
+  return workloads::run_nas(kernel, cluster);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("EXT-SCALE: hugepage benefit vs node count "
+              "(systemp, 4 ranks/node, 2:1 oversubscribed beyond 2 "
+              "nodes)\n\n");
+  for (const char* kernel : {"mg", "cg"}) {
+    std::printf("kernel=%s\n", kernel);
+    TextTable t({"nodes", "ranks", "comm share %", "comm impr %",
+                 "overall impr %", "verified"});
+    for (int nodes : {2, 4, 8}) {
+      const auto base = run_one(nodes, kernel, false);
+      const auto huge = run_one(nodes, kernel, true);
+      t.add_row(nodes, nodes * 4,
+                100.0 * static_cast<double>(base.comm_avg) /
+                    static_cast<double>(base.total),
+                bench::pct_change(static_cast<double>(base.comm_avg),
+                                  static_cast<double>(huge.comm_avg)),
+                bench::pct_change(static_cast<double>(base.total),
+                                  static_cast<double>(huge.total)),
+                base.verified && huge.verified ? "yes" : "NO");
+    }
+    t.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// EXT-UD — extension: hybrid UD-eager transport (MVAPICH-UD style)
+// against the RC-only stack the paper used. Two effects:
+//   * latency — UD send completions skip the RC ACK round;
+//   * memory  — RC preposts bounce slots per peer, UD one shared pool,
+//     so the pinned prepost footprint stays flat as ranks grow.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ibp/mpi/comm.hpp"
+
+using namespace ibp;
+
+namespace {
+
+TimePs small_latency(bool ud) {
+  core::ClusterConfig cfg;
+  cfg.platform = platform::opteron_pcie_infinihost();
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  core::Cluster cluster(cfg);
+  mpi::CommConfig ccfg;
+  ccfg.ud_eager = ud;
+  constexpr int kIters = 30;
+  TimePs dt = 0;
+  cluster.run([&](core::RankEnv& env) {
+    mpi::Comm comm(env, ccfg);
+    const VirtAddr buf = env.alloc(4 * kKiB);
+    if (env.rank() == 0) {
+      for (int i = 0; i < kIters; ++i) {
+        comm.send(buf, 64, 1, i);
+        comm.recv(buf, 64, 1, 1000 + i);
+      }
+    } else {
+      const TimePs t0 = env.now();
+      for (int i = 0; i < kIters; ++i) {
+        comm.recv(buf, 64, 0, i);
+        comm.send(buf, 64, 0, 1000 + i);
+      }
+      dt = (env.now() - t0) / (2 * kIters);
+    }
+  });
+  return dt;
+}
+
+std::uint64_t prepost_bytes(int nodes, bool ud) {
+  core::ClusterConfig cfg;
+  cfg.platform = platform::opteron_pcie_infinihost();
+  cfg.nodes = nodes;
+  cfg.ranks_per_node = 1;
+  core::Cluster cluster(cfg);
+  mpi::CommConfig ccfg;
+  ccfg.ud_eager = ud;
+  std::uint64_t pinned = 0;
+  cluster.run([&](core::RankEnv& env) {
+    mpi::Comm comm(env, ccfg);
+    if (env.rank() == 0)
+      pinned = env.space().pinned_pages() * kSmallPageSize;
+    comm.barrier();
+  });
+  return pinned;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("EXT-UD: hybrid UD-eager transport vs RC-only\n\n");
+  const TimePs rc = small_latency(false);
+  const TimePs ud = small_latency(true);
+  std::printf("64 B half-round-trip latency: RC %.2f us, UD %.2f us "
+              "(%.1f %% lower — no ACK round on the send CQE)\n\n",
+              ps_to_us(rc), ps_to_us(ud),
+              (1.0 - static_cast<double>(ud) / static_cast<double>(rc)) *
+                  100.0);
+
+  std::printf("preposted/pinned transport memory per rank (the UD "
+              "scalability property):\n");
+  TextTable t({"nodes (peers)", "RC-only", "RC + UD pool"});
+  for (int nodes : {2, 4, 8}) {
+    // The UD build still carries the RC slots for bulk traffic; the point
+    // is that the *growth* with peers comes only from the RC part, while
+    // a UD-only eager design (tracked separately below) stays flat.
+    t.add_row(std::to_string(nodes) + " (" + std::to_string(nodes - 1) + ")",
+              bench::human_bytes(prepost_bytes(nodes, false)),
+              bench::human_bytes(prepost_bytes(nodes, true)));
+  }
+  t.print();
+  std::printf("\n(RC prepost grows with the peer count; the UD pool adds a "
+              "constant. A UD-only eager stack would hold the transport "
+              "footprint flat — the motivation behind MVAPICH-UD.)\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// TAB-POST — §4 text findings about the posting cost: (a) the time to
+// post a send work request is approximately constant from 1 byte to
+// 512 KB (paper: 1300–1500 TBR ticks on System p), and (b) with multiple
+// SGEs it grows sub-linearly (128 SGEs only ~3x one SGE).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace ibp;
+
+int main() {
+  const platform::PlatformConfig plat = platform::systemp_gx_ehca();
+  const cpu::TimeBase tbr(plat.tbr_hz);
+
+  std::printf("TAB-POST: CPU-side post cost, platform=%s\n\n",
+              plat.name.c_str());
+
+  // (a) post cost vs message size, single SGE spanning multiple pages.
+  {
+    TextTable t({"message size", "post [TBR ticks]"});
+    const std::uint64_t sizes[] = {1, 64, 1024, 16 * kKiB, 128 * kKiB,
+                                   512 * kKiB};
+    for (std::uint64_t bytes : sizes) {
+      core::ClusterConfig cfg;
+      cfg.platform = plat;
+      cfg.nodes = 2;
+      cfg.ranks_per_node = 1;
+      core::Cluster cluster(cfg);
+      TimePs post = 0;
+      cluster.run([&](core::RankEnv& env) {
+        auto& vctx = env.verbs();
+        mem::Mapping& m =
+            env.space().map(bytes + kSmallPageSize, mem::PageKind::Small);
+        const verbs::Mr mr = vctx.reg_mr(m.va_base, m.length);
+        auto q = vctx.wrap_qp(*env.state().qp_to[1 - env.rank()]);
+        constexpr int kIters = 20;
+        if (env.rank() == 1) {
+          for (int i = 0; i < kIters; ++i) {
+            hca::RecvWr wr;
+            wr.sges = {{m.va_base, static_cast<std::uint32_t>(bytes),
+                        mr.lkey}};
+            vctx.post_recv(q, wr);
+          }
+          for (int i = 0; i < kIters; ++i) vctx.wait_recv();
+          return;
+        }
+        RunningStats st;
+        for (int i = 0; i < kIters; ++i) {
+          hca::SendWr wr;
+          wr.opcode = hca::Opcode::Send;
+          wr.sges = {{m.va_base, static_cast<std::uint32_t>(bytes),
+                      mr.lkey}};
+          const TimePs t0 = env.now();
+          vctx.post_send(q, wr);
+          st.add(static_cast<double>(env.now() - t0));
+          vctx.wait_send();
+        }
+        post = static_cast<TimePs>(st.mean());
+      });
+      t.add_row(bench::human_bytes(bytes),
+                static_cast<double>(tbr.to_ticks(post)));
+    }
+    t.print();
+    std::printf("(paper: approximately constant, 1300-1500 ticks)\n\n");
+  }
+
+  // (b) post cost vs number of SGEs.
+  {
+    TextTable t({"SGEs", "post [TBR ticks]", "vs 1 SGE"});
+    double base = 0;
+    for (std::uint32_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+      bench::WrParams p;
+      p.sges = n;
+      p.sge_size = 64;
+      const bench::WrTiming wt = bench::measure_send(plat, p);
+      const double ticks = static_cast<double>(tbr.to_ticks(wt.post));
+      if (n == 1) base = ticks;
+      char rel[32];
+      std::snprintf(rel, sizeof rel, "%.2fx", ticks / base);
+      t.add_row(static_cast<std::uint64_t>(n), ticks, std::string(rel));
+    }
+    t.print();
+    std::printf("(paper: 128 SGEs only ~3x the cost of 1 SGE)\n");
+  }
+  return 0;
+}

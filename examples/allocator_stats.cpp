@@ -1,0 +1,89 @@
+// Allocator walkthrough: what the transparent hugepage library actually
+// does with a stream of requests — the 32 KB threshold routing, hugepage
+// sharing between buffers, the fork/COW reserve, and the fallback to libc
+// when the hugeTLBfs pool runs dry (Figure 2 of the paper).
+//
+//   $ ./examples/allocator_stats
+
+#include <cstdio>
+
+#include "ibp/hugepage/library.hpp"
+#include "ibp/mem/address_space.hpp"
+
+using namespace ibp;
+
+namespace {
+
+const char* where(const hugepage::Library& lib, VirtAddr a) {
+  return lib.in_hugepages(a) ? "hugepages" : "libc     ";
+}
+
+}  // namespace
+
+int main() {
+  // A deliberately tiny hugeTLBfs pool (24 x 2 MB) to show exhaustion.
+  mem::PhysicalMemory phys(512 * kMiB, 24, 7);
+  mem::HugeTlbFs fs(&phys, 24, /*fork reserve=*/2);
+  mem::AddressSpace space(&phys, &fs);
+  hugepage::Library lib(space, fs);
+
+  std::printf("hugeTLBfs pool: %llu pages (%llu reserved for fork/COW)\n\n",
+              static_cast<unsigned long long>(fs.pool_size()),
+              static_cast<unsigned long long>(fs.fork_reserve()));
+
+  struct {
+    const char* what;
+    std::uint64_t size;
+  } requests[] = {
+      {"tiny scalar block", 256},
+      {"small lookup table", 24 * kKiB},
+      {"wavefunction array", 3 * kMiB},
+      {"work matrix", 640 * kKiB},
+      {"another work matrix", 640 * kKiB},
+      {"huge FFT scratch", 20 * kMiB},
+      {"second FFT scratch (pool nearly dry)", 20 * kMiB},
+  };
+
+  VirtAddr addrs[8] = {};
+  int i = 0;
+  for (const auto& rq : requests) {
+    const auto r = lib.malloc(rq.size);
+    addrs[i++] = r.addr;
+    std::printf("malloc(%8llu B) -> %s  cost %7.2f us   %s\n",
+                static_cast<unsigned long long>(rq.size),
+                where(lib, r.addr), ps_to_us(r.cost), rq.what);
+  }
+
+  const auto& hs = lib.huge_heap().stats();
+  std::printf("\nhugepage heap: %llu regions mapped, %llu B live, "
+              "free-list %llu blocks\n",
+              static_cast<unsigned long long>(hs.regions_mapped),
+              static_cast<unsigned long long>(hs.bytes_live),
+              static_cast<unsigned long long>(lib.huge_heap().free_blocks()));
+  std::printf("library stats: %llu hugepage allocs, %llu libc allocs "
+              "(below 32 KB), %llu pool-exhausted fallbacks\n",
+              static_cast<unsigned long long>(lib.stats().huge_allocs),
+              static_cast<unsigned long long>(lib.stats().libc_allocs),
+              static_cast<unsigned long long>(lib.stats().fallback_allocs));
+  std::printf("pool now: %llu pages in use, %llu still available\n\n",
+              static_cast<unsigned long long>(fs.used()),
+              static_cast<unsigned long long>(fs.available()));
+
+  // Locality: the two 640 KB matrices share hugepage-mapped space.
+  std::printf("work matrices placed %llu KB apart — buffers share "
+              "hugepages (unlike one-page-per-buffer allocators)\n",
+              static_cast<unsigned long long>(
+                  (addrs[4] - addrs[3]) / kKiB));
+
+  // Same-size churn: free + realloc reuses the block without coalescing.
+  const VirtAddr before = addrs[3];
+  lib.free(addrs[3]);
+  const auto again = lib.malloc(640 * kKiB);
+  std::printf("free + malloc(640 KB) again -> %s (address-ordered first "
+              "fit reuses the block)\n",
+              again.addr == before ? "same address" : "different address");
+
+  lib.check_invariants();
+  std::printf("\nheap invariants hold.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: bring up a two-node simulated InfiniBand cluster, allocate
+// a message buffer through the paper's hugepage library, register it, and
+// move data with a verbs-level RC send — printing where the time went.
+//
+//   $ ./examples/quickstart
+//
+// Everything here is simulated virtual time: deterministic across runs.
+
+#include <cstdio>
+
+#include "ibp/core/cluster.hpp"
+#include "ibp/platform/platform.hpp"
+
+using namespace ibp;
+
+int main() {
+  core::ClusterConfig cfg;
+  cfg.platform = platform::opteron_pcie_infinihost();
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  cfg.hugepage_library = true;  // "LD_PRELOAD" the transparent allocator
+
+  core::Cluster cluster(cfg);
+  constexpr std::uint64_t kBytes = 4 * kMiB;
+
+  cluster.run([&](core::RankEnv& env) {
+    // 1. Allocate. Requests >= 32 KB land in hugepages transparently.
+    const VirtAddr buf = env.alloc(kBytes);
+    std::printf("[rank %d] buffer at 0x%llx — %s\n", env.rank(),
+                static_cast<unsigned long long>(buf),
+                env.lib().in_hugepages(buf) ? "hugepage-backed"
+                                            : "small pages");
+
+    // 2. Register with the HCA (this is the cost hugepages crush).
+    const TimePs t0 = env.now();
+    const verbs::Mr mr = env.verbs().reg_mr(buf, kBytes);
+    std::printf("[rank %d] registered 4 MB in %.1f us\n", env.rank(),
+                ps_to_us(env.now() - t0));
+
+    // 3. Move data over the RC queue pair wired by the cluster.
+    auto qp = env.verbs().wrap_qp(*env.state().qp_to[1 - env.rank()]);
+    if (env.rank() == 0) {
+      auto bytes = env.space().host_span(buf, kBytes);
+      for (std::uint64_t i = 0; i < kBytes; ++i)
+        bytes[i] = static_cast<std::uint8_t>(i * 131);
+      hca::SendWr wr;
+      wr.opcode = hca::Opcode::Send;
+      wr.sges = {{buf, static_cast<std::uint32_t>(kBytes), mr.lkey}};
+      const TimePs s0 = env.now();
+      env.verbs().post_send(qp, wr);
+      env.verbs().wait_send();
+      std::printf("[rank 0] sent 4 MB in %.1f us (%.0f MB/s)\n",
+                  ps_to_us(env.now() - s0),
+                  kBytes / (ps_to_us(env.now() - s0)));
+    } else {
+      hca::RecvWr wr;
+      wr.sges = {{buf, static_cast<std::uint32_t>(kBytes), mr.lkey}};
+      env.verbs().post_recv(qp, wr);
+      const hca::Cqe cqe = env.verbs().wait_recv();
+      auto bytes = env.space().host_span(buf, kBytes);
+      bool ok = cqe.byte_len == kBytes;
+      for (std::uint64_t i = 0; i < kBytes && ok; i += 4099)
+        ok = bytes[i] == static_cast<std::uint8_t>(i * 131);
+      std::printf("[rank 1] received %u bytes at t=%.1f us — %s\n",
+                  cqe.byte_len, ps_to_us(env.now()),
+                  ok ? "payload verified" : "PAYLOAD CORRUPT");
+    }
+  });
+
+  std::printf("run complete; makespan %.1f us\n",
+              ps_to_us(cluster.makespan()));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// One-sided RMA: a distributed work-stealing counter. Rank 0 exposes a
+// window holding a shared task counter plus a result board; every rank
+// claims task indices with atomic fetch-add (no matching receive anywhere)
+// and publishes its results with RDMA puts. A classic pattern that needs
+// exactly the window/atomics machinery built on the simulated HCA.
+//
+//   $ ./examples/rma_counter
+
+#include <cstdio>
+
+#include "ibp/mpi/window.hpp"
+#include "ibp/platform/platform.hpp"
+
+using namespace ibp;
+
+int main() {
+  core::ClusterConfig cfg;
+  cfg.platform = platform::opteron_pcie_infinihost();
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 2;
+  cfg.hugepage_library = true;
+  core::Cluster cluster(cfg);
+
+  constexpr std::uint64_t kTasks = 64;
+  std::vector<int> tasks_done(4, 0);
+
+  cluster.run([&](core::RankEnv& env) {
+    mpi::Comm comm(env);
+    // Window layout: [0..8) counter, [8..8+kTasks*8) result slots.
+    const std::uint64_t win_bytes = 8 + kTasks * 8;
+    const VirtAddr win_buf = env.alloc(win_bytes);
+    auto* wb = env.host_ptr<std::uint64_t>(win_buf, 1 + kTasks);
+    for (std::uint64_t i = 0; i <= kTasks; ++i) wb[i] = 0;
+    mpi::Window win(comm, win_buf, win_bytes);
+    win.fence();
+
+    const VirtAddr scratch = env.alloc(64);
+    int mine = 0;
+    for (;;) {
+      // Claim the next task from rank 0's counter.
+      const std::uint64_t task = win.fetch_add(0, 0, 1);
+      if (task >= kTasks) break;
+      // "Work": a deterministic square, with compute time charged.
+      env.compute(200000 + task * 1000);
+      *env.host_ptr<std::uint64_t>(scratch) = (task + 1) * (task + 1);
+      // Publish the result into rank 0's board.
+      win.put(scratch, 8, 0, 8 + task * 8);
+      ++mine;
+    }
+    win.fence();
+    tasks_done[static_cast<std::size_t>(env.rank())] = mine;
+
+    if (env.rank() == 0) {
+      std::uint64_t sum = 0;
+      bool all = true;
+      for (std::uint64_t tsk = 0; tsk < kTasks; ++tsk) {
+        all = all && wb[1 + tsk] == (tsk + 1) * (tsk + 1);
+        sum += wb[1 + tsk];
+      }
+      std::printf("all %llu results present and correct: %s (checksum "
+                  "%llu)\n",
+                  static_cast<unsigned long long>(kTasks),
+                  all ? "yes" : "NO",
+                  static_cast<unsigned long long>(sum));
+    }
+    win.fence();
+  });
+
+  std::printf("work distribution:");
+  for (int r = 0; r < 4; ++r)
+    std::printf("  rank %d: %d tasks", r, tasks_done[static_cast<std::size_t>(r)]);
+  std::printf("\n(faster ranks steal more — decided purely by atomic "
+              "fetch-add order in virtual time)\n");
+  return 0;
+}

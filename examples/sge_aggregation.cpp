@@ -1,0 +1,90 @@
+// Scatter/gather aggregation: sending the non-contiguous fields of a
+// particle-exchange record (positions / velocities / charges living in
+// separate arrays) as ONE work request with an SGE list, versus packing
+// them first. This is the paper's §4 proposal and §7 future-work feature
+// surfaced through the public MPI API (Comm::isend_gather).
+//
+//   $ ./examples/sge_aggregation
+
+#include <cstdio>
+#include <vector>
+
+#include "ibp/mpi/comm.hpp"
+#include "ibp/platform/platform.hpp"
+
+using namespace ibp;
+
+namespace {
+
+TimePs run_exchange(bool sge_gather, int rounds) {
+  core::ClusterConfig cfg;
+  cfg.platform = platform::systemp_gx_ehca();
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  core::Cluster cluster(cfg);
+
+  mpi::CommConfig ccfg;
+  ccfg.sge_gather = sge_gather;
+  constexpr std::uint64_t kParticles = 64;
+
+  TimePs elapsed = 0;
+  cluster.run([&](core::RankEnv& env) {
+    mpi::Comm comm(env, ccfg);
+    // Structure-of-arrays particle state.
+    const VirtAddr pos = env.alloc(kParticles * 3 * 8);
+    const VirtAddr vel = env.alloc(kParticles * 3 * 8);
+    const VirtAddr chg = env.alloc(kParticles * 8);
+    const std::uint64_t total = kParticles * 7 * 8;
+
+    if (env.rank() == 0) {
+      auto* p = env.host_ptr<double>(pos, kParticles * 3);
+      auto* v = env.host_ptr<double>(vel, kParticles * 3);
+      auto* c = env.host_ptr<double>(chg, kParticles);
+      for (std::uint64_t i = 0; i < kParticles; ++i) {
+        for (int d = 0; d < 3; ++d) {
+          p[3 * i + d] = static_cast<double>(i) + 0.1 * d;
+          v[3 * i + d] = -static_cast<double>(i) - 0.1 * d;
+        }
+        c[i] = i % 2 ? 1.0 : -1.0;
+      }
+      const std::vector<mpi::Seg> segs{{pos, kParticles * 3 * 8},
+                                       {vel, kParticles * 3 * 8},
+                                       {chg, kParticles * 8}};
+      const TimePs t0 = env.now();
+      for (int r = 0; r < rounds; ++r) {
+        mpi::Req req = comm.isend_gather(segs, 1, r);
+        comm.wait(req);
+        comm.recv(pos, 8, 1, 10000 + r);  // ack: keep rounds serialized
+      }
+      elapsed = (env.now() - t0) / static_cast<std::uint64_t>(rounds);
+    } else {
+      const VirtAddr inbox = env.alloc(total + 64);
+      for (int r = 0; r < rounds; ++r) {
+        const mpi::RecvStatus st = comm.recv(inbox, total, 0, r);
+        IBP_CHECK(st.len == total);
+        comm.send(inbox, 8, 0, 10000 + r);
+      }
+      // Spot-check the gathered layout: charges follow the velocities.
+      auto* c = env.host_ptr<double>(inbox + kParticles * 6 * 8, kParticles);
+      IBP_CHECK(c[0] == -1.0 && c[1] == 1.0, "gather layout broken");
+    }
+  });
+  return elapsed;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRounds = 50;
+  std::printf("sge_aggregation: 64-particle exchange (pos+vel+charge, 3 "
+              "arrays, %d rounds)\n\n", kRounds);
+  const TimePs pack = run_exchange(false, kRounds);
+  const TimePs sge = run_exchange(true, kRounds);
+  std::printf("pack-and-send : %.2f us per exchange\n", ps_to_us(pack));
+  std::printf("SGE gather    : %.2f us per exchange\n", ps_to_us(sge));
+  std::printf("\nthe NIC gathers all three arrays with one work request — "
+              "%.1f %% faster, no CPU packing\n",
+              (1.0 - static_cast<double>(sge) / static_cast<double>(pack)) *
+                  100.0);
+  return 0;
+}

@@ -1,0 +1,60 @@
+#pragma once
+
+// Error handling used across ibplace.
+//
+// Simulation-state violations (caller bugs, impossible model states) are
+// fatal: they throw ibp::SimError carrying a formatted message with source
+// location. Tests assert on these throws; production-style callers treat
+// them as programming errors.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ibp {
+
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail(const char* file, int line, const char* expr,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw SimError(os.str());
+}
+
+struct MsgStream {
+  std::ostringstream os;
+  template <typename T>
+  MsgStream& operator<<(const T& v) {
+    os << v;
+    return *this;
+  }
+  std::string str() const { return os.str(); }
+};
+
+}  // namespace detail
+}  // namespace ibp
+
+/// Fatal check with streamed context:
+///   IBP_CHECK(len > 0, "length was " << len);
+#define IBP_CHECK(cond, ...)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::ibp::detail::MsgStream ibp_msg_;                                  \
+      ibp_msg_ << "" __VA_ARGS__;                                         \
+      ::ibp::detail::fail(__FILE__, __LINE__, #cond, ibp_msg_.str());     \
+    }                                                                     \
+  } while (false)
+
+#define IBP_FAIL(...)                                                     \
+  do {                                                                    \
+    ::ibp::detail::MsgStream ibp_msg_;                                    \
+    ibp_msg_ << "" __VA_ARGS__;                                           \
+    ::ibp::detail::fail(__FILE__, __LINE__, "unreachable", ibp_msg_.str()); \
+  } while (false)

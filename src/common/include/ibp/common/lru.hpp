@@ -1,0 +1,58 @@
+#pragma once
+
+// Generic fixed-capacity LRU set, used for the CPU TLB halves and the
+// adapter-side address-translation-table (ATT) cache.
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace ibp {
+
+template <typename Key, typename Hash = std::hash<Key>>
+class LruSet {
+ public:
+  explicit LruSet(std::uint64_t capacity) : capacity_(capacity) {}
+
+  /// Returns true on hit. On miss, inserts `key`, evicting the least
+  /// recently used entry when full.
+  bool touch(const Key& key) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      return true;
+    }
+    if (capacity_ == 0) return false;
+    if (index_.size() == capacity_) {
+      index_.erase(order_.back());
+      order_.pop_back();
+    }
+    order_.push_front(key);
+    index_[key] = order_.begin();
+    return false;
+  }
+
+  bool contains(const Key& key) const { return index_.count(key) != 0; }
+
+  void erase(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    order_.erase(it->second);
+    index_.erase(it);
+  }
+
+  void clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+  std::uint64_t size() const { return index_.size(); }
+  std::uint64_t capacity() const { return capacity_; }
+
+ private:
+  std::uint64_t capacity_;
+  std::list<Key> order_;
+  std::unordered_map<Key, typename std::list<Key>::iterator, Hash> index_;
+};
+
+}  // namespace ibp

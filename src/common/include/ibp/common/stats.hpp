@@ -1,0 +1,100 @@
+#pragma once
+
+// Streaming statistics accumulators used by benchmarks and profilers.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "ibp/common/check.hpp"
+
+namespace ibp {
+
+/// Streaming mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double delta = o.mean_ - mean_;
+    const double tot = static_cast<double>(n_ + o.n_);
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / tot;
+    mean_ = (mean_ * static_cast<double>(n_) +
+             o.mean_ * static_cast<double>(o.n_)) / tot;
+    n_ += o.n_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores samples for exact quantiles; fine for benchmark-sized data sets.
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+
+  /// q in [0, 1]; nearest-rank quantile.
+  double quantile(double q) {
+    IBP_CHECK(!samples_.empty());
+    IBP_CHECK(q >= 0.0 && q <= 1.0);
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples_.size() - 1) + 0.5);
+    return samples_[idx];
+  }
+
+  double median() { return quantile(0.5); }
+
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double v : samples_) s += v;
+    return s / static_cast<double>(samples_.size());
+  }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace ibp

@@ -1,0 +1,76 @@
+#pragma once
+
+// Minimal fixed-width text table printer for bench output, so every bench
+// prints the paper's rows/series in a uniform, diff-stable format.
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ibp/common/check.hpp"
+
+namespace ibp {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  template <typename... Ts>
+  void add_row(const Ts&... cells) {
+    std::vector<std::string> row;
+    (row.push_back(to_cell(cells)), ...);
+    IBP_CHECK(row.size() == headers_.size(), "row width mismatch");
+    rows_.push_back(std::move(row));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    print_row(os, headers_, width);
+    std::string sep;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      sep += std::string(width[c] + 2, '-');
+      if (c + 1 < width.size()) sep += "+";
+    }
+    os << sep << "\n";
+    for (const auto& row : rows_) print_row(os, row, width);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      std::ostringstream os;
+      os << std::fixed << std::setprecision(2) << v;
+      return os.str();
+    } else {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+  }
+
+  static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& width) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << " " << std::setw(static_cast<int>(width[c])) << row[c] << " ";
+      if (c + 1 < row.size()) os << "|";
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ibp

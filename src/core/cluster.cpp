@@ -1,0 +1,95 @@
+#include "ibp/core/cluster.hpp"
+
+namespace ibp::core {
+
+RankEnv::RankEnv(Cluster& cluster, sim::Context& sc, RankState& st)
+    : cluster_(&cluster),
+      sc_(&sc),
+      st_(&st),
+      vctx_(sc, st.space, st.node->adapter, cluster.config().driver,
+            &st.send_cq, &st.recv_cq),
+      rcache_(vctx_, cluster.config().lazy_deregistration,
+              cluster.config().regcache_capacity_bytes) {}
+
+int RankEnv::nranks() const { return cluster_->nranks(); }
+
+void RankEnv::compute(std::uint64_t ops) {
+  sc_->advance(
+      cpu::MemorySystem::compute(ops, cluster_->config().platform.ops_per_ns));
+}
+
+Cluster::Cluster(ClusterConfig cfg)
+    : cfg_(cfg), engine_(cfg.nodes * cfg.ranks_per_node) {
+  IBP_CHECK(cfg_.nodes >= 1 && cfg_.ranks_per_node >= 1);
+  const int nranks = cfg_.nodes * cfg_.ranks_per_node;
+
+  Rng seeder(cfg_.seed);
+  for (int n = 0; n < cfg_.nodes; ++n)
+    nodes_.push_back(std::make_unique<Node>(cfg_, n, seeder.next_u64()));
+
+  if (cfg_.fabric_pod_nodes > 0) {
+    fabric_ = std::make_unique<hca::Fabric>(
+        cfg_.fabric_core_links, cfg_.fabric_hop_latency,
+        // Arbitration quantum = one MTU at the platform link rate.
+        static_cast<TimePs>(static_cast<double>(cfg_.platform.adapter.mtu) /
+                            cfg_.platform.adapter.link_bw_bytes_per_ns *
+                            1e3) +
+            cfg_.platform.adapter.pkt_overhead);
+    for (int n = 0; n < cfg_.nodes; ++n)
+      nodes_[static_cast<std::size_t>(n)]->adapter.attach_fabric(
+          fabric_.get(), n / cfg_.fabric_pod_nodes);
+  }
+
+  for (int r = 0; r < nranks; ++r) {
+    Node& nd = *nodes_[static_cast<std::size_t>(r / cfg_.ranks_per_node)];
+    ranks_.push_back(std::make_unique<RankState>(nd, cfg_, r));
+    RankState& rs = *ranks_.back();
+    rs.ud_qp = &nd.adapter.create_qp(&rs.send_cq, &rs.recv_cq,
+                                     hca::QpType::UD);
+  }
+
+  // Wiring. Inter-node pairs get an RC QP pair; same-node pairs get a
+  // shared-memory channel per direction.
+  shm_.resize(static_cast<std::size_t>(nranks));
+  for (auto& row : shm_) row.resize(static_cast<std::size_t>(nranks));
+  ShmConfig shm_cfg{cfg_.platform.shm_bw_bytes_per_ns, cfg_.platform.shm_latency};
+
+  for (int a = 0; a < nranks; ++a) {
+    RankState& ra = *ranks_[static_cast<std::size_t>(a)];
+    ra.qp_to.assign(static_cast<std::size_t>(nranks), nullptr);
+    ra.shm_out.assign(static_cast<std::size_t>(nranks), nullptr);
+    ra.shm_in.assign(static_cast<std::size_t>(nranks), nullptr);
+  }
+  for (int a = 0; a < nranks; ++a) {
+    RankState& ra = *ranks_[static_cast<std::size_t>(a)];
+    for (int b = a + 1; b < nranks; ++b) {
+      RankState& rb = *ranks_[static_cast<std::size_t>(b)];
+      if (ra.node == rb.node) {
+        shm_[a][b] = std::make_unique<ShmChannel>(shm_cfg);
+        shm_[b][a] = std::make_unique<ShmChannel>(shm_cfg);
+        ra.shm_out[static_cast<std::size_t>(b)] = shm_[a][b].get();
+        rb.shm_in[static_cast<std::size_t>(a)] = shm_[a][b].get();
+        rb.shm_out[static_cast<std::size_t>(a)] = shm_[b][a].get();
+        ra.shm_in[static_cast<std::size_t>(b)] = shm_[b][a].get();
+      } else {
+        hca::QueuePair& qa =
+            ra.node->adapter.create_qp(&ra.send_cq, &ra.recv_cq);
+        hca::QueuePair& qb =
+            rb.node->adapter.create_qp(&rb.send_cq, &rb.recv_cq);
+        qa.connect(&qb);
+        qb.connect(&qa);
+        ra.qp_to[static_cast<std::size_t>(b)] = &qa;
+        rb.qp_to[static_cast<std::size_t>(a)] = &qb;
+      }
+    }
+  }
+}
+
+void Cluster::run(const std::function<void(RankEnv&)>& fn) {
+  engine_.run([this, &fn](sim::Context& sc) {
+    RankEnv env(*this, sc, rank(sc.rank()));
+    fn(env);
+  });
+}
+
+}  // namespace ibp::core

@@ -1,0 +1,68 @@
+#pragma once
+
+// Intra-node shared-memory transport (MVAPICH-style): ranks on the same
+// node exchange messages through a copy-in/copy-out channel instead of the
+// HCA. One ShmChannel carries one direction of one rank pair.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "ibp/common/types.hpp"
+
+namespace ibp::core {
+
+struct ShmConfig {
+  double bw_bytes_per_ns = 2.5;  // copy bandwidth through the segment
+  TimePs latency = ns(350);      // queue signalling latency
+};
+
+struct ShmMsg {
+  std::vector<std::uint8_t> data;
+  TimePs avail = 0;  // virtual time the message becomes visible
+};
+
+class ShmChannel {
+ public:
+  explicit ShmChannel(ShmConfig cfg) : cfg_(cfg) {}
+
+  /// Sender-side: enqueue `data` at time `now`; returns the sender's copy
+  /// cost (copy-in to the shared segment).
+  TimePs push(std::vector<std::uint8_t> data, TimePs now) {
+    const TimePs copy = copy_cost(data.size());
+    ShmMsg msg;
+    msg.avail = now + copy + cfg_.latency;
+    msg.data = std::move(data);
+    q_.push_back(std::move(msg));
+    return copy;
+  }
+
+  /// Earliest visible message time, if any (wait predicate).
+  std::optional<TimePs> next_ready() const {
+    if (q_.empty()) return std::nullopt;
+    return q_.front().avail;
+  }
+
+  /// Pop the head message if visible at `now`.
+  std::optional<ShmMsg> pop(TimePs now) {
+    if (q_.empty() || q_.front().avail > now) return std::nullopt;
+    ShmMsg m = std::move(q_.front());
+    q_.pop_front();
+    return m;
+  }
+
+  /// Receiver-side copy-out cost for `bytes`.
+  TimePs copy_cost(std::uint64_t bytes) const {
+    return static_cast<TimePs>(static_cast<double>(bytes) /
+                               cfg_.bw_bytes_per_ns * 1e3);
+  }
+
+  std::size_t depth() const { return q_.size(); }
+
+ private:
+  ShmConfig cfg_;
+  std::deque<ShmMsg> q_;
+};
+
+}  // namespace ibp::core

@@ -1,0 +1,61 @@
+#pragma once
+
+// PAPI-like performance counter façade.
+//
+// The paper instruments NAS runs with PAPI to read hardware counters
+// (notably DTLB misses). This module offers the same read-the-counters
+// workflow over the simulated CPU: snapshot, run, diff.
+
+#include <cstdint>
+#include <ostream>
+
+#include "ibp/cpu/memory_system.hpp"
+#include "ibp/cpu/tlb.hpp"
+
+namespace ibp::cpu {
+
+struct CounterSnapshot {
+  std::uint64_t tlb_misses_small = 0;
+  std::uint64_t tlb_misses_huge = 0;
+  std::uint64_t tlb_hits = 0;
+  std::uint64_t stream_bytes = 0;
+  std::uint64_t random_accesses = 0;
+  std::uint64_t prefetch_ramps = 0;
+
+  std::uint64_t tlb_misses() const { return tlb_misses_small + tlb_misses_huge; }
+
+  CounterSnapshot operator-(const CounterSnapshot& o) const {
+    CounterSnapshot d;
+    d.tlb_misses_small = tlb_misses_small - o.tlb_misses_small;
+    d.tlb_misses_huge = tlb_misses_huge - o.tlb_misses_huge;
+    d.tlb_hits = tlb_hits - o.tlb_hits;
+    d.stream_bytes = stream_bytes - o.stream_bytes;
+    d.random_accesses = random_accesses - o.random_accesses;
+    d.prefetch_ramps = prefetch_ramps - o.prefetch_ramps;
+    return d;
+  }
+};
+
+inline CounterSnapshot read_counters(const MemorySystem& mem) {
+  CounterSnapshot s;
+  const auto& ms = mem.stats();
+  s.stream_bytes = ms.stream_bytes;
+  s.random_accesses = ms.random_accesses;
+  s.prefetch_ramps = ms.prefetch_ramps;
+  const auto& ts = mem.tlb().stats();
+  s.tlb_misses_small = ts.misses_small;
+  s.tlb_misses_huge = ts.misses_huge;
+  s.tlb_hits = ts.hits();
+  return s;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const CounterSnapshot& s) {
+  return os << "tlb_miss(4K)=" << s.tlb_misses_small
+            << " tlb_miss(2M)=" << s.tlb_misses_huge
+            << " tlb_hit=" << s.tlb_hits
+            << " stream_bytes=" << s.stream_bytes
+            << " random=" << s.random_accesses
+            << " ramps=" << s.prefetch_ramps;
+}
+
+}  // namespace ibp::cpu

@@ -1,0 +1,503 @@
+#include "ibp/hca/adapter.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <initializer_list>
+
+namespace ibp::hca {
+
+// ---------------------------------------------------------------------------
+// Memory registration
+
+Adapter::RegResult Adapter::reg_mr(mem::AddressSpace& space, VirtAddr addr,
+                                   std::uint64_t len,
+                                   std::uint64_t trans_page_size) {
+  IBP_CHECK(len > 0, "cannot register an empty region");
+  const mem::Mapping* m = space.find(addr, len);
+  IBP_CHECK(m != nullptr, "reg_mr over unmapped range");
+  const std::uint64_t os_page = m->page_size();
+  IBP_CHECK(trans_page_size == kSmallPageSize || trans_page_size == os_page,
+            "translation granularity must be 4 KB or the native page size");
+
+  // Step 1 of the paper's registration pipeline: pin every OS page.
+  const std::uint64_t npages = space.pin(addr, len);
+
+  auto mr = std::make_unique<MemoryRegion>();
+  mr->lkey = next_key_++;
+  mr->addr = addr;
+  mr->length = len;
+  mr->space = &space;
+  mr->os_page_size = os_page;
+  mr->trans_page_size = trans_page_size;
+  mr->npages = npages;
+  // Steps 2+3: translate at the shipped granularity and push to the NIC.
+  mr->ntrans = pages_spanned(addr, len, trans_page_size);
+
+  const TimePs cost =
+      cfg_.reg_base + npages * cfg_.pin_per_page +
+      mr->ntrans * (cfg_.trans_build_per_entry + cfg_.trans_ship_per_entry);
+
+  stats_.mr_registered += 1;
+  stats_.pages_pinned += npages;
+  stats_.translations_shipped += mr->ntrans;
+  stats_.reg_time_total += cost;
+
+  const MemoryRegion* raw = mr.get();
+  mrs_.emplace(raw->lkey, std::move(mr));
+  return {raw, cost};
+}
+
+TimePs Adapter::dereg_mr(std::uint32_t lkey) {
+  auto it = mrs_.find(lkey);
+  IBP_CHECK(it != mrs_.end(), "dereg of unknown lkey " << lkey);
+  MemoryRegion& mr = *it->second;
+  mr.space->unpin(mr.addr, mr.length);
+  const TimePs cost = cfg_.dereg_base + mr.npages * cfg_.unpin_per_page;
+  stats_.mr_deregistered += 1;
+  mrs_.erase(it);
+  return cost;
+}
+
+const MemoryRegion* Adapter::find_mr(std::uint32_t key) const {
+  auto it = mrs_.find(key);
+  return it == mrs_.end() ? nullptr : it->second.get();
+}
+
+QueuePair& Adapter::create_qp(CompletionQueue* send_cq,
+                              CompletionQueue* recv_cq, QpType type) {
+  IBP_CHECK(send_cq != nullptr && recv_cq != nullptr);
+  qps_.emplace_back(std::unique_ptr<QueuePair>(
+      new QueuePair(this, next_qp_++, send_cq, recv_cq, type)));
+  return *qps_.back();
+}
+
+// ---------------------------------------------------------------------------
+// Cost helpers
+
+std::vector<const MemoryRegion*> Adapter::validate_sges(
+    const std::vector<Sge>& sges) {
+  std::vector<const MemoryRegion*> mrs;
+  mrs.reserve(sges.size());
+  for (const auto& s : sges) {
+    const MemoryRegion* mr = find_mr(s.lkey);
+    IBP_CHECK(mr != nullptr, "SGE references unknown lkey " << s.lkey);
+    IBP_CHECK(s.length == 0 || mr->contains(s.addr, s.length),
+              "SGE outside its memory region");
+    mrs.push_back(mr);
+  }
+  return mrs;
+}
+
+Adapter::DmaCost Adapter::dma_sge_cost(const MemoryRegion& mr, VirtAddr addr,
+                                       std::uint32_t len) {
+  DmaCost cost;
+  if (len == 0) return cost;
+
+  // Bus-line reads: a buffer shifted inside its line spans extra lines,
+  // and reads straddling a burst boundary pay a reopen penalty. This is
+  // the mechanism behind the paper's Figure 4 offset sensitivity.
+  const std::uint64_t line = cfg_.bus_line;
+  const std::uint64_t lines = (addr % line + len + line - 1) / line;
+  cost.stream += lines * cfg_.dma_per_line;
+  const std::uint64_t burst = cfg_.bus_burst;
+  const std::uint64_t crossings = (addr + len - 1) / burst - addr / burst;
+  cost.stalls += crossings * cfg_.burst_cross_penalty;
+
+  // ATT: every distinct translation entry the transfer touches.
+  const std::uint64_t first =
+      (align_down(addr, mr.trans_page_size) -
+       align_down(mr.addr, mr.trans_page_size)) /
+      mr.trans_page_size;
+  const std::uint64_t count = pages_spanned(addr, len, mr.trans_page_size);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(mr.lkey) << 32) | (first + i);
+    if (att_.touch(key)) {
+      ++stats_.att_hits;
+      cost.stalls += cfg_.att_lookup;
+    } else {
+      ++stats_.att_misses;
+      cost.stalls += cfg_.att_miss;
+    }
+  }
+  return cost;
+}
+
+TimePs Adapter::wire_time(std::uint64_t bytes) const {
+  const std::uint64_t packets = std::max<std::uint64_t>(
+      1, div_ceil(bytes, cfg_.mtu));
+  return static_cast<TimePs>(static_cast<double>(bytes) /
+                             cfg_.link_bw_bytes_per_ns * 1e3) +
+         packets * cfg_.pkt_overhead;
+}
+
+TimePs Adapter::mtu_time() const {
+  return static_cast<TimePs>(static_cast<double>(cfg_.mtu) /
+                             cfg_.link_bw_bytes_per_ns * 1e3) +
+         cfg_.pkt_overhead;
+}
+
+namespace {
+TimePs acquire_lane(TimePs ready, TimePs duration, bool ctrl, TimePs quantum,
+                    TimePs& bulk_busy, TimePs& ctrl_busy) {
+  if (ctrl) {
+    TimePs start = std::max(ready, ctrl_busy);
+    // VL arbitration: wait out at most one in-flight packet of bulk data.
+    if (bulk_busy > start) start += quantum;
+    ctrl_busy = start + duration;
+    // Interleaved control traffic steals bulk bandwidth.
+    if (bulk_busy > start) bulk_busy += duration;
+    return start + duration;
+  }
+  const TimePs start = std::max(ready, bulk_busy);
+  bulk_busy = start + duration;
+  return bulk_busy;
+}
+}  // namespace
+
+TimePs Adapter::acquire_tx(TimePs ready, TimePs duration, bool ctrl) {
+  return acquire_lane(ready, duration, ctrl, mtu_time(), tx_bulk_busy_,
+                      tx_ctrl_busy_);
+}
+
+TimePs Adapter::acquire_rx(TimePs first_byte, TimePs duration, bool ctrl) {
+  return acquire_lane(first_byte, duration, ctrl, mtu_time(), rx_bulk_busy_,
+                      rx_ctrl_busy_);
+}
+
+// ---------------------------------------------------------------------------
+// QueuePair
+
+TimePs QueuePair::post_send(const SendWr& wr, TimePs now) {
+  QueuePair* dst = peer_;
+  if (type_ == QpType::UD) {
+    // Connectionless: Send only, one MTU max, destination per WR.
+    IBP_CHECK(wr.opcode == Opcode::Send, "UD supports Send only");
+    IBP_CHECK(wr.ud_dest != nullptr && wr.ud_dest->type_ == QpType::UD,
+              "UD send needs a UD destination");
+    dst = wr.ud_dest;
+    IBP_CHECK(wr.total_length() <= adapter_->cfg_.mtu,
+              "UD datagrams are limited to one MTU");
+  } else {
+    IBP_CHECK(peer_ != nullptr, "post_send on an unconnected QP");
+  }
+  if (wr.opcode == Opcode::RdmaRead) return post_rdma_read(wr, now);
+  if (wr.opcode == Opcode::AtomicFetchAdd ||
+      wr.opcode == Opcode::AtomicCmpSwap)
+    return post_atomic(wr, now);
+  Adapter& hca = *adapter_;
+  const AdapterConfig& cfg = hca.cfg_;
+  const auto mrs = hca.validate_sges(wr.sges);
+  const std::uint64_t bytes = wr.total_length();
+
+  // CPU side: build the WQE, ring the doorbell. Roughly constant; each
+  // extra SGE adds a small increment (paper §4: 128 SGEs ≈ 3× one SGE).
+  const std::uint64_t nsges = std::max<std::size_t>(wr.sges.size(), 1);
+  const TimePs cpu_cost = cfg.post_base + (nsges - 1) * cfg.post_per_sge;
+
+  // NIC side: fetch the WQE, set up one DMA descriptor per SGE, then
+  // gather the payload. Payload gather pipelines with wire streaming, so
+  // the transfer takes max(dma, wire).
+  const TimePs nic_start = std::max(now + cpu_cost, nic_busy_until_);
+  TimePs dma = 0;
+  for (std::size_t i = 0; i < wr.sges.size(); ++i)
+    dma += hca.dma_sge_cost(*mrs[i], wr.sges[i].addr, wr.sges[i].length)
+               .total();
+  const TimePs nic_proc =
+      cfg.wqe_fetch + wr.sges.size() * cfg.dma_setup;
+
+  // One-sided placement also runs the *remote* DMA engine (bus writes +
+  // ATT traffic on the receiving adapter); it pipelines with the wire the
+  // same way the local gather does.
+  TimePs remote_dma = 0;
+  Adapter& rhca = *dst->adapter_;
+  const MemoryRegion* rmr = nullptr;
+  if (wr.opcode == Opcode::RdmaWrite) {
+    rmr = rhca.find_mr(wr.rkey);
+    IBP_CHECK(rmr != nullptr, "RDMA write with unknown rkey " << wr.rkey);
+    IBP_CHECK(bytes == 0 || rmr->contains(wr.remote_addr, bytes),
+              "RDMA write outside the remote region");
+    if (bytes != 0)
+      remote_dma = rhca.dma_sge_cost(*rmr, wr.remote_addr,
+                                     static_cast<std::uint32_t>(bytes))
+                       .total();
+  }
+
+  // Multi-packet transfers pipeline payload gather, wire streaming and
+  // remote placement; a single-packet message runs them back to back.
+  const TimePs transfer =
+      bytes > cfg.mtu
+          ? std::max({dma, hca.wire_time(bytes), remote_dma})
+          : dma + hca.wire_time(bytes) + remote_dma;
+
+  const bool ctrl = bytes <= cfg.mtu;
+  const TimePs tx_end = hca.acquire_tx(nic_start + nic_proc, transfer, ctrl);
+  nic_busy_until_ = tx_end;
+
+  // Stage payload bytes (gather from sender memory now; the sender may
+  // reuse its buffer after polling the completion).
+  StagedMsg msg;
+  msg.data.reserve(bytes);
+  for (std::size_t i = 0; i < wr.sges.size(); ++i) {
+    const auto& s = wr.sges[i];
+    if (s.length == 0) continue;
+    auto src = mrs[i]->space->host_span(s.addr, s.length);
+    msg.data.insert(msg.data.end(), src.begin(), src.end());
+  }
+  msg.has_imm = wr.has_imm;
+  msg.imm = wr.imm;
+
+  TimePs leaf_out = tx_end;
+  TimePs extra_latency = cfg.wire_latency;
+  if (hca.fabric_ != nullptr && hca.fabric_ == rhca.fabric_ &&
+      hca.pod_ != rhca.pod_) {
+    // Cross-pod: the transfer also occupies a shared core link.
+    leaf_out = hca.fabric_->traverse(tx_end - transfer, transfer, ctrl);
+    extra_latency += hca.fabric_->hop_latency();
+  }
+  const TimePs first_byte = leaf_out - transfer + extra_latency;
+  const TimePs arrival = rhca.acquire_rx(first_byte, transfer, ctrl);
+  msg.arrival = arrival;
+
+  hca.stats_.bytes_tx += bytes;
+
+  if (wr.opcode == Opcode::Send) {
+    hca.stats_.sends_posted += 1;
+    dst->deliver(std::move(msg));
+  } else {
+    hca.stats_.rdma_writes_posted += 1;
+    if (bytes != 0) {
+      auto dst = rmr->space->host_span(wr.remote_addr, bytes);
+      std::copy(msg.data.begin(), msg.data.end(), dst.begin());
+    }
+  }
+
+  // RC send completion is visible after the remote HCA acknowledged; UD
+  // is fire-and-forget — the CQE means "on the wire", no ACK round.
+  Cqe cqe;
+  cqe.wr_id = wr.wr_id;
+  cqe.type = wr.opcode == Opcode::Send ? CqeType::SendComplete
+                                       : CqeType::RdmaWriteComplete;
+  cqe.byte_len = static_cast<std::uint32_t>(bytes);
+  cqe.qp_num = qp_num_;
+  cqe.ready_time = type_ == QpType::UD
+                       ? tx_end + cfg.cqe_write
+                       : msg.arrival + cfg.ack_latency + cfg.cqe_write;
+  send_cq_->push(cqe);
+
+  return cpu_cost;
+}
+
+TimePs QueuePair::post_rdma_read(const SendWr& wr, TimePs now) {
+  Adapter& hca = *adapter_;
+  const AdapterConfig& cfg = hca.cfg_;
+  Adapter& rhca = *peer_->adapter_;
+  const auto mrs = hca.validate_sges(wr.sges);  // local *destination* SGEs
+  const std::uint64_t bytes = wr.total_length();
+
+  const MemoryRegion* rmr = rhca.find_mr(wr.rkey);
+  IBP_CHECK(rmr != nullptr, "RDMA read with unknown rkey " << wr.rkey);
+  IBP_CHECK(bytes == 0 || rmr->contains(wr.remote_addr, bytes),
+            "RDMA read outside the remote region");
+
+  const std::uint64_t nsges = std::max<std::size_t>(wr.sges.size(), 1);
+  const TimePs cpu_cost = cfg.post_base + (nsges - 1) * cfg.post_per_sge;
+  const TimePs nic_start = std::max(now + cpu_cost, nic_busy_until_);
+  const TimePs nic_proc = cfg.wqe_fetch + wr.sges.size() * cfg.dma_setup;
+
+  // 1. The read *request* travels as one control packet.
+  const TimePs req_dur = hca.wire_time(0);
+  const TimePs req_end =
+      hca.acquire_tx(nic_start + nic_proc, req_dur, /*ctrl=*/true);
+  const TimePs req_arrival =
+      rhca.acquire_rx(req_end - req_dur + cfg.wire_latency, req_dur, true);
+
+  // 2. The remote HCA reads its memory and streams the response; the
+  //    local HCA places the data. Remote source gather, wire and local
+  //    scatter pipeline for multi-packet responses.
+  TimePs remote_dma = 0;
+  if (bytes != 0)
+    remote_dma = rhca.dma_sge_cost(*rmr, wr.remote_addr,
+                                   static_cast<std::uint32_t>(bytes))
+                     .total();
+  TimePs local_dma = 0;
+  for (std::size_t i = 0; i < wr.sges.size(); ++i)
+    local_dma +=
+        hca.dma_sge_cost(*mrs[i], wr.sges[i].addr, wr.sges[i].length).total();
+
+  const bool ctrl = bytes <= cfg.mtu;
+  const TimePs transfer =
+      bytes > cfg.mtu
+          ? std::max({remote_dma, hca.wire_time(bytes), local_dma})
+          : remote_dma + hca.wire_time(bytes) + local_dma;
+
+  // The response consumes the remote transmit and local receive lanes.
+  const TimePs resp_end = rhca.acquire_tx(
+      req_arrival + rhca.cfg_.wqe_fetch, transfer, ctrl);
+  const TimePs arrival = hca.acquire_rx(
+      resp_end - transfer + cfg.wire_latency, transfer, ctrl);
+
+  // Move the bytes (remote source -> local destination SGEs).
+  if (bytes != 0) {
+    auto src = rmr->space->host_span(wr.remote_addr, bytes);
+    std::uint64_t off = 0;
+    for (std::size_t i = 0; i < wr.sges.size(); ++i) {
+      const auto& sge = wr.sges[i];
+      if (sge.length == 0) continue;
+      auto dst = mrs[i]->space->host_span(sge.addr, sge.length);
+      std::copy_n(src.begin() + static_cast<std::ptrdiff_t>(off), sge.length,
+                  dst.begin());
+      off += sge.length;
+    }
+  }
+
+  rhca.stats_.bytes_tx += bytes;
+  hca.stats_.rdma_reads_posted += 1;
+  nic_busy_until_ = req_end;
+
+  // The read response *is* the completion; no extra ACK round.
+  Cqe cqe;
+  cqe.wr_id = wr.wr_id;
+  cqe.type = CqeType::RdmaReadComplete;
+  cqe.byte_len = static_cast<std::uint32_t>(bytes);
+  cqe.qp_num = qp_num_;
+  cqe.ready_time = arrival + cfg.cqe_write;
+  send_cq_->push(cqe);
+  return cpu_cost;
+}
+
+TimePs QueuePair::post_atomic(const SendWr& wr, TimePs now) {
+  Adapter& hca = *adapter_;
+  const AdapterConfig& cfg = hca.cfg_;
+  Adapter& rhca = *peer_->adapter_;
+  // The single local SGE receives the 8-byte original value.
+  IBP_CHECK(wr.sges.size() == 1 && wr.sges[0].length == 8,
+            "atomics return exactly 8 bytes");
+  const auto mrs = hca.validate_sges(wr.sges);
+  IBP_CHECK(wr.remote_addr % 8 == 0, "atomic target must be 8-byte aligned");
+  const MemoryRegion* rmr = rhca.find_mr(wr.rkey);
+  IBP_CHECK(rmr != nullptr, "atomic with unknown rkey " << wr.rkey);
+  IBP_CHECK(rmr->contains(wr.remote_addr, 8),
+            "atomic outside the remote region");
+
+  const TimePs cpu_cost = cfg.post_base;
+  const TimePs nic_start = std::max(now + cpu_cost, nic_busy_until_);
+  const TimePs nic_proc = cfg.wqe_fetch + cfg.dma_setup;
+
+  // Request packet out, read-modify-write at the remote HCA, 8-byte
+  // response back — all control-class traffic.
+  const TimePs req_dur = hca.wire_time(8);
+  const TimePs req_end = hca.acquire_tx(nic_start + nic_proc, req_dur, true);
+  const TimePs req_arrival =
+      rhca.acquire_rx(req_end - req_dur + cfg.wire_latency, req_dur, true);
+  const TimePs exec_done =
+      req_arrival + rhca.cfg_.atomic_exec +
+      rhca.dma_sge_cost(*rmr, wr.remote_addr, 8).total();
+  const TimePs resp_end = rhca.acquire_tx(exec_done, req_dur, true);
+  const TimePs arrival =
+      hca.acquire_rx(resp_end - req_dur + cfg.wire_latency, req_dur, true);
+
+  // Execute the read-modify-write (virtual-time-ordered, hence atomic).
+  auto target = rmr->space->host_span(wr.remote_addr, 8);
+  std::uint64_t old_val;
+  std::memcpy(&old_val, target.data(), 8);
+  std::uint64_t new_val = old_val;
+  if (wr.opcode == Opcode::AtomicFetchAdd) {
+    new_val = old_val + wr.atomic_arg;
+  } else if (old_val == wr.atomic_compare) {
+    new_val = wr.atomic_arg;
+  }
+  std::memcpy(target.data(), &new_val, 8);
+  auto result = mrs[0]->space->host_span(wr.sges[0].addr, 8);
+  std::memcpy(result.data(), &old_val, 8);
+
+  hca.stats_.atomics_posted += 1;
+  nic_busy_until_ = req_end;
+
+  Cqe cqe;
+  cqe.wr_id = wr.wr_id;
+  cqe.type = CqeType::AtomicComplete;
+  cqe.byte_len = 8;
+  cqe.qp_num = qp_num_;
+  cqe.ready_time = arrival + cfg.cqe_write;
+  send_cq_->push(cqe);
+  return cpu_cost;
+}
+
+TimePs QueuePair::post_recv(const RecvWr& wr, TimePs now) {
+  Adapter& hca = *adapter_;
+  const AdapterConfig& cfg = hca.cfg_;
+  hca.validate_sges(wr.sges);
+  hca.stats_.recvs_posted += 1;
+
+  const std::uint64_t nsges = std::max<std::size_t>(wr.sges.size(), 1);
+  const TimePs cpu_cost = cfg.post_recv_base + (nsges - 1) * cfg.post_per_sge;
+
+  recv_queue_.push_back(PostedRecv{wr, now + cpu_cost});
+  try_match();
+  return cpu_cost;
+}
+
+void QueuePair::deliver(StagedMsg msg) {
+  inbound_.push_back(std::move(msg));
+  try_match();
+}
+
+void QueuePair::try_match() {
+  Adapter& hca = *adapter_;
+  const AdapterConfig& cfg = hca.cfg_;
+  while (!inbound_.empty() && !recv_queue_.empty()) {
+    StagedMsg msg = std::move(inbound_.front());
+    inbound_.pop_front();
+    PostedRecv pr = std::move(recv_queue_.front());
+    recv_queue_.pop_front();
+
+    Cqe cqe;
+    cqe.wr_id = pr.wr.wr_id;
+    cqe.type = CqeType::RecvComplete;
+    cqe.qp_num = qp_num_;
+    cqe.has_imm = msg.has_imm;
+    cqe.imm = msg.imm;
+    cqe.byte_len = static_cast<std::uint32_t>(msg.data.size());
+
+    if (msg.data.size() > pr.wr.total_length()) {
+      // Real RC would move the QP to error state; a per-WR error CQE keeps
+      // the simulation testable without modelling QP teardown.
+      cqe.status = CqeStatus::LocalLengthError;
+      cqe.ready_time = std::max(msg.arrival, pr.post_time) + cfg.cqe_write;
+      recv_cq_->push(cqe);
+      continue;
+    }
+
+    // Scatter the payload. Placement overlaps with packet reception; what
+    // remains visible is per-SGE setup plus receive-side ATT traffic.
+    // Those stalls occupy the (per-adapter, shared) receive engine, so
+    // concurrent inbound traffic from other QPs queues behind them.
+    TimePs scatter = 0;
+    std::uint64_t off = 0;
+    for (const auto& s : pr.wr.sges) {
+      if (off >= msg.data.size()) break;
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(s.length, msg.data.size() - off);
+      if (chunk == 0) continue;
+      const MemoryRegion* mr = hca.find_mr(s.lkey);
+      IBP_CHECK(mr != nullptr);  // validated at post_recv
+      auto dst = mr->space->host_span(s.addr, chunk);
+      std::copy_n(msg.data.begin() + static_cast<std::ptrdiff_t>(off),
+                  chunk, dst.begin());
+      scatter +=
+          cfg.dma_setup +
+          hca.dma_sge_cost(*mr, s.addr, static_cast<std::uint32_t>(chunk))
+              .stalls;
+      off += chunk;
+    }
+
+    cqe.ready_time =
+        hca.acquire_rx(std::max(msg.arrival, pr.post_time), scatter,
+                       msg.data.size() <= cfg.mtu) +
+        cfg.cqe_write;
+    recv_cq_->push(cqe);
+  }
+}
+
+}  // namespace ibp::hca

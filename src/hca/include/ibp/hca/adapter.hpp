@@ -1,0 +1,216 @@
+#pragma once
+
+// Simulated InfiniBand host channel adapter (HCA).
+//
+// One Adapter models one physical HCA (per node): its memory-region table,
+// its on-chip address-translation-table (ATT) cache, its DMA engine, and
+// its link to the fabric. QueuePairs are reliable-connected (RC) endpoints
+// created on an adapter and wired directly to a peer QP.
+//
+// Everything is computed synchronously inside the posting rank's turn:
+// the adapter derives completion timestamps from its cost model and link /
+// QP busy-tracking, stages payload bytes, and pushes CQEs that become
+// pollable at their ready time. Because the engine executes ranks in
+// global virtual-time order, writing receiver host memory at staging time
+// is safe for any program that reads only after observing the completion.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ibp/common/check.hpp"
+#include "ibp/common/lru.hpp"
+#include "ibp/common/types.hpp"
+#include "ibp/hca/completion_queue.hpp"
+#include "ibp/hca/config.hpp"
+#include "ibp/hca/fabric.hpp"
+#include "ibp/hca/types.hpp"
+#include "ibp/mem/address_space.hpp"
+
+namespace ibp::hca {
+
+class Adapter;
+
+/// A registered memory region. lkey doubles as rkey.
+struct MemoryRegion {
+  std::uint32_t lkey = 0;
+  VirtAddr addr = 0;
+  std::uint64_t length = 0;
+  mem::AddressSpace* space = nullptr;
+  std::uint64_t os_page_size = 0;     // page size of the backing mapping
+  std::uint64_t trans_page_size = 0;  // granularity shipped to the NIC
+  std::uint64_t npages = 0;           // OS pages pinned
+  std::uint64_t ntrans = 0;           // translation entries shipped
+
+  bool contains(VirtAddr a, std::uint64_t len) const {
+    return a >= addr && len <= length && a - addr <= length - len;
+  }
+};
+
+enum class QpType : std::uint8_t { RC, UD };
+
+class QueuePair {
+ public:
+  std::uint32_t qp_num() const { return qp_num_; }
+  Adapter& adapter() { return *adapter_; }
+  QpType type() const { return type_; }
+
+  /// Wire this QP to its RC peer (both directions must be connected).
+  void connect(QueuePair* peer) {
+    IBP_CHECK(type_ == QpType::RC, "UD QPs are connectionless");
+    IBP_CHECK(peer != nullptr && peer != this);
+    peer_ = peer;
+  }
+  QueuePair* peer() { return peer_; }
+
+  /// Post a send-side work request at virtual time `now`. Returns the
+  /// CPU-side cost the caller must advance() by; all NIC/wire/completion
+  /// timing is recorded in the CQs.
+  TimePs post_send(const SendWr& wr, TimePs now);
+
+  /// Post a receive work request at `now`; returns CPU-side cost.
+  TimePs post_recv(const RecvWr& wr, TimePs now);
+
+  CompletionQueue& send_cq() { return *send_cq_; }
+  CompletionQueue& recv_cq() { return *recv_cq_; }
+
+  /// Receive WRs currently waiting for inbound messages.
+  std::size_t recv_queue_depth() const { return recv_queue_.size(); }
+  /// Inbound messages waiting for a receive WR (RNR condition in real IB).
+  std::size_t unmatched_inbound() const { return inbound_.size(); }
+
+ private:
+  friend class Adapter;
+  QueuePair(Adapter* adapter, std::uint32_t num, CompletionQueue* scq,
+            CompletionQueue* rcq, QpType type)
+      : adapter_(adapter),
+        qp_num_(num),
+        send_cq_(scq),
+        recv_cq_(rcq),
+        type_(type) {}
+
+  struct StagedMsg {
+    std::vector<std::uint8_t> data;
+    TimePs arrival = 0;  // fully received at the peer HCA
+    bool has_imm = false;
+    std::uint32_t imm = 0;
+  };
+
+  struct PostedRecv {
+    RecvWr wr;
+    TimePs post_time = 0;
+  };
+
+  TimePs post_rdma_read(const SendWr& wr, TimePs now);
+  TimePs post_atomic(const SendWr& wr, TimePs now);
+  void deliver(StagedMsg msg);
+  void try_match();
+
+  Adapter* adapter_;
+  std::uint32_t qp_num_;
+  CompletionQueue* send_cq_;
+  CompletionQueue* recv_cq_;
+  QpType type_ = QpType::RC;
+  QueuePair* peer_ = nullptr;
+  TimePs nic_busy_until_ = 0;  // per-QP in-order WQE processing
+  std::deque<PostedRecv> recv_queue_;
+  std::deque<StagedMsg> inbound_;
+};
+
+class Adapter {
+ public:
+  Adapter(NodeId node, const AdapterConfig& cfg)
+      : node_(node), cfg_(cfg), att_(cfg.att_entries) {}
+
+  Adapter(const Adapter&) = delete;
+  Adapter& operator=(const Adapter&) = delete;
+
+  NodeId node() const { return node_; }
+  const AdapterConfig& config() const { return cfg_; }
+
+  /// Attach this adapter to a multi-stage fabric as a member of `pod`.
+  /// Unattached adapters (or same-pod peers) see a single-switch fabric.
+  void attach_fabric(Fabric* fabric, int pod) {
+    fabric_ = fabric;
+    pod_ = pod;
+  }
+  int pod() const { return pod_; }
+  Fabric* fabric() { return fabric_; }
+  const AdapterStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Register [addr, addr+len) of `space`. `trans_page_size` is the
+  /// granularity of the translations shipped to the NIC — the stock driver
+  /// passes 4 KB even for hugepage mappings; the paper's patched driver
+  /// passes the native page size. Must not exceed the OS page size of the
+  /// backing mapping. Returns the MR and the registration cost.
+  struct RegResult {
+    const MemoryRegion* mr;
+    TimePs cost;
+  };
+  RegResult reg_mr(mem::AddressSpace& space, VirtAddr addr, std::uint64_t len,
+                   std::uint64_t trans_page_size);
+
+  /// Deregister; returns the deregistration cost.
+  TimePs dereg_mr(std::uint32_t lkey);
+
+  const MemoryRegion* find_mr(std::uint32_t key) const;
+
+  QueuePair& create_qp(CompletionQueue* send_cq, CompletionQueue* recv_cq,
+                       QpType type = QpType::RC);
+
+  std::uint64_t att_capacity() const { return att_.capacity(); }
+
+ private:
+  friend class QueuePair;
+
+  /// Validate that each SGE lies in a registered MR; returns the MRs.
+  std::vector<const MemoryRegion*> validate_sges(const std::vector<Sge>& sges);
+
+  /// DMA-engine cost of moving one SGE across the host bus, split into the
+  /// streaming part (bus-line reads, which pipeline with the wire) and the
+  /// stall part (ATT lookups/misses and burst-boundary penalties, which do
+  /// not).
+  struct DmaCost {
+    TimePs stream = 0;
+    TimePs stalls = 0;
+    TimePs total() const { return stream + stalls; }
+  };
+  DmaCost dma_sge_cost(const MemoryRegion& mr, VirtAddr addr,
+                       std::uint32_t len);
+
+  /// Wire time for `bytes` on the link (streaming + packetization).
+  TimePs wire_time(std::uint64_t bytes) const;
+
+  /// Transmission time of one MTU (the link's arbitration quantum).
+  TimePs mtu_time() const;
+
+  /// Reserve the transmit link from `ready` for `duration`. Single-packet
+  /// ("control-class") messages interleave with bulk transfers at MTU
+  /// granularity — IB virtual-lane arbitration — so they wait at most one
+  /// packet, not an entire in-flight message; bulk transfers queue FIFO
+  /// and are stretched by interleaved control traffic. Returns the end
+  /// time of the transfer.
+  TimePs acquire_tx(TimePs ready, TimePs duration, bool ctrl);
+  /// Same, for the receive side.
+  TimePs acquire_rx(TimePs first_byte, TimePs duration, bool ctrl);
+
+  NodeId node_;
+  AdapterConfig cfg_;
+  Fabric* fabric_ = nullptr;
+  int pod_ = 0;
+  AdapterStats stats_;
+  LruSet<std::uint64_t> att_;  // key: (lkey << 32) | translation index
+  std::uint32_t next_key_ = 1;
+  std::uint32_t next_qp_ = 1;
+  TimePs tx_bulk_busy_ = 0;
+  TimePs tx_ctrl_busy_ = 0;
+  TimePs rx_bulk_busy_ = 0;
+  TimePs rx_ctrl_busy_ = 0;
+  std::unordered_map<std::uint32_t, std::unique_ptr<MemoryRegion>> mrs_;
+  std::vector<std::unique_ptr<QueuePair>> qps_;
+};
+
+}  // namespace ibp::hca

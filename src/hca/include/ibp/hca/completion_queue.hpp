@@ -1,0 +1,54 @@
+#pragma once
+
+// Completion queue: CQEs become visible at their ready_time.
+//
+// CQEs are kept ordered by ready time (ties broken by insertion order) so
+// that polling at virtual time `now` returns completions in the order the
+// hardware would have made them visible.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "ibp/common/check.hpp"
+#include "ibp/hca/types.hpp"
+
+namespace ibp::hca {
+
+class CompletionQueue {
+ public:
+  /// Insert keeping ready_time order (stable for equal times).
+  void push(Cqe cqe) {
+    auto it = entries_.end();
+    while (it != entries_.begin()) {
+      auto prev = it;
+      --prev;
+      if (prev->ready_time <= cqe.ready_time) break;
+      it = prev;
+    }
+    entries_.insert(it, cqe);
+  }
+
+  /// Pop the first CQE visible at `now`, if any.
+  std::optional<Cqe> poll(TimePs now) {
+    if (entries_.empty() || entries_.front().ready_time > now)
+      return std::nullopt;
+    Cqe c = entries_.front();
+    entries_.pop_front();
+    return c;
+  }
+
+  /// Ready time of the earliest pending CQE (for scheduler wait
+  /// predicates), or nullopt when empty.
+  std::optional<TimePs> next_ready() const {
+    if (entries_.empty()) return std::nullopt;
+    return entries_.front().ready_time;
+  }
+
+  std::size_t depth() const { return entries_.size(); }
+
+ private:
+  std::deque<Cqe> entries_;
+};
+
+}  // namespace ibp::hca

@@ -1,0 +1,88 @@
+#pragma once
+
+// Adapter cost-model parameters.
+//
+// One send work request is charged as
+//
+//   post  = post_base + (nsges-1) * post_per_sge          (CPU, §4: ~constant)
+//   nic   = wqe_fetch + Σ_sge dma_setup
+//   dma   = Σ_sge lines(addr,len) * dma_per_line  + att_misses * att_miss
+//   wire  = bytes / link_bw + packets(bytes) * pkt_overhead
+//   tx    = nic + max(dma, wire)                          (fetch pipelines with wire)
+//   cqe   = ack latency + cqe_write; poll costs poll_cqe / poll_empty
+//
+// and registration as
+//
+//   reg = reg_base + npages * pin_per_page
+//       + ntrans * (trans_build_per_entry + trans_ship_per_entry)
+//
+// where npages follows the mapping's OS page size and ntrans the driver's
+// translation granularity (the paper's OpenIB patch switches the latter
+// from pretend-4 KB to the native hugepage size).
+
+#include <cstdint>
+
+#include "ibp/common/types.hpp"
+
+namespace ibp::hca {
+
+struct AdapterConfig {
+  // --- CPU-side posting/polling ---
+  TimePs post_base = ns(2600);       // WQE build + doorbell
+  TimePs post_per_sge = ns(40);      // additional SGE in the WQE
+  TimePs post_recv_base = ns(900);   // receive WQE build + doorbell
+  TimePs poll_cqe = ns(120);         // successful poll of one CQE
+  TimePs poll_empty = ns(60);        // unsuccessful poll probe
+
+  // --- NIC work-request processing ---
+  TimePs wqe_fetch = ns(350);        // NIC fetches the WQE across the bus
+  TimePs dma_setup = ns(110);        // per-SGE DMA descriptor setup
+  TimePs cqe_write = ns(180);        // NIC writes the CQE to host memory
+  TimePs ack_latency = ns(250);      // RC ACK turnaround credited to send CQE
+
+  // --- host-bus DMA ---
+  std::uint32_t bus_line = 64;       // DMA read granularity (bytes)
+  std::uint32_t bus_burst = 128;     // burst boundary; crossing costs extra
+  TimePs dma_per_line = ns(16);      // one bus-line read
+  TimePs burst_cross_penalty = ns(24);  // read straddles a burst boundary
+
+  // --- adapter address-translation table (ATT) ---
+  std::uint64_t att_entries = 1024;  // cached translation entries
+  TimePs att_lookup = ns(6);         // hit
+  TimePs att_miss = ns(350);         // fetch translation from host memory
+
+  // --- link ---
+  double link_bw_bytes_per_ns = 1.9; // ~ 4x SDR payload after encoding
+  std::uint32_t mtu = 2048;
+  TimePs pkt_overhead = ns(80);      // per-MTU packetization
+  TimePs wire_latency = ns(600);     // propagation + switch
+
+  // --- atomics ---
+  TimePs atomic_exec = ns(120);  // remote HCA read-modify-write
+
+  // --- memory registration / deregistration ---
+  TimePs reg_base = us(5);
+  TimePs pin_per_page = ns(700);           // get_user_pages per OS page
+  TimePs trans_build_per_entry = ns(45);   // build one translation entry
+  TimePs trans_ship_per_entry = ns(55);    // ship one entry to the NIC
+  TimePs dereg_base = us(3);
+  TimePs unpin_per_page = ns(300);
+};
+
+struct AdapterStats {
+  std::uint64_t sends_posted = 0;
+  std::uint64_t recvs_posted = 0;
+  std::uint64_t rdma_writes_posted = 0;
+  std::uint64_t rdma_reads_posted = 0;
+  std::uint64_t atomics_posted = 0;
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t att_hits = 0;
+  std::uint64_t att_misses = 0;
+  std::uint64_t mr_registered = 0;
+  std::uint64_t mr_deregistered = 0;
+  std::uint64_t pages_pinned = 0;
+  std::uint64_t translations_shipped = 0;
+  TimePs reg_time_total = 0;
+};
+
+}  // namespace ibp::hca

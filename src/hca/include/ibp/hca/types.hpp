@@ -1,0 +1,84 @@
+#pragma once
+
+// Wire-level and work-request types of the simulated InfiniBand adapter.
+
+#include <cstdint>
+#include <vector>
+
+#include "ibp/common/types.hpp"
+
+namespace ibp::hca {
+
+/// Scatter-gather element: one contiguous piece of a work request.
+struct Sge {
+  VirtAddr addr = 0;
+  std::uint32_t length = 0;
+  std::uint32_t lkey = 0;
+};
+
+enum class Opcode : std::uint8_t {
+  Send,            // two-sided: consumed by a posted receive at the peer
+  RdmaWrite,       // one-sided: placed directly into the peer's memory
+  RdmaRead,        // one-sided: pulled from the peer's memory
+  AtomicFetchAdd,  // one-sided 8-byte fetch-and-add; old value returned
+  AtomicCmpSwap,   // one-sided 8-byte compare-and-swap; old value returned
+};
+
+class QueuePair;
+
+struct SendWr {
+  std::uint64_t wr_id = 0;
+  Opcode opcode = Opcode::Send;
+  std::vector<Sge> sges;  // RDMA read: the *destination* of the pulled data
+  // UD only: the datagram's destination (address-handle equivalent).
+  QueuePair* ud_dest = nullptr;
+  // RDMA write/read only:
+  VirtAddr remote_addr = 0;
+  std::uint32_t rkey = 0;
+  // Atomics: the operand (add value / swap value) and CAS compare value.
+  std::uint64_t atomic_arg = 0;
+  std::uint64_t atomic_compare = 0;
+  // Optional 32-bit immediate delivered with the message (used by the MPI
+  // layer to tag eager packets without touching payload bytes).
+  bool has_imm = false;
+  std::uint32_t imm = 0;
+
+  std::uint64_t total_length() const {
+    std::uint64_t n = 0;
+    for (const auto& s : sges) n += s.length;
+    return n;
+  }
+};
+
+struct RecvWr {
+  std::uint64_t wr_id = 0;
+  std::vector<Sge> sges;
+
+  std::uint64_t total_length() const {
+    std::uint64_t n = 0;
+    for (const auto& s : sges) n += s.length;
+    return n;
+  }
+};
+
+enum class CqeType : std::uint8_t {
+  SendComplete,
+  RecvComplete,
+  RdmaWriteComplete,
+  RdmaReadComplete,
+  AtomicComplete,
+};
+enum class CqeStatus : std::uint8_t { Success, LocalLengthError };
+
+struct Cqe {
+  std::uint64_t wr_id = 0;
+  CqeType type = CqeType::SendComplete;
+  CqeStatus status = CqeStatus::Success;
+  std::uint32_t byte_len = 0;
+  bool has_imm = false;
+  std::uint32_t imm = 0;
+  std::uint32_t qp_num = 0;     // local QP this completion belongs to
+  TimePs ready_time = 0;        // virtual time the CQE becomes pollable
+};
+
+}  // namespace ibp::hca

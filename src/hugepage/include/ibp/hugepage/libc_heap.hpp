@@ -1,0 +1,78 @@
+#pragma once
+
+// Baseline general-purpose allocator modelled on glibc malloc behaviour:
+//
+//   * small-page arenas grown morecore-style in slabs,
+//   * 16-byte block headers (boundary tags) carried in-band,
+//   * first-fit over an address-ordered free list, split on allocate,
+//   * eager coalescing with both neighbours on free,
+//   * requests above mmap_threshold get a dedicated small-page mapping
+//     that is unmapped again on free (glibc M_MMAP_THRESHOLD behaviour).
+//
+// This is the allocator the paper's library competes against (§2/§3.2):
+// same-size alloc/free churn makes it coalesce and re-split continuously
+// ("thrashing behaviour", as the paper observed with Abinit), and every
+// large buffer arrives on fresh, unfaulted 4 KB pages.
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "ibp/common/types.hpp"
+#include "ibp/hugepage/heap.hpp"
+#include "ibp/mem/address_space.hpp"
+
+namespace ibp::hugepage {
+
+struct LibcHeapConfig {
+  std::uint64_t header = 16;               // in-band boundary tag
+  std::uint64_t align = 16;
+  std::uint64_t slab_bytes = 256 * kKiB;   // morecore growth granularity
+  /// Initial M_MMAP_THRESHOLD. Like glibc, the threshold is dynamic:
+  /// freeing an mmapped block raises it past that block's size, so
+  /// repeated same-size alloc/free cycles move into the arenas (where the
+  /// coalesce/split churn lives).
+  std::uint64_t mmap_threshold = 128 * kKiB;
+  std::uint64_t mmap_threshold_max = 32 * kMiB;
+  HeapCosts costs;
+};
+
+class LibcHeap {
+ public:
+  explicit LibcHeap(mem::AddressSpace& space, LibcHeapConfig cfg = {});
+
+  OpResult allocate(std::uint64_t size) { return allocate_aligned(size, 0); }
+  /// posix_memalign-style: payload aligned to `alignment` (power of two;
+  /// 0 = the heap's default 16-byte alignment).
+  OpResult allocate_aligned(std::uint64_t size, std::uint64_t alignment);
+  OpResult deallocate(VirtAddr addr);
+
+  bool owns(VirtAddr addr) const;
+  std::uint64_t block_size(VirtAddr addr) const;
+
+  const HeapStats& stats() const { return stats_; }
+  std::uint64_t free_blocks() const { return free_by_addr_.size(); }
+  std::uint64_t mmap_threshold() const { return cfg_.mmap_threshold; }
+
+  void check_invariants() const;
+
+ private:
+  struct Live {
+    std::uint64_t bytes = 0;      // rounded block size (header + padding)
+    std::uint64_t requested = 0;
+    bool mmapped = false;
+    VirtAddr map_base = 0;        // for mmapped blocks
+    VirtAddr block_va = 0;        // block start (payload may be padded)
+  };
+
+  TimePs grow(std::uint64_t need_bytes);
+
+  mem::AddressSpace& space_;
+  LibcHeapConfig cfg_;
+  HeapStats stats_;
+  std::map<VirtAddr, std::uint64_t> free_by_addr_;  // va -> bytes
+  std::unordered_map<VirtAddr, Live> live_;         // payload va -> block
+  std::map<VirtAddr, std::uint64_t> arenas_;        // base -> length
+};
+
+}  // namespace ibp::hugepage

@@ -1,0 +1,191 @@
+#include "ibp/hugepage/libc_heap.hpp"
+
+#include <algorithm>
+
+namespace ibp::hugepage {
+
+LibcHeap::LibcHeap(mem::AddressSpace& space, LibcHeapConfig cfg)
+    : space_(space), cfg_(cfg) {
+  IBP_CHECK(is_pow2(cfg_.align) && cfg_.header % cfg_.align == 0,
+            "header must preserve alignment");
+}
+
+TimePs LibcHeap::grow(std::uint64_t need_bytes) {
+  const std::uint64_t bytes =
+      std::max(align_up(need_bytes, kSmallPageSize), cfg_.slab_bytes);
+  mem::Mapping& m = space_.map(bytes, mem::PageKind::Small);
+  arenas_.emplace(m.va_base, m.length);
+  free_by_addr_.emplace(m.va_base, m.length);
+  stats_.regions_mapped += 1;
+  stats_.bytes_mapped += m.length;
+  return cfg_.costs.mmap_syscall +
+         (m.length / kSmallPageSize) * cfg_.costs.fault_small;
+}
+
+OpResult LibcHeap::allocate_aligned(std::uint64_t size,
+                                    std::uint64_t alignment) {
+  IBP_CHECK(size > 0, "zero-byte allocation");
+  IBP_CHECK(alignment == 0 || is_pow2(alignment),
+            "alignment must be a power of two");
+  const std::uint64_t align = std::max<std::uint64_t>(alignment, cfg_.align);
+  TimePs cost = cfg_.costs.op_base;
+
+  // Large requests bypass the arenas entirely (glibc mmap threshold).
+  if (size >= cfg_.mmap_threshold) {
+    mem::Mapping& m =
+        space_.map(size + cfg_.header + align, mem::PageKind::Small);
+    cost += cfg_.costs.mmap_syscall +
+            (m.length / kSmallPageSize) * cfg_.costs.fault_small;
+    const VirtAddr payload = align_up(m.va_base + cfg_.header, align);
+    live_.emplace(payload, Live{m.length, size, true, m.va_base, m.va_base});
+    stats_.allocs += 1;
+    stats_.bytes_mapped += m.length;
+    stats_.regions_mapped += 1;
+    stats_.bytes_live += m.length;
+    stats_.bytes_live_peak =
+        std::max(stats_.bytes_live_peak, stats_.bytes_live);
+    return {payload, cost};
+  }
+
+  // A block is usable if the aligned payload plus size fits inside it.
+  auto payload_of = [&](VirtAddr va) {
+    return align_up(va + cfg_.header, align);
+  };
+  auto fits = [&](VirtAddr va, std::uint64_t bytes) {
+    const VirtAddr payload = payload_of(va);
+    return payload + size <= va + bytes;
+  };
+  std::uint64_t steps = 0;
+  auto fit = free_by_addr_.end();
+  for (auto it = free_by_addr_.begin(); it != free_by_addr_.end(); ++it) {
+    ++steps;
+    if (fits(it->first, it->second)) {
+      fit = it;
+      break;
+    }
+  }
+  if (fit == free_by_addr_.end()) {
+    cost += grow(size + cfg_.header + align);
+    for (auto it = free_by_addr_.begin(); it != free_by_addr_.end(); ++it) {
+      ++steps;
+      if (fits(it->first, it->second)) {
+        fit = it;
+        break;
+      }
+    }
+    IBP_CHECK(fit != free_by_addr_.end());
+  }
+  cost += steps * cfg_.costs.per_scan_step;
+  stats_.scan_steps += steps;
+
+  const VirtAddr va = fit->first;
+  const std::uint64_t have = fit->second;
+  const VirtAddr payload = payload_of(va);
+  const std::uint64_t need =
+      align_up(payload + size - va, cfg_.align);
+  free_by_addr_.erase(fit);
+  if (have > need + cfg_.header) {
+    free_by_addr_.emplace(va + need, have - need);
+    cost += cfg_.costs.split;
+    stats_.splits += 1;
+  }
+  const std::uint64_t block = have > need + cfg_.header ? need : have;
+  live_.emplace(payload, Live{block, size, false, 0, va});
+  stats_.allocs += 1;
+  stats_.bytes_live += block;
+  stats_.bytes_live_peak = std::max(stats_.bytes_live_peak, stats_.bytes_live);
+  return {payload, cost};
+}
+
+OpResult LibcHeap::deallocate(VirtAddr addr) {
+  auto it = live_.find(addr);
+  IBP_CHECK(it != live_.end(), "free of unknown libc block " << std::hex
+                                                             << addr);
+  const Live blk = it->second;
+  live_.erase(it);
+  stats_.frees += 1;
+  stats_.bytes_live -= blk.bytes;
+  TimePs cost = cfg_.costs.op_base;
+
+  if (blk.mmapped) {
+    // glibc-style dynamic threshold: this size pattern is recurring, so
+    // serve it from the arenas next time.
+    cfg_.mmap_threshold = std::min(
+        std::max(cfg_.mmap_threshold, blk.requested + 1),
+        cfg_.mmap_threshold_max);
+    space_.unmap(blk.map_base);
+    return {addr, cost + cfg_.costs.mmap_syscall};
+  }
+
+  VirtAddr va = blk.block_va;
+  std::uint64_t bytes = blk.bytes;
+
+  // Eager coalescing with both neighbours (within the same arena).
+  const auto arena = std::prev(arenas_.upper_bound(va));
+  const VirtAddr abase = arena->first;
+  const VirtAddr aend = abase + arena->second;
+
+  auto next = free_by_addr_.lower_bound(va);
+  if (next != free_by_addr_.end() && next->first == va + bytes &&
+      next->first < aend) {
+    bytes += next->second;
+    free_by_addr_.erase(next);
+    cost += cfg_.costs.coalesce;
+    stats_.coalesces += 1;
+  }
+  auto prev = free_by_addr_.lower_bound(va);
+  if (prev != free_by_addr_.begin()) {
+    --prev;
+    if (prev->first + prev->second == va && prev->first >= abase) {
+      va = prev->first;
+      bytes += prev->second;
+      free_by_addr_.erase(prev);
+      cost += cfg_.costs.coalesce;
+      stats_.coalesces += 1;
+    }
+  }
+  free_by_addr_.emplace(va, bytes);
+  return {addr, cost};
+}
+
+bool LibcHeap::owns(VirtAddr addr) const {
+  auto it = arenas_.upper_bound(addr);
+  if (it != arenas_.begin()) {
+    --it;
+    if (addr < it->first + it->second) return true;
+  }
+  // mmapped blocks are looked up directly.
+  return live_.count(addr) != 0;
+}
+
+std::uint64_t LibcHeap::block_size(VirtAddr addr) const {
+  auto it = live_.find(addr);
+  IBP_CHECK(it != live_.end(), "block_size of unknown block");
+  return it->second.requested;
+}
+
+void LibcHeap::check_invariants() const {
+  VirtAddr prev_end = 0;
+  for (const auto& [va, bytes] : free_by_addr_) {
+    IBP_CHECK(bytes > 0, "empty free block");
+    IBP_CHECK(va >= prev_end, "overlapping free blocks");
+    prev_end = va + bytes;
+    const auto arena = arenas_.upper_bound(va);
+    IBP_CHECK(arena != arenas_.begin(), "free block outside arenas");
+    const auto& [abase, alen] = *std::prev(arena);
+    IBP_CHECK(va + bytes <= abase + alen, "free block crosses arena end");
+  }
+  for (const auto& [payload, blk] : live_) {
+    if (blk.mmapped) continue;
+    const VirtAddr va = blk.block_va;
+    auto it = free_by_addr_.upper_bound(va + blk.bytes - 1);
+    if (it != free_by_addr_.begin()) {
+      --it;
+      IBP_CHECK(it->first + it->second <= va ||
+                    it->first >= va + blk.bytes,
+                "live/free overlap");
+    }
+  }
+}
+
+}  // namespace ibp::hugepage

@@ -1,0 +1,61 @@
+#include "ibp/mem/physical.hpp"
+
+#include <algorithm>
+
+namespace ibp::mem {
+
+PhysicalMemory::PhysicalMemory(std::uint64_t total_bytes,
+                               std::uint64_t huge_pages, std::uint64_t seed) {
+  IBP_CHECK(total_bytes % kSmallPageSize == 0,
+            "small-page RAM must be 4 KB aligned");
+  small_total_ = total_bytes / kSmallPageSize;
+  huge_total_ = huge_pages;
+
+  // Small frames occupy [0, total_bytes); the hugepage region sits above.
+  small_free_.reserve(small_total_);
+  for (std::uint64_t i = 0; i < small_total_; ++i)
+    small_free_.push_back(i * kSmallPageSize);
+
+  // Fisher–Yates shuffle so that successive allocations land on scattered
+  // frames, emulating steady-state fragmentation.
+  Rng rng(seed ^ 0x5eedf00dull);
+  for (std::uint64_t i = small_total_; i > 1; --i) {
+    const std::uint64_t j = rng.next_below(i);
+    std::swap(small_free_[i - 1], small_free_[j]);
+  }
+
+  huge_base_ = align_up(total_bytes, kHugePageSize);
+  huge_free_.reserve(huge_total_);
+  // Push descending so that pop_back() hands out ascending, contiguous PAs.
+  for (std::uint64_t i = huge_total_; i > 0; --i)
+    huge_free_.push_back(huge_base_ + (i - 1) * kHugePageSize);
+}
+
+PhysAddr PhysicalMemory::alloc_small_frame() {
+  IBP_CHECK(!small_free_.empty(), "out of simulated small-page memory");
+  const PhysAddr pa = small_free_.back();
+  small_free_.pop_back();
+  return pa;
+}
+
+void PhysicalMemory::free_small_frame(PhysAddr pa) {
+  IBP_CHECK(pa % kSmallPageSize == 0 && pa < small_total_ * kSmallPageSize,
+            "bad small frame " << pa);
+  small_free_.push_back(pa);
+}
+
+PhysAddr PhysicalMemory::alloc_huge_frame() {
+  IBP_CHECK(!huge_free_.empty(), "out of simulated hugepage memory");
+  const PhysAddr pa = huge_free_.back();
+  huge_free_.pop_back();
+  return pa;
+}
+
+void PhysicalMemory::free_huge_frame(PhysAddr pa) {
+  IBP_CHECK(pa >= huge_base_ && (pa - huge_base_) % kHugePageSize == 0 &&
+                (pa - huge_base_) / kHugePageSize < huge_total_,
+            "bad huge frame " << pa);
+  huge_free_.push_back(pa);
+}
+
+}  // namespace ibp::mem

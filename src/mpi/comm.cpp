@@ -1,0 +1,1014 @@
+#include "ibp/mpi/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ibp::mpi {
+
+namespace {
+
+/// Receive-CQE wr_id namespace for UD datagram slots.
+constexpr std::uint64_t kUdWrBase = std::uint64_t{1} << 40;
+
+/// Smallest power of two >= n.
+int ceil_pow2(int n) {
+  int p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+Comm::Comm(core::RankEnv& env, CommConfig cfg) : env_(&env), cfg_(cfg) {
+  IBP_CHECK(cfg_.eager_threshold <= cfg_.rndv_copy_max,
+            "eager threshold must not exceed the rendezvous-copy ceiling");
+  IBP_CHECK(cfg_.rndv_copy_max + kHeaderBytes <= cfg_.slot_bytes,
+            "bounce slots too small for the rendezvous-copy ceiling");
+
+  const int n = size();
+  peer_idx_.assign(static_cast<std::size_t>(n), ~0ull);
+  core::RankState& st = env_->state();
+  for (int p = 0; p < n; ++p) {
+    if (st.qp_to[static_cast<std::size_t>(p)] != nullptr) {
+      peer_idx_[static_cast<std::size_t>(p)] = ib_peers_.size();
+      ib_peers_.push_back(p);
+    }
+  }
+
+  if (!ib_peers_.empty()) {
+    send_region_ = env_->alloc(cfg_.send_slots * cfg_.slot_bytes);
+    recv_region_ =
+        env_->alloc(ib_peers_.size() * cfg_.recv_slots * cfg_.slot_bytes);
+    send_mr_ =
+        env_->verbs().reg_mr(send_region_, cfg_.send_slots * cfg_.slot_bytes);
+    recv_mr_ = env_->verbs().reg_mr(
+        recv_region_, ib_peers_.size() * cfg_.recv_slots * cfg_.slot_bytes);
+
+    for (std::size_t i = 0; i < ib_peers_.size(); ++i) {
+      auto qp = env_->verbs().wrap_qp(
+          *st.qp_to[static_cast<std::size_t>(ib_peers_[i])]);
+      for (std::uint32_t s = 0; s < cfg_.recv_slots; ++s) {
+        hca::RecvWr wr;
+        wr.wr_id = i * cfg_.recv_slots + s;
+        wr.sges = {{recv_slot_va(static_cast<int>(i), static_cast<int>(s)),
+                    static_cast<std::uint32_t>(cfg_.slot_bytes),
+                    recv_mr_.lkey}};
+        env_->verbs().post_recv(qp, wr);
+      }
+    }
+  }
+  if (cfg_.ud_eager && !ib_peers_.empty()) {
+    // One shared pool of MTU-sized datagram slots, independent of the
+    // peer count — the UD scalability property.
+    const auto mtu = env_->state().node->adapter.config().mtu;
+    ud_region_ = env_->alloc(static_cast<std::uint64_t>(cfg_.recv_slots) *
+                             mtu * 2);
+    ud_mr_ = env_->verbs().reg_mr(
+        ud_region_, static_cast<std::uint64_t>(cfg_.recv_slots) * mtu * 2);
+    auto qp = env_->verbs().wrap_qp(*st.ud_qp);
+    for (std::uint32_t s2 = 0; s2 < cfg_.recv_slots * 2; ++s2) {
+      hca::RecvWr wr;
+      wr.wr_id = kUdWrBase + s2;
+      wr.sges = {{ud_region_ + static_cast<std::uint64_t>(s2) * mtu, mtu,
+                  ud_mr_.lkey}};
+      env_->verbs().post_recv(qp, wr);
+    }
+  }
+
+  free_send_slots_.resize(cfg_.send_slots);
+  for (std::uint32_t s = 0; s < cfg_.send_slots; ++s)
+    free_send_slots_[s] = static_cast<int>(s);
+  send_seq_.assign(static_cast<std::size_t>(n), 0);
+  expect_seq_.assign(static_cast<std::size_t>(n), 0);
+}
+
+bool Comm::same_node(int peer) const {
+  return env_->state().qp_to[static_cast<std::size_t>(peer)] == nullptr;
+}
+
+std::uint64_t Comm::peer_index(int peer) const {
+  const std::uint64_t i = peer_idx_[static_cast<std::size_t>(peer)];
+  IBP_CHECK(i != ~0ull, "rank " << peer << " is not an IB peer");
+  return i;
+}
+
+VirtAddr Comm::send_slot_va(int slot) const {
+  return send_region_ + static_cast<std::uint64_t>(slot) * cfg_.slot_bytes;
+}
+
+VirtAddr Comm::recv_slot_va(int peer_index, int slot) const {
+  return recv_region_ +
+         (static_cast<std::uint64_t>(peer_index) * cfg_.recv_slots +
+          static_cast<std::uint64_t>(slot)) *
+             cfg_.slot_bytes;
+}
+
+TimePs Comm::flat_copy_cost(std::uint64_t len) const {
+  const double bw =
+      env_->cluster().config().platform.mem.stream_bw_bytes_per_ns;
+  return static_cast<TimePs>(static_cast<double>(len) / bw * 1e3);
+}
+
+int Comm::take_send_slot() {
+  for (;;) {
+    if (!free_send_slots_.empty()) {
+      const int s = free_send_slots_.back();
+      free_send_slots_.pop_back();
+      return s;
+    }
+    progress_block();
+  }
+}
+
+void Comm::release_send_slot(int slot) { free_send_slots_.push_back(slot); }
+
+// ---------------------------------------------------------------------------
+// Transport
+
+void Comm::transport_send(int peer, const Header& hdr_in,
+                          std::span<const std::uint8_t> payload,
+                          SendAction action) {
+  IBP_CHECK(peer != rank(), "transport_send to self");
+  Header hdr = hdr_in;
+  hdr.seq = send_seq_[static_cast<std::size_t>(peer)]++;
+  if (same_node(peer)) {
+    std::vector<std::uint8_t> blob(kHeaderBytes + payload.size());
+    store_header(blob.data(), hdr);
+    std::copy(payload.begin(), payload.end(), blob.begin() + kHeaderBytes);
+    core::ShmChannel* ch =
+        env_->state().shm_out[static_cast<std::size_t>(peer)];
+    env_->sim().advance(ch->push(std::move(blob), env_->now()));
+    // No CQE on the shm path: the handoff is complete once copied in.
+    IBP_CHECK(!action.rdma_fin, "rendezvous RDMA is IB-only");
+    if (action.req) action.req->state = Request::State::Done;
+    return;
+  }
+
+  const int slot = take_send_slot();
+  auto sp =
+      env_->space().host_span(send_slot_va(slot), kHeaderBytes + payload.size());
+  store_header(sp.data(), hdr);
+  if (!payload.empty()) {
+    std::copy(payload.begin(), payload.end(), sp.begin() + kHeaderBytes);
+    env_->sim().advance(flat_copy_cost(payload.size()));
+  }
+
+  hca::SendWr wr;
+  wr.wr_id = next_wr_id_++;
+  wr.opcode = hca::Opcode::Send;
+  wr.sges = {{send_slot_va(slot),
+              static_cast<std::uint32_t>(kHeaderBytes + payload.size()),
+              send_mr_.lkey}};
+  action.slot = slot;
+  const bool fits_datagram =
+      cfg_.ud_eager &&
+      kHeaderBytes + payload.size() <=
+          env_->state().node->adapter.config().mtu;
+  send_actions_.emplace(wr.wr_id, std::move(action));
+  if (fits_datagram) {
+    ++stats_.ud_sent;
+    wr.ud_dest = env_->cluster().rank(peer).ud_qp;
+    auto qp = env_->verbs().wrap_qp(*env_->state().ud_qp);
+    env_->verbs().post_send(qp, wr);
+    return;
+  }
+  auto qp = env_->verbs().wrap_qp(
+      *env_->state().qp_to[static_cast<std::size_t>(peer)]);
+  env_->verbs().post_send(qp, wr);
+}
+
+void Comm::transport_send_sges(int peer, const Header& hdr_in,
+                               const std::vector<Seg>& segs,
+                               SendAction action) {
+  IBP_CHECK(!same_node(peer), "SGE gather sends are IB-only");
+  IBP_CHECK(env_->rcache().lazy() && env_->rcache().capacity() == 0,
+            "SGE gather sends need an unbounded lazy registration cache "
+            "(gathered buffers must stay registered until the CQE)");
+  Header hdr = hdr_in;
+  hdr.seq = send_seq_[static_cast<std::size_t>(peer)]++;
+  const int slot = take_send_slot();
+  auto sp = env_->space().host_span(send_slot_va(slot), kHeaderBytes);
+  store_header(sp.data(), hdr);
+
+  hca::SendWr wr;
+  wr.wr_id = next_wr_id_++;
+  wr.opcode = hca::Opcode::Send;
+  wr.sges.push_back({send_slot_va(slot),
+                     static_cast<std::uint32_t>(kHeaderBytes),
+                     send_mr_.lkey});
+  for (const Seg& s : segs) {
+    if (s.len == 0) continue;
+    const verbs::Mr mr = env_->rcache().acquire(s.addr, s.len);
+    wr.sges.push_back(
+        {s.addr, static_cast<std::uint32_t>(s.len), mr.lkey});
+  }
+  action.slot = slot;
+  send_actions_.emplace(wr.wr_id, std::move(action));
+  auto qp = env_->verbs().wrap_qp(
+      *env_->state().qp_to[static_cast<std::size_t>(peer)]);
+  env_->verbs().post_send(qp, wr);
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point
+
+Req Comm::isend(VirtAddr buf, std::uint64_t len, int dst, int tag) {
+  ProfScope prof(this, "isend");
+  IBP_CHECK(dst >= 0 && dst < size(), "bad destination rank " << dst);
+  auto r = std::make_shared<Request>();
+  r->kind = Request::Kind::Send;
+  r->id = next_req_id_++;
+  r->buf = buf;
+  r->len = len;
+  r->peer = dst;
+  r->tag = tag;
+
+  Header hdr;
+  hdr.src = rank();
+  hdr.tag = tag;
+  hdr.size = len;
+  hdr.req = r->id;
+
+  if (dst == rank()) {
+    // Self message: loop straight through the matching engine.
+    hdr.kind = static_cast<std::uint32_t>(MsgKind::Eager);
+    auto payload = len ? env_->space().host_span(buf, len)
+                       : std::span<const std::uint8_t>{};
+    handle_msg(hdr, payload);
+    r->state = Request::State::Done;
+    return r;
+  }
+
+  if (same_node(dst)) {
+    // Shared memory carries any size in one copy-in/copy-out hop.
+    hdr.kind = static_cast<std::uint32_t>(MsgKind::Eager);
+    ++stats_.shm_sent;
+    stats_.shm_bytes += len;
+    if (len) env_->touch_stream(buf, len);
+    auto payload = len ? env_->space().host_span(buf, len)
+                       : std::span<const std::uint8_t>{};
+    transport_send(dst, hdr, payload, {});
+    r->state = Request::State::Done;
+    return r;
+  }
+
+  if (len <= cfg_.eager_threshold) {
+    hdr.kind = static_cast<std::uint32_t>(MsgKind::Eager);
+    ++stats_.eager_sent;
+    stats_.eager_bytes += len;
+    if (len) env_->touch_stream(buf, len);
+    auto payload = len ? env_->space().host_span(buf, len)
+                       : std::span<const std::uint8_t>{};
+    transport_send(dst, hdr, payload, {});
+    // Eager sends complete locally once the payload left the user buffer.
+    r->state = Request::State::Done;
+    return r;
+  }
+
+  // Rendezvous. With the read protocol the RTS advertises the (already
+  // registered) send buffer for the receiver to pull; otherwise the
+  // receiver's CTS decides between the copy and RDMA-write paths.
+  if (len <= cfg_.rndv_copy_max) {
+    ++stats_.rndv_copy_sent;
+    stats_.rndv_copy_bytes += len;
+  } else {
+    ++stats_.rndv_rdma_sent;
+    stats_.rndv_rdma_bytes += len;
+  }
+  hdr.kind = static_cast<std::uint32_t>(MsgKind::Rts);
+  if (cfg_.rndv_read && len > cfg_.rndv_copy_max) {
+    const verbs::Mr mr = env_->rcache().acquire(buf, len);
+    r->mr = mr;
+    r->holds_mr = true;
+    hdr.raddr = buf;
+    hdr.rkey = mr.rkey;
+  }
+  rndv_send_.emplace(r->id, r);
+  r->state = Request::State::RtsSent;
+  transport_send(dst, hdr, {}, {});
+  return r;
+}
+
+Req Comm::isend_gather(const std::vector<Seg>& segs, int dst, int tag) {
+  ProfScope prof(this, "isend_gather");
+  std::uint64_t total = 0;
+  for (const Seg& s : segs) total += s.len;
+  IBP_CHECK(total <= cfg_.eager_threshold,
+            "gathered sends use the eager path (total " << total << ")");
+
+  if (!cfg_.sge_gather || dst == rank() || same_node(dst)) {
+    // Pack-and-send fallback: copy the pieces through a staging buffer.
+    const VirtAddr stage = env_->alloc(std::max<std::uint64_t>(total, 64));
+    pack(segs, stage);
+    Req r = isend(stage, total, dst, tag);
+    wait(r);  // staging buffer is freed below, so finish the handoff
+    env_->dealloc(stage);
+    return r;
+  }
+
+  auto r = std::make_shared<Request>();
+  r->kind = Request::Kind::Send;
+  r->id = next_req_id_++;
+  r->len = total;
+  r->peer = dst;
+  r->tag = tag;
+
+  Header hdr;
+  hdr.kind = static_cast<std::uint32_t>(MsgKind::Eager);
+  hdr.src = rank();
+  hdr.tag = tag;
+  hdr.size = total;
+  hdr.req = r->id;
+
+  SendAction action;
+  action.req = r;  // gathered user buffers are reusable at the CQE
+  ++stats_.gather_sends;
+  transport_send_sges(dst, hdr, segs, std::move(action));
+  return r;
+}
+
+Req Comm::irecv(VirtAddr buf, std::uint64_t cap, int src, int tag) {
+  ProfScope prof(this, "irecv");
+  auto r = std::make_shared<Request>();
+  r->kind = Request::Kind::Recv;
+  r->buf = buf;
+  r->len = cap;
+  r->peer = src;
+  r->tag = tag;
+
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (!match(r, it->hdr.src, it->hdr.tag)) continue;
+    const Unexpected u = std::move(*it);
+    unexpected_.erase(it);
+    if (u.hdr.kind == static_cast<std::uint32_t>(MsgKind::Eager)) {
+      complete_eager_recv(r, u.hdr, u.payload);
+    } else {
+      IBP_CHECK(u.hdr.kind == static_cast<std::uint32_t>(MsgKind::Rts));
+      start_rndv_recv(r, u.hdr);
+    }
+    return r;
+  }
+  posted_.push_back(r);
+  return r;
+}
+
+void Comm::wait(const Req& r) {
+  ProfScope prof(this, "wait");
+  progress_once();
+  while (!r->done()) progress_block();
+}
+
+void Comm::waitall(std::span<const Req> rs) {
+  ProfScope prof(this, "waitall");
+  for (const Req& r : rs) wait(r);
+}
+
+bool Comm::test(const Req& r) {
+  ProfScope prof(this, "test");
+  progress_once();
+  return r->done();
+}
+
+void Comm::send(VirtAddr buf, std::uint64_t len, int dst, int tag) {
+  ProfScope prof(this, "send");
+  wait(isend(buf, len, dst, tag));
+}
+
+RecvStatus Comm::recv(VirtAddr buf, std::uint64_t cap, int src, int tag) {
+  ProfScope prof(this, "recv");
+  Req r = irecv(buf, cap, src, tag);
+  wait(r);
+  return {r->actual_src, r->actual_tag, r->received};
+}
+
+RecvStatus Comm::sendrecv(VirtAddr sbuf, std::uint64_t slen, int dst,
+                          int stag, VirtAddr rbuf, std::uint64_t rcap,
+                          int src, int rtag) {
+  ProfScope prof(this, "sendrecv");
+  Req rr = irecv(rbuf, rcap, src, rtag);
+  Req sr = isend(sbuf, slen, dst, stag);
+  wait(sr);
+  wait(rr);
+  return {rr->actual_src, rr->actual_tag, rr->received};
+}
+
+std::size_t Comm::waitany(std::span<const Req> rs) {
+  ProfScope prof(this, "waitany");
+  IBP_CHECK(!rs.empty(), "waitany on empty request set");
+  for (;;) {
+    progress_once();
+    for (std::size_t i = 0; i < rs.size(); ++i)
+      if (rs[i]->done()) return i;
+    progress_block();
+  }
+}
+
+std::vector<Seg> Comm::type_segments(VirtAddr base, const Datatype& type) {
+  std::vector<Seg> segs;
+  segs.reserve(type.count);
+  for (std::uint64_t b = 0; b < type.count; ++b)
+    segs.push_back({base + b * type.stride, type.block_len});
+  return segs;
+}
+
+void Comm::send_typed(VirtAddr base, const Datatype& type, int dst,
+                      int tag) {
+  ProfScope prof(this, "send_typed");
+  if (type.is_contiguous()) {
+    send(base, type.size(), dst, tag);
+    return;
+  }
+  const auto segs = type_segments(base, type);
+  if (cfg_.sge_gather && type.size() <= cfg_.eager_threshold &&
+      dst != rank() && !same_node(dst)) {
+    // §7: the NIC walks the datatype via its scatter/gather list.
+    wait(isend_gather(segs, dst, tag));
+    return;
+  }
+  const VirtAddr stage = env_->alloc(std::max<std::uint64_t>(type.size(), 64));
+  pack(segs, stage);
+  send(stage, type.size(), dst, tag);
+  env_->dealloc(stage);
+}
+
+RecvStatus Comm::recv_typed(VirtAddr base, const Datatype& type, int src,
+                            int tag) {
+  ProfScope prof(this, "recv_typed");
+  if (type.is_contiguous()) return recv(base, type.size(), src, tag);
+  const VirtAddr stage = env_->alloc(std::max<std::uint64_t>(type.size(), 64));
+  const RecvStatus st = recv(stage, type.size(), src, tag);
+  unpack(stage, type_segments(base, type));
+  env_->dealloc(stage);
+  return st;
+}
+
+void Comm::pack(const std::vector<Seg>& segs, VirtAddr dst) {
+  ProfScope prof(this, "pack");
+  VirtAddr out = dst;
+  for (const Seg& s : segs) {
+    if (s.len == 0) continue;
+    auto from = env_->space().host_span(s.addr, s.len);
+    auto to = env_->space().host_span(out, s.len);
+    std::copy(from.begin(), from.end(), to.begin());
+    env_->touch_stream(s.addr, s.len);
+    env_->sim().advance(flat_copy_cost(s.len));
+    out += s.len;
+  }
+}
+
+void Comm::unpack(VirtAddr src, const std::vector<Seg>& segs) {
+  ProfScope prof(this, "unpack");
+  VirtAddr in = src;
+  for (const Seg& s : segs) {
+    if (s.len == 0) continue;
+    auto from = env_->space().host_span(in, s.len);
+    auto to = env_->space().host_span(s.addr, s.len);
+    std::copy(from.begin(), from.end(), to.begin());
+    env_->touch_stream(s.addr, s.len);
+    env_->sim().advance(flat_copy_cost(s.len));
+    in += s.len;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Progress engine
+
+std::optional<TimePs> Comm::earliest_event() const {
+  std::optional<TimePs> best;
+  auto consider = [&best](std::optional<TimePs> t) {
+    if (t && (!best || *t < *best)) best = t;
+  };
+  core::RankState& st = env_->state();
+  consider(st.send_cq.next_ready());
+  consider(st.recv_cq.next_ready());
+  for (int p = 0; p < env_->nranks(); ++p) {
+    core::ShmChannel* ch = st.shm_in[static_cast<std::size_t>(p)];
+    if (ch != nullptr) consider(ch->next_ready());
+  }
+  return best;
+}
+
+void Comm::progress_block() {
+  env_->sim().wait_until([this] { return earliest_event(); });
+  progress_once();
+}
+
+void Comm::progress_once() {
+  bool again = true;
+  while (again) {
+    again = false;
+
+    while (auto c = env_->verbs().poll_send()) {
+      handle_send_cqe(*c);
+      again = true;
+    }
+
+    while (auto c = env_->verbs().poll_recv()) {
+      IBP_CHECK(c->status == hca::CqeStatus::Success,
+                "transport receive completed in error");
+      if (c->wr_id >= kUdWrBase) {
+        // Datagram slot.
+        const std::uint64_t slot = c->wr_id - kUdWrBase;
+        const auto mtu = env_->state().node->adapter.config().mtu;
+        const VirtAddr va = ud_region_ + slot * mtu;
+        auto bytes = env_->space().host_span(va, c->byte_len);
+        const Header hdr = load_header(bytes.data());
+        ingest(hdr, bytes.subspan(kHeaderBytes));
+        hca::RecvWr wr;
+        wr.wr_id = c->wr_id;
+        wr.sges = {{va, mtu, ud_mr_.lkey}};
+        auto qp = env_->verbs().wrap_qp(*env_->state().ud_qp);
+        env_->verbs().post_recv(qp, wr);
+        again = true;
+        continue;
+      }
+      const std::uint64_t pi = c->wr_id / cfg_.recv_slots;
+      const std::uint64_t slot = c->wr_id % cfg_.recv_slots;
+      const VirtAddr va =
+          recv_slot_va(static_cast<int>(pi), static_cast<int>(slot));
+      auto bytes = env_->space().host_span(va, c->byte_len);
+      const Header hdr = load_header(bytes.data());
+      ingest(hdr, bytes.subspan(kHeaderBytes));
+
+      // Recycle the slot.
+      hca::RecvWr wr;
+      wr.wr_id = c->wr_id;
+      wr.sges = {{va, static_cast<std::uint32_t>(cfg_.slot_bytes),
+                  recv_mr_.lkey}};
+      auto qp = env_->verbs().wrap_qp(
+          *env_->state()
+               .qp_to[static_cast<std::size_t>(ib_peers_[pi])]);
+      env_->verbs().post_recv(qp, wr);
+      again = true;
+    }
+
+    core::RankState& st = env_->state();
+    for (int p = 0; p < env_->nranks(); ++p) {
+      core::ShmChannel* ch = st.shm_in[static_cast<std::size_t>(p)];
+      if (ch == nullptr) continue;
+      while (auto m = ch->pop(env_->now())) {
+        const Header hdr = load_header(m->data.data());
+        ingest(hdr, std::span<const std::uint8_t>(m->data).subspan(
+                        kHeaderBytes));
+        again = true;
+      }
+    }
+  }
+}
+
+void Comm::ingest(const Header& hdr,
+                  std::span<const std::uint8_t> payload) {
+  const auto src = static_cast<std::size_t>(hdr.src);
+  if (hdr.seq != expect_seq_[src]) {
+    // Early arrival (a faster transport overtook an earlier message):
+    // stash it until its predecessors are in.
+    ++stats_.reordered;
+    reorder_.emplace(std::make_pair(hdr.src, hdr.seq),
+                     Unexpected{hdr, {payload.begin(), payload.end()}});
+    return;
+  }
+  handle_msg(hdr, payload);
+  ++expect_seq_[src];
+  for (;;) {
+    auto it = reorder_.find({hdr.src, expect_seq_[src]});
+    if (it == reorder_.end()) break;
+    const Unexpected u = std::move(it->second);
+    reorder_.erase(it);
+    handle_msg(u.hdr, u.payload);
+    ++expect_seq_[src];
+  }
+}
+
+void Comm::handle_msg(const Header& hdr,
+                      std::span<const std::uint8_t> payload) {
+  switch (static_cast<MsgKind>(hdr.kind)) {
+    case MsgKind::Eager: {
+      for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+        if (match(*it, hdr.src, hdr.tag)) {
+          Req r = *it;
+          posted_.erase(it);
+          complete_eager_recv(r, hdr, payload);
+          return;
+        }
+      }
+      ++stats_.unexpected_arrivals;
+      unexpected_.push_back(
+          Unexpected{hdr, {payload.begin(), payload.end()}});
+      return;
+    }
+    case MsgKind::Rts: {
+      for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+        if (match(*it, hdr.src, hdr.tag)) {
+          Req r = *it;
+          posted_.erase(it);
+          start_rndv_recv(r, hdr);
+          return;
+        }
+      }
+      ++stats_.unexpected_arrivals;
+      unexpected_.push_back(Unexpected{hdr, {}});
+      return;
+    }
+    case MsgKind::Cts: {
+      auto it = rndv_send_.find(hdr.req);
+      IBP_CHECK(it != rndv_send_.end(), "CTS for unknown send request");
+      Req r = it->second;
+      rndv_send_.erase(it);
+      if (hdr.raddr == 0) {
+        // Medium path: ship the payload in-band.
+        Header data;
+        data.kind = static_cast<std::uint32_t>(MsgKind::RndvData);
+        data.src = rank();
+        data.tag = r->tag;
+        data.size = r->len;
+        data.req = r->id;
+        env_->touch_stream(r->buf, r->len);
+        SendAction action;
+        action.req = r;
+        r->state = Request::State::Writing;
+        transport_send(r->peer, data,
+                       env_->space().host_span(r->buf, r->len),
+                       std::move(action));
+      } else {
+        // Large path: register the send buffer and RDMA-write the payload.
+        const verbs::Mr mr = env_->rcache().acquire(r->buf, r->len);
+        hca::SendWr wr;
+        wr.wr_id = next_wr_id_++;
+        wr.opcode = hca::Opcode::RdmaWrite;
+        wr.sges = {{r->buf, static_cast<std::uint32_t>(r->len), mr.lkey}};
+        wr.remote_addr = hdr.raddr;
+        wr.rkey = hdr.rkey;
+        SendAction action;
+        action.req = r;
+        action.rdma_fin = true;
+        r->mr = mr;
+        r->holds_mr = true;
+        send_actions_.emplace(wr.wr_id, std::move(action));
+        r->state = Request::State::Writing;
+        auto qp = env_->verbs().wrap_qp(
+            *env_->state().qp_to[static_cast<std::size_t>(r->peer)]);
+        env_->verbs().post_send(qp, wr);
+      }
+      return;
+    }
+    case MsgKind::RndvData: {
+      auto it = rndv_recv_.find({hdr.src, hdr.req});
+      IBP_CHECK(it != rndv_recv_.end(), "RndvData for unknown recv");
+      Req r = it->second;
+      rndv_recv_.erase(it);
+      complete_eager_recv(r, hdr, payload);
+      return;
+    }
+    case MsgKind::Fin: {
+      // Write protocol: the sender notifies the receiver, keyed by
+      // (sender rank, sender request id).
+      auto it = rndv_recv_.find({hdr.src, hdr.req});
+      IBP_CHECK(it != rndv_recv_.end(), "FIN for unknown recv");
+      Req r = it->second;
+      rndv_recv_.erase(it);
+      if (r->holds_mr) {
+        env_->rcache().release(r->mr);
+        r->holds_mr = false;
+      }
+      r->received = hdr.size;
+      r->actual_src = hdr.src;
+      r->actual_tag = hdr.tag;
+      r->state = Request::State::Done;
+      return;
+    }
+    case MsgKind::FinRead: {
+      // Read protocol: the receiver notifies the sender, keyed by our own
+      // request id (a separate kind — a write-FIN from the same rank with
+      // a colliding id must not match here).
+      auto sit = rndv_send_.find(hdr.req);
+      IBP_CHECK(sit != rndv_send_.end(), "read-FIN for unknown send");
+      Req r = sit->second;
+      rndv_send_.erase(sit);
+      if (r->holds_mr) {
+        env_->rcache().release(r->mr);
+        r->holds_mr = false;
+      }
+      r->state = Request::State::Done;
+      return;
+    }
+  }
+  IBP_FAIL("unhandled message kind " << hdr.kind);
+}
+
+void Comm::handle_send_cqe(const hca::Cqe& cqe) {
+  auto it = send_actions_.find(cqe.wr_id);
+  IBP_CHECK(it != send_actions_.end(), "send CQE with no action");
+  SendAction action = std::move(it->second);
+  send_actions_.erase(it);
+
+  if (action.slot >= 0) release_send_slot(action.slot);
+  if (action.read_fin) {
+    // The pull finished: the payload is in place; tell the sender its
+    // buffer is reusable and complete the receive.
+    Req r = action.req;
+    if (r->holds_mr) {
+      env_->rcache().release(r->mr);
+      r->holds_mr = false;
+    }
+    Header fin;
+    fin.kind = static_cast<std::uint32_t>(MsgKind::FinRead);
+    fin.src = rank();
+    fin.tag = r->actual_tag;
+    fin.size = action.msg_size;
+    fin.req = action.peer_req;
+    r->received = action.msg_size;
+    r->state = Request::State::Done;
+    transport_send(action.peer_rank, fin, {}, {});
+    return;
+  }
+  if (action.rdma_fin) {
+    if (action.req->holds_mr) {
+      // Figure 5 "deactivated" mode deregisters once the write completed.
+      env_->rcache().release(action.req->mr);
+      action.req->holds_mr = false;
+    }
+    Header fin;
+    fin.kind = static_cast<std::uint32_t>(MsgKind::Fin);
+    fin.src = rank();
+    fin.tag = action.req->tag;
+    fin.size = action.req->len;
+    fin.req = action.req->id;
+    const int dst = action.req->peer;
+    action.req->state = Request::State::Done;
+    transport_send(dst, fin, {}, {});
+  } else if (action.req) {
+    action.req->state = Request::State::Done;
+  }
+}
+
+void Comm::complete_eager_recv(const Req& r, const Header& hdr,
+                               std::span<const std::uint8_t> payload) {
+  IBP_CHECK(hdr.size == payload.size(), "payload length mismatch");
+  IBP_CHECK(payload.size() <= r->len,
+            "message (" << payload.size() << " B) truncates receive buffer ("
+                        << r->len << " B)");
+  if (!payload.empty()) {
+    auto dst = env_->space().host_span(r->buf, payload.size());
+    std::copy(payload.begin(), payload.end(), dst.begin());
+    env_->touch_stream(r->buf, payload.size());
+    env_->sim().advance(flat_copy_cost(payload.size()));
+  }
+  r->received = payload.size();
+  r->actual_src = hdr.src;
+  r->actual_tag = hdr.tag;
+  r->state = Request::State::Done;
+}
+
+void Comm::start_rndv_recv(const Req& r, const Header& hdr) {
+  IBP_CHECK(hdr.size <= r->len, "rendezvous message truncates buffer");
+
+  if (hdr.raddr != 0 && hdr.size > cfg_.rndv_copy_max) {
+    // Read protocol: pull the advertised sender buffer directly.
+    const verbs::Mr mr = env_->rcache().acquire(r->buf, hdr.size);
+    r->mr = mr;
+    r->holds_mr = true;
+    r->actual_src = hdr.src;
+    r->actual_tag = hdr.tag;
+    hca::SendWr wr;
+    wr.wr_id = next_wr_id_++;
+    wr.opcode = hca::Opcode::RdmaRead;
+    wr.sges = {{r->buf, static_cast<std::uint32_t>(hdr.size), mr.lkey}};
+    wr.remote_addr = hdr.raddr;
+    wr.rkey = hdr.rkey;
+    SendAction action;
+    action.req = r;
+    action.read_fin = true;
+    action.peer_req = hdr.req;
+    action.peer_rank = hdr.src;
+    action.msg_size = hdr.size;
+    send_actions_.emplace(wr.wr_id, std::move(action));
+    r->state = Request::State::CtsSent;
+    auto qp = env_->verbs().wrap_qp(
+        *env_->state().qp_to[static_cast<std::size_t>(hdr.src)]);
+    env_->verbs().post_send(qp, wr);
+    return;
+  }
+
+  Header cts;
+  cts.kind = static_cast<std::uint32_t>(MsgKind::Cts);
+  cts.src = rank();
+  cts.tag = hdr.tag;
+  cts.size = hdr.size;
+  cts.req = hdr.req;
+  if (hdr.size > cfg_.rndv_copy_max) {
+    const verbs::Mr mr = env_->rcache().acquire(r->buf, hdr.size);
+    cts.raddr = r->buf;
+    cts.rkey = mr.rkey;
+    r->mr = mr;
+    r->holds_mr = true;
+  }
+  r->state = Request::State::CtsSent;
+  rndv_recv_.emplace(std::make_pair(hdr.src, hdr.req), r);
+  transport_send(hdr.src, cts, {}, {});
+}
+
+// ---------------------------------------------------------------------------
+// Collectives
+
+void Comm::barrier() {
+  ProfScope prof(this, "barrier");
+  const int n = size();
+  const int me = rank();
+  const int ctag = 0x40000000 | static_cast<int>(coll_seq_++ & 0xFFFF);
+  for (int k = 1; k < n; k <<= 1) {
+    const int dst = (me + k) % n;
+    const int src = (me - k + n) % n;
+    sendrecv(0, 0, dst, ctag, 0, 0, src, ctag);
+  }
+}
+
+void Comm::bcast(VirtAddr buf, std::uint64_t len, int root) {
+  ProfScope prof(this, "bcast");
+  const int n = size();
+  const int me = rank();
+  const int ctag = 0x40000000 | static_cast<int>(coll_seq_++ & 0xFFFF);
+  const int rel = (me - root + n) % n;
+
+  if (rel != 0) {
+    const int parent_rel = rel & (rel - 1);
+    recv(buf, len, (parent_rel + root) % n, ctag);
+  }
+  const int lowbit = rel == 0 ? ceil_pow2(n) : (rel & -rel);
+  for (int mask = lowbit >> 1; mask > 0; mask >>= 1) {
+    const int child_rel = rel + mask;
+    if (child_rel < n) send(buf, len, (child_rel + root) % n, ctag);
+  }
+}
+
+void Comm::gather(VirtAddr sendbuf, std::uint64_t len, VirtAddr recvbuf,
+                  int root) {
+  ProfScope prof(this, "gather");
+  const int n = size();
+  const int me = rank();
+  const int ctag = 0x40000000 | static_cast<int>(coll_seq_++ & 0xFFFF);
+  if (me == root) {
+    for (int p = 0; p < n; ++p) {
+      const VirtAddr dst = recvbuf + static_cast<std::uint64_t>(p) * len;
+      if (p == me) {
+        if (len) {
+          auto from = env_->space().host_span(sendbuf, len);
+          auto to = env_->space().host_span(dst, len);
+          std::copy(from.begin(), from.end(), to.begin());
+          env_->touch_stream(dst, len);
+        }
+      } else {
+        recv(dst, len, p, ctag);
+      }
+    }
+  } else {
+    send(sendbuf, len, root, ctag);
+  }
+}
+
+void Comm::gatherv(VirtAddr sendbuf, std::uint64_t len, VirtAddr recvbuf,
+                   std::span<const std::uint64_t> counts,
+                   std::span<const std::uint64_t> displs, int root) {
+  ProfScope prof(this, "gatherv");
+  const int n = size();
+  const int me = rank();
+  IBP_CHECK(counts.size() == static_cast<std::size_t>(n) &&
+            displs.size() == static_cast<std::size_t>(n));
+  const int ctag = 0x40000000 | static_cast<int>(coll_seq_++ & 0xFFFF);
+  if (me == root) {
+    for (int p = 0; p < n; ++p) {
+      const VirtAddr dst = recvbuf + displs[static_cast<std::size_t>(p)];
+      const std::uint64_t cnt = counts[static_cast<std::size_t>(p)];
+      if (p == me) {
+        IBP_CHECK(len == cnt, "root contribution size mismatch");
+        if (cnt) {
+          auto from = env_->space().host_span(sendbuf, cnt);
+          auto to = env_->space().host_span(dst, cnt);
+          std::copy(from.begin(), from.end(), to.begin());
+          env_->touch_stream(dst, cnt);
+        }
+      } else {
+        recv(dst, cnt, p, ctag);
+      }
+    }
+  } else {
+    send(sendbuf, len, root, ctag);
+  }
+}
+
+void Comm::scatter(VirtAddr sendbuf, std::uint64_t len, VirtAddr recvbuf,
+                   int root) {
+  ProfScope prof(this, "scatter");
+  const int n = size();
+  const int me = rank();
+  const int ctag = 0x40000000 | static_cast<int>(coll_seq_++ & 0xFFFF);
+  if (me == root) {
+    for (int p = 0; p < n; ++p) {
+      const VirtAddr src = sendbuf + static_cast<std::uint64_t>(p) * len;
+      if (p == me) {
+        if (len) {
+          auto from = env_->space().host_span(src, len);
+          auto to = env_->space().host_span(recvbuf, len);
+          std::copy(from.begin(), from.end(), to.begin());
+          env_->touch_stream(recvbuf, len);
+        }
+      } else {
+        send(src, len, p, ctag);
+      }
+    }
+  } else {
+    recv(recvbuf, len, root, ctag);
+  }
+}
+
+void Comm::allgather(VirtAddr sendbuf, std::uint64_t len, VirtAddr recvbuf) {
+  ProfScope prof(this, "allgather");
+  const int n = size();
+  const int me = rank();
+  const int ctag = 0x40000000 | static_cast<int>(coll_seq_++ & 0xFFFF);
+
+  // Own block into place.
+  if (len) {
+    auto from = env_->space().host_span(sendbuf, len);
+    auto to = env_->space().host_span(
+        recvbuf + static_cast<std::uint64_t>(me) * len, len);
+    std::copy(from.begin(), from.end(), to.begin());
+    env_->touch_stream(recvbuf + static_cast<std::uint64_t>(me) * len, len);
+  }
+
+  if ((n & (n - 1)) == 0) {
+    // Recursive doubling (MPICH's power-of-two algorithm): at step k the
+    // partner is me ^ 2^k and both sides swap the 2^k blocks they hold.
+    for (int dist = 1; dist < n; dist <<= 1) {
+      const int partner = me ^ dist;
+      const int my_base = me & ~(dist - 1);
+      const int their_base = partner & ~(dist - 1);
+      sendrecv(recvbuf + static_cast<std::uint64_t>(my_base) * len,
+               static_cast<std::uint64_t>(dist) * len, partner, ctag,
+               recvbuf + static_cast<std::uint64_t>(their_base) * len,
+               static_cast<std::uint64_t>(dist) * len, partner, ctag);
+    }
+    return;
+  }
+
+  // Ring fallback: at step s, send the block received at step s-1.
+  const int right = (me + 1) % n;
+  const int left = (me - 1 + n) % n;
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_block = (me - s + n) % n;
+    const int recv_block = (me - s - 1 + n) % n;
+    sendrecv(recvbuf + static_cast<std::uint64_t>(send_block) * len, len,
+             right, ctag,
+             recvbuf + static_cast<std::uint64_t>(recv_block) * len, len,
+             left, ctag);
+  }
+}
+
+void Comm::alltoall(VirtAddr sendbuf, std::uint64_t len_per_rank,
+                    VirtAddr recvbuf) {
+  ProfScope prof(this, "alltoall");
+  const int n = size();
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(n),
+                                    len_per_rank);
+  std::vector<std::uint64_t> displs(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p)
+    displs[static_cast<std::size_t>(p)] =
+        static_cast<std::uint64_t>(p) * len_per_rank;
+  alltoallv(sendbuf, counts, displs, recvbuf, counts, displs);
+}
+
+void Comm::alltoallv(VirtAddr sendbuf, std::span<const std::uint64_t> scounts,
+                     std::span<const std::uint64_t> sdispls, VirtAddr recvbuf,
+                     std::span<const std::uint64_t> rcounts,
+                     std::span<const std::uint64_t> rdispls) {
+  ProfScope prof(this, "alltoallv");
+  const int n = size();
+  const int me = rank();
+  IBP_CHECK(scounts.size() == static_cast<std::size_t>(n) &&
+            rcounts.size() == static_cast<std::size_t>(n));
+  const int ctag = 0x40000000 | static_cast<int>(coll_seq_++ & 0xFFFF);
+
+  // Local block.
+  const std::uint64_t self_len =
+      std::min(scounts[static_cast<std::size_t>(me)],
+               rcounts[static_cast<std::size_t>(me)]);
+  if (self_len) {
+    auto from = env_->space().host_span(
+        sendbuf + sdispls[static_cast<std::size_t>(me)], self_len);
+    auto to = env_->space().host_span(
+        recvbuf + rdispls[static_cast<std::size_t>(me)], self_len);
+    std::copy(from.begin(), from.end(), to.begin());
+    env_->touch_stream(recvbuf + rdispls[static_cast<std::size_t>(me)],
+                       self_len);
+  }
+
+  // Pairwise exchange, one partner per phase.
+  for (int s = 1; s < n; ++s) {
+    const int dst = (me + s) % n;
+    const int src = (me - s + n) % n;
+    sendrecv(sendbuf + sdispls[static_cast<std::size_t>(dst)],
+             scounts[static_cast<std::size_t>(dst)], dst, ctag,
+             recvbuf + rdispls[static_cast<std::size_t>(src)],
+             rcounts[static_cast<std::size_t>(src)], src, ctag);
+  }
+}
+
+}  // namespace ibp::mpi

@@ -1,0 +1,36 @@
+#pragma once
+
+// mpiP-like profiler: accounts virtual time spent inside MPI calls so
+// benches can split application time into communication and computation,
+// exactly as the paper does for Figure 6 ("we are able to distinguish
+// between communication and computation time").
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "ibp/common/types.hpp"
+
+namespace ibp::mpi {
+
+class Profiler {
+ public:
+  void add(const char* op, TimePs t) {
+    by_op_[op] += t;
+    total_ += t;
+  }
+
+  TimePs total() const { return total_; }
+  const std::map<std::string, TimePs>& by_op() const { return by_op_; }
+
+  void reset() {
+    by_op_.clear();
+    total_ = 0;
+  }
+
+ private:
+  std::map<std::string, TimePs> by_op_;
+  TimePs total_ = 0;
+};
+
+}  // namespace ibp::mpi

@@ -1,0 +1,56 @@
+#pragma once
+
+// Nonblocking communication requests.
+
+#include <cstdint>
+#include <memory>
+
+#include "ibp/common/types.hpp"
+#include "ibp/mpi/message.hpp"
+#include "ibp/verbs/verbs.hpp"
+
+namespace ibp::mpi {
+
+struct Request {
+  enum class Kind : std::uint8_t { Send, Recv };
+  enum class State : std::uint8_t {
+    Pending,    // posted, not yet progressed to completion
+    RtsSent,    // rendezvous sender: waiting for CTS
+    Writing,    // rendezvous sender: RDMA write in flight
+    CtsSent,    // rendezvous receiver: waiting for data/FIN
+    Done,
+  };
+
+  Kind kind = Kind::Send;
+  State state = State::Pending;
+  std::uint64_t id = 0;  // sender-side id used in rendezvous headers
+
+  // Common
+  VirtAddr buf = 0;
+  std::uint64_t len = 0;  // send: bytes to send; recv: capacity
+  std::int32_t peer = 0;  // send: dst; recv: src (or kAnySource)
+  std::int32_t tag = 0;   // recv: may be kAnyTag
+
+  // Rendezvous-RDMA registration held for the transfer's lifetime (only
+  // deregistered at completion when lazy deregistration is off).
+  verbs::Mr mr{};
+  bool holds_mr = false;
+
+  // Recv results
+  std::uint64_t received = 0;
+  std::int32_t actual_src = -1;
+  std::int32_t actual_tag = -1;
+
+  bool done() const { return state == State::Done; }
+};
+
+using Req = std::shared_ptr<Request>;
+
+/// Completed-receive summary returned by blocking recv().
+struct RecvStatus {
+  std::int32_t src = -1;
+  std::int32_t tag = -1;
+  std::uint64_t len = 0;
+};
+
+}  // namespace ibp::mpi

@@ -1,0 +1,72 @@
+#pragma once
+
+// One-sided communication windows (MPI-2 RMA flavoured), an extension
+// showcasing the data-placement machinery: a Window collectively exposes
+// one buffer per rank; put/get map to RDMA write/read work requests (so
+// window placement — hugepages vs small pages — hits the same
+// registration/ATT mechanics the paper studies), and fetch_add maps to
+// the HCA's 8-byte atomic. Synchronization is fence-based.
+//
+// Same-node targets have no HCA between them; their accesses go straight
+// through shared memory with a copy-cost model, like MVAPICH's intra-node
+// RMA path.
+
+#include <cstdint>
+#include <vector>
+
+#include "ibp/mpi/comm.hpp"
+
+namespace ibp::mpi {
+
+class Window {
+ public:
+  /// Collective: every rank exposes [base, base+len). Registers the local
+  /// region and allgathers {base, rkey} from all ranks.
+  Window(Comm& comm, VirtAddr base, std::uint64_t len);
+  ~Window();
+
+  Window(const Window&) = delete;
+  Window& operator=(const Window&) = delete;
+
+  /// Write [local, local+len) into target's window at `target_off`.
+  /// Completes locally at the next fence().
+  void put(VirtAddr local, std::uint64_t len, int target,
+           std::uint64_t target_off);
+
+  /// Read target's window [target_off, target_off+len) into `local`.
+  /// Data is usable after the next fence().
+  void get(VirtAddr local, std::uint64_t len, int target,
+           std::uint64_t target_off);
+
+  /// Atomic 8-byte fetch-and-add on target's window; returns the value
+  /// before the addition. Blocking (atomics order the caller anyway).
+  std::uint64_t fetch_add(int target, std::uint64_t target_off,
+                          std::uint64_t value);
+
+  /// Atomic 8-byte compare-and-swap; returns the previous value.
+  std::uint64_t compare_swap(int target, std::uint64_t target_off,
+                             std::uint64_t expected, std::uint64_t desired);
+
+  /// Complete all outstanding local operations and synchronize all ranks
+  /// (MPI_Win_fence semantics).
+  void fence();
+
+  std::uint64_t size() const { return len_; }
+
+ private:
+  hca::SendWr make_rdma(int target, std::uint64_t target_off,
+                        std::uint64_t len) const;
+  void post_tracked(int target, hca::SendWr wr);
+
+  Comm* comm_;
+  VirtAddr base_;
+  std::uint64_t len_;
+  verbs::Mr local_mr_{};
+  VirtAddr scratch_ = 0;      // 8-byte atomic result landing zone
+  verbs::Mr scratch_mr_{};
+  std::vector<VirtAddr> bases_;        // per rank
+  std::vector<std::uint32_t> rkeys_;   // per rank (0 for shm peers/self)
+  std::vector<Req> outstanding_;
+};
+
+}  // namespace ibp::mpi

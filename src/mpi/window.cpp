@@ -1,0 +1,169 @@
+#include "ibp/mpi/window.hpp"
+
+#include <cstring>
+
+namespace ibp::mpi {
+
+Window::Window(Comm& comm, VirtAddr base, std::uint64_t len)
+    : comm_(&comm), base_(base), len_(len) {
+  IBP_CHECK(len > 0, "empty window");
+  core::RankEnv& env = comm_->env();
+  local_mr_ = env.verbs().reg_mr(base, len);
+  scratch_ = env.alloc(64);
+  scratch_mr_ = env.verbs().reg_mr(scratch_, 8);
+
+  // Exchange {base, rkey} pairs.
+  const int n = comm_->size();
+  const VirtAddr xchg = env.alloc(static_cast<std::uint64_t>(n) * 16 + 16);
+  auto* mine = env.host_ptr<std::uint64_t>(xchg + static_cast<std::uint64_t>(n) * 16, 2);
+  mine[0] = base;
+  mine[1] = local_mr_.rkey;
+  comm_->allgather(xchg + static_cast<std::uint64_t>(n) * 16, 16, xchg);
+  bases_.resize(static_cast<std::size_t>(n));
+  rkeys_.resize(static_cast<std::size_t>(n));
+  auto* all = env.host_ptr<std::uint64_t>(xchg, static_cast<std::uint64_t>(n) * 2);
+  for (int p = 0; p < n; ++p) {
+    bases_[static_cast<std::size_t>(p)] = all[2 * p];
+    rkeys_[static_cast<std::size_t>(p)] =
+        static_cast<std::uint32_t>(all[2 * p + 1]);
+  }
+  env.dealloc(xchg);
+}
+
+Window::~Window() {
+  // Collective teardown is the caller's job (fence before destruction);
+  // locally drop the registrations.
+  core::RankEnv& env = comm_->env();
+  env.verbs().dereg_mr(scratch_mr_);
+  env.verbs().dereg_mr(local_mr_);
+  env.dealloc(scratch_);
+}
+
+hca::SendWr Window::make_rdma(int target, std::uint64_t target_off,
+                              std::uint64_t len) const {
+  IBP_CHECK(target_off + len <= len_, "access outside the window");
+  hca::SendWr wr;
+  wr.remote_addr = bases_[static_cast<std::size_t>(target)] + target_off;
+  wr.rkey = rkeys_[static_cast<std::size_t>(target)];
+  return wr;
+}
+
+void Window::post_tracked(int target, hca::SendWr wr) {
+  core::RankEnv& env = comm_->env();
+  auto r = std::make_shared<Request>();
+  r->kind = Request::Kind::Send;
+  wr.wr_id = comm_->next_wr_id_++;
+  Comm::SendAction action;
+  action.req = r;
+  comm_->send_actions_.emplace(wr.wr_id, std::move(action));
+  auto qp = env.verbs().wrap_qp(
+      *env.state().qp_to[static_cast<std::size_t>(target)]);
+  env.verbs().post_send(qp, wr);
+  outstanding_.push_back(std::move(r));
+}
+
+void Window::put(VirtAddr local, std::uint64_t len, int target,
+                 std::uint64_t target_off) {
+  core::RankEnv& env = comm_->env();
+  if (target == comm_->rank() || comm_->same_node(target)) {
+    // Shared-memory path: direct placement plus a copy-cost charge.
+    core::RankState& tgt = env.cluster().rank(target);
+    auto from = env.space().host_span(local, len);
+    auto to = tgt.space.host_span(
+        bases_[static_cast<std::size_t>(target)] + target_off, len);
+    std::copy(from.begin(), from.end(), to.begin());
+    env.touch_stream(local, len);
+    env.sim().advance(comm_->flat_copy_cost(len));
+    return;
+  }
+  const verbs::Mr mr = env.rcache().acquire(local, len);
+  hca::SendWr wr = make_rdma(target, target_off, len);
+  wr.opcode = hca::Opcode::RdmaWrite;
+  wr.sges = {{local, static_cast<std::uint32_t>(len), mr.lkey}};
+  post_tracked(target, std::move(wr));
+  env.rcache().release(mr);
+}
+
+void Window::get(VirtAddr local, std::uint64_t len, int target,
+                 std::uint64_t target_off) {
+  core::RankEnv& env = comm_->env();
+  if (target == comm_->rank() || comm_->same_node(target)) {
+    core::RankState& tgt = env.cluster().rank(target);
+    auto from = tgt.space.host_span(
+        bases_[static_cast<std::size_t>(target)] + target_off, len);
+    auto to = env.space().host_span(local, len);
+    std::copy(from.begin(), from.end(), to.begin());
+    env.touch_stream(local, len);
+    env.sim().advance(comm_->flat_copy_cost(len));
+    return;
+  }
+  const verbs::Mr mr = env.rcache().acquire(local, len);
+  hca::SendWr wr = make_rdma(target, target_off, len);
+  wr.opcode = hca::Opcode::RdmaRead;
+  wr.sges = {{local, static_cast<std::uint32_t>(len), mr.lkey}};
+  post_tracked(target, std::move(wr));
+  env.rcache().release(mr);
+}
+
+std::uint64_t Window::fetch_add(int target, std::uint64_t target_off,
+                                std::uint64_t value) {
+  core::RankEnv& env = comm_->env();
+  IBP_CHECK(target_off % 8 == 0 && target_off + 8 <= len_,
+            "atomic outside the window");
+  if (target == comm_->rank() || comm_->same_node(target)) {
+    core::RankState& tgt = env.cluster().rank(target);
+    auto span = tgt.space.host_span(
+        bases_[static_cast<std::size_t>(target)] + target_off, 8);
+    std::uint64_t old_val;
+    std::memcpy(&old_val, span.data(), 8);
+    const std::uint64_t nv = old_val + value;
+    std::memcpy(span.data(), &nv, 8);
+    env.sim().advance(
+        env.cluster().config().platform.shm_latency + ns(60));
+    return old_val;
+  }
+  hca::SendWr wr = make_rdma(target, target_off, 8);
+  wr.opcode = hca::Opcode::AtomicFetchAdd;
+  wr.atomic_arg = value;
+  wr.sges = {{scratch_, 8, scratch_mr_.lkey}};
+  post_tracked(target, std::move(wr));
+  comm_->wait(outstanding_.back());
+  outstanding_.pop_back();
+  return *env.host_ptr<std::uint64_t>(scratch_);
+}
+
+std::uint64_t Window::compare_swap(int target, std::uint64_t target_off,
+                                   std::uint64_t expected,
+                                   std::uint64_t desired) {
+  core::RankEnv& env = comm_->env();
+  IBP_CHECK(target_off % 8 == 0 && target_off + 8 <= len_,
+            "atomic outside the window");
+  if (target == comm_->rank() || comm_->same_node(target)) {
+    core::RankState& tgt = env.cluster().rank(target);
+    auto span = tgt.space.host_span(
+        bases_[static_cast<std::size_t>(target)] + target_off, 8);
+    std::uint64_t old_val;
+    std::memcpy(&old_val, span.data(), 8);
+    if (old_val == expected) std::memcpy(span.data(), &desired, 8);
+    env.sim().advance(
+        env.cluster().config().platform.shm_latency + ns(60));
+    return old_val;
+  }
+  hca::SendWr wr = make_rdma(target, target_off, 8);
+  wr.opcode = hca::Opcode::AtomicCmpSwap;
+  wr.atomic_compare = expected;
+  wr.atomic_arg = desired;
+  wr.sges = {{scratch_, 8, scratch_mr_.lkey}};
+  post_tracked(target, std::move(wr));
+  comm_->wait(outstanding_.back());
+  outstanding_.pop_back();
+  return *env.host_ptr<std::uint64_t>(scratch_);
+}
+
+void Window::fence() {
+  for (const Req& r : outstanding_) comm_->wait(r);
+  outstanding_.clear();
+  comm_->barrier();
+}
+
+}  // namespace ibp::mpi

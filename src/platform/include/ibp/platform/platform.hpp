@@ -1,0 +1,55 @@
+#pragma once
+
+// Calibrated platform models for the paper's three test systems (§5):
+//
+//   * AMD Opteron, Mellanox InfiniHost on PCI-Express (2 dual-core 2.2 GHz)
+//   * Intel Xeon, Mellanox InfiniHost on PCI-X (2 HT processors, 2.4 GHz)
+//   * IBM low-end System p, IBM eHCA on the GX bus (8 × 1.65 GHz POWER)
+//
+// Calibration targets (see DESIGN.md §5): post cost ≈ 1300–1500 TBR ticks
+// and ~3× for 128 SGEs (System p, §4); IMB SendRecv peak ≈ 1750 MB/s and
+// no hugepage bandwidth delta under lazy deregistration (Opteron, §5.1);
+// ATT-limited +~6 % with 2 MB translations (Xeon/PCI-X, §5.1); Opteron
+// DTLB 544 × 4 KB vs 8 × 2 MB entries (§2/§5.2).
+
+#include <string>
+
+#include "ibp/common/types.hpp"
+#include "ibp/cpu/memory_system.hpp"
+#include "ibp/cpu/tlb.hpp"
+#include "ibp/hca/config.hpp"
+
+namespace ibp::platform {
+
+struct PlatformConfig {
+  std::string name;
+  double tbr_hz = 512e6;        // time-base frequency used for tick output
+  double ops_per_ns = 4.0;      // scalar compute throughput per rank
+  cpu::TlbConfig tlb;
+  cpu::MemConfig mem;
+  hca::AdapterConfig adapter;
+  // Intra-node transport (MVAPICH-style shared memory channel).
+  double shm_bw_bytes_per_ns = 2.5;
+  TimePs shm_latency = ns(350);
+};
+
+/// AMD Opteron + Mellanox InfiniHost on PCI-Express (the paper's primary
+/// IMB/NAS machine). PCIe gives the DMA engine ample bus bandwidth, so
+/// adapter-side translation misses hide behind the wire — which is why
+/// §5.1 sees no bandwidth change from hugepages once registration is out
+/// of the picture.
+PlatformConfig opteron_pcie_infinihost();
+
+/// Intel Xeon + Mellanox InfiniHost on PCI-X. The 1 GB/s shared bus makes
+/// the DMA side the bottleneck, so ATT misses cost real bandwidth; the
+/// paper measured up to +6 % from shipping 2 MB translations.
+PlatformConfig xeon_pcix_infinihost();
+
+/// IBM low-end System p + eHCA on the GX bus (the paper's §4 latency
+/// testbed; TBR ticks are reported against this platform's time base).
+PlatformConfig systemp_gx_ehca();
+
+/// Look up by name ("opteron", "xeon", "systemp") — bench CLI helper.
+PlatformConfig by_name(const std::string& name);
+
+}  // namespace ibp::platform

@@ -1,0 +1,187 @@
+#pragma once
+
+// Pin-down cache (lazy deregistration), after Tezuka et al. [9] and the
+// MPICH2-CH3-IB registration pool the paper references.
+//
+// acquire() returns a registration covering the requested range:
+//   * cache hit  — an existing MR already covers it; no cost,
+//   * cache miss — registers the page-aligned hull of the range (charging
+//     full registration time) and caches it.
+//
+// release() is a no-op while lazy mode is on — memory stays pinned, which
+// is exactly the drawback the paper discusses (§1: "memory remains
+// allocated to the application during their whole runtime. This can lead
+// to less available physical memory"). `max_pinned_bytes` bounds that
+// drawback: when set, the least-recently-used cached registrations are
+// evicted (deregistered) to make room — the middle ground between the
+// paper's two measured configurations.
+//
+// With lazy mode off, acquire registers and release immediately
+// deregisters (the paper's Figure 5 "deactivated" configuration).
+//
+// invalidate() must be called when a cached range is freed/unmapped (the
+// classic pin-down-cache correctness hazard).
+
+#include <cstdint>
+#include <list>
+#include <map>
+
+#include "ibp/common/check.hpp"
+#include "ibp/common/types.hpp"
+#include "ibp/verbs/verbs.hpp"
+
+namespace ibp::regcache {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t pinned_bytes = 0;       // currently cached
+  std::uint64_t pinned_bytes_peak = 0;
+};
+
+class RegCache {
+ public:
+  /// `max_pinned_bytes` == 0 means unlimited (the classic lazy cache).
+  RegCache(verbs::Context& vctx, bool lazy,
+           std::uint64_t max_pinned_bytes = 0)
+      : vctx_(&vctx), lazy_(lazy), capacity_(max_pinned_bytes) {}
+
+  ~RegCache() {
+    // Leave MRs registered; the owning simulation tears the world down
+    // wholesale. flush() exists for tests that need clean accounting.
+  }
+
+  /// Registration covering [addr, addr+len). While lazy, the returned
+  /// registration is reference-held until the matching release(): an
+  /// in-flight transfer can never lose its MR to capacity eviction.
+  verbs::Mr acquire(VirtAddr addr, std::uint64_t len) {
+    IBP_CHECK(len > 0, "acquire of empty range");
+    if (lazy_) {
+      auto it = cache_.upper_bound(addr);
+      if (it != cache_.begin()) {
+        --it;
+        Entry& e = it->second;
+        if (addr >= e.mr.addr && addr + len <= e.mr.addr + e.mr.length) {
+          ++stats_.hits;
+          ++e.refs;
+          lru_.splice(lru_.begin(), lru_, e.lru_pos);
+          return e.mr;
+        }
+      }
+    }
+    ++stats_.misses;
+    // Register the page-aligned hull so nearby buffers in the same pages
+    // hit the cache later.
+    const mem::Mapping* m = vctx_->space().find(addr, len);
+    IBP_CHECK(m != nullptr, "acquire over unmapped range");
+    const std::uint64_t psz = m->page_size();
+    const VirtAddr lo = std::max(m->va_base, align_down(addr, psz));
+    const VirtAddr hi =
+        std::min(m->va_base + m->length, align_up(addr + len, psz));
+
+    if (lazy_ && capacity_ != 0) {
+      // Evict idle least-recently-used entries until the hull fits.
+      // Reference-held entries are skipped — they belong to transfers
+      // still in flight; if everything is busy the bound is exceeded
+      // until those transfers finish.
+      while (stats_.pinned_bytes + (hi - lo) > capacity_) {
+        VirtAddr victim = 0;
+        bool found = false;
+        for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+          if (cache_.at(*it).refs == 0) {
+            victim = *it;
+            found = true;
+            break;
+          }
+        }
+        if (!found) break;
+        evict(victim);
+      }
+    }
+
+    verbs::Mr mr = vctx_->reg_mr(lo, hi - lo);
+    if (lazy_) {
+      lru_.push_front(mr.addr);
+      cache_.emplace(mr.addr, Entry{mr, lru_.begin(), 1});
+      stats_.pinned_bytes += mr.length;
+      stats_.pinned_bytes_peak =
+          std::max(stats_.pinned_bytes_peak, stats_.pinned_bytes);
+    }
+    return mr;
+  }
+
+  /// Done with a registration obtained from acquire(). Lazy mode drops
+  /// the in-flight reference (the registration stays cached); otherwise
+  /// the region is deregistered immediately.
+  void release(const verbs::Mr& mr) {
+    ++stats_.releases;
+    if (!lazy_) {
+      vctx_->dereg_mr(mr);
+      return;
+    }
+    auto it = cache_.find(mr.addr);
+    if (it != cache_.end() && it->second.refs > 0) --it->second.refs;
+  }
+
+  /// Drop any cached registrations intersecting [addr, addr+len) — must be
+  /// called before the memory is freed or unmapped.
+  void invalidate(VirtAddr addr, std::uint64_t len) {
+    if (!lazy_) return;
+    auto it = cache_.lower_bound(addr);
+    if (it != cache_.begin()) --it;
+    while (it != cache_.end() && it->second.mr.addr < addr + len) {
+      const verbs::Mr& mr = it->second.mr;
+      if (mr.addr + mr.length > addr) {
+        stats_.pinned_bytes -= mr.length;
+        ++stats_.invalidations;
+        lru_.erase(it->second.lru_pos);
+        vctx_->dereg_mr(mr);
+        it = cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Deregister everything (test teardown / accounting).
+  void flush() {
+    for (auto& [a, e] : cache_) vctx_->dereg_mr(e.mr);
+    stats_.pinned_bytes = 0;
+    cache_.clear();
+    lru_.clear();
+  }
+
+  bool lazy() const { return lazy_; }
+  std::uint64_t capacity() const { return capacity_; }
+  const CacheStats& stats() const { return stats_; }
+  std::size_t entries() const { return cache_.size(); }
+
+ private:
+  struct Entry {
+    verbs::Mr mr;
+    std::list<VirtAddr>::iterator lru_pos;
+    std::uint32_t refs = 0;  // in-flight transfers using this MR
+  };
+
+  void evict(VirtAddr key) {
+    auto it = cache_.find(key);
+    IBP_CHECK(it != cache_.end());
+    stats_.pinned_bytes -= it->second.mr.length;
+    ++stats_.evictions;
+    lru_.erase(it->second.lru_pos);
+    vctx_->dereg_mr(it->second.mr);
+    cache_.erase(it);
+  }
+
+  verbs::Context* vctx_;
+  bool lazy_;
+  std::uint64_t capacity_;
+  CacheStats stats_;
+  std::map<VirtAddr, Entry> cache_;
+  std::list<VirtAddr> lru_;  // front = most recently used
+};
+
+}  // namespace ibp::regcache

@@ -1,0 +1,172 @@
+#include "ibp/sim/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ibp::sim {
+namespace {
+
+/// Internal unwind signal used when the run is aborted by another rank's
+/// error; never surfaced to the user.
+struct AbortSignal {};
+
+}  // namespace
+
+TimePs Engine::now_of(RankId r) const {
+  return ranks_[static_cast<std::size_t>(r)].time;
+}
+
+void Engine::run(const RankFn& fn) {
+  std::vector<RankFn> fns(ranks_.size(), fn);
+  run(fns);
+}
+
+void Engine::run(const std::vector<RankFn>& fns) {
+  IBP_CHECK(fns.size() == ranks_.size(), "one program per rank required");
+  for (const auto& rs : ranks_)
+    IBP_CHECK(rs.state == State::NotStarted, "Engine::run is single-use");
+
+  for (auto& rs : ranks_) rs.state = State::Runnable;
+
+  std::vector<std::thread> threads;
+  threads.reserve(ranks_.size());
+  for (int r = 0; r < nranks(); ++r) {
+    threads.emplace_back([this, r, &fns] {
+      Context ctx(this, r);
+      auto& rs = ranks_[static_cast<std::size_t>(r)];
+      try {
+        {
+          std::unique_lock<std::mutex> lock(mu_);
+          await_turn(lock, r);
+        }
+        fns[static_cast<std::size_t>(r)](ctx);
+        std::unique_lock<std::mutex> lock(mu_);
+        rs.state = State::Finished;
+        rs.active = false;
+        schedule_next(lock);
+      } catch (const AbortSignal&) {
+        // Another rank failed; just unwind quietly.
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(mu_);
+        rs.state = State::Finished;
+        rs.active = false;
+        abort_all(lock, std::current_exception());
+      }
+    });
+  }
+
+  {
+    // Kick off the first rank.
+    std::unique_lock<std::mutex> lock(mu_);
+    bool any_active = false;
+    for (const auto& rs : ranks_) any_active |= rs.active;
+    if (!any_active && !aborted_) schedule_next(lock);
+  }
+
+  for (auto& t : threads) t.join();
+  if (error_) std::rethrow_exception(error_);
+}
+
+void Engine::advance_rank(RankId r, TimePs dt) {
+  auto& rs = ranks_[static_cast<std::size_t>(r)];
+  std::unique_lock<std::mutex> lock(mu_);
+  // During an abort, destructors on unwinding stacks may still call
+  // advance(); the run is over, so let them through as no-ops.
+  if (aborted_) return;
+  IBP_CHECK(rs.active, "advance() outside of scheduled execution");
+  rs.time += dt;
+  rs.active = false;
+  schedule_next(lock);
+  await_turn(lock, r);
+}
+
+void Engine::yield_rank(RankId r) { advance_rank(r, 0); }
+
+void Engine::wait_rank(RankId r,
+                       const std::function<std::optional<TimePs>()>& pred) {
+  auto& rs = ranks_[static_cast<std::size_t>(r)];
+  std::unique_lock<std::mutex> lock(mu_);
+  if (aborted_) return;
+  IBP_CHECK(rs.active, "wait_until() outside of scheduled execution");
+  rs.state = State::Blocked;
+  rs.pred = pred;
+  rs.active = false;
+  schedule_next(lock);
+  await_turn(lock, r);
+  rs.pred = nullptr;
+}
+
+void Engine::schedule_next(std::unique_lock<std::mutex>& lock) {
+  (void)lock;
+  if (aborted_) return;
+
+  // Candidate = every runnable rank at its clock, plus every blocked rank
+  // whose predicate is ready, at max(clock, ready time). Choosing the
+  // global minimum (time, rank) keeps execution in virtual-time order, so
+  // no rank can later be affected by an event earlier than its clock.
+  constexpr TimePs kInf = std::numeric_limits<TimePs>::max();
+  TimePs best_time = kInf;
+  int best_rank = -1;
+  bool best_blocked = false;
+  TimePs best_ready = 0;
+  bool any_unfinished = false;
+
+  for (int r = 0; r < nranks(); ++r) {
+    auto& rs = ranks_[static_cast<std::size_t>(r)];
+    if (rs.state == State::Finished) continue;
+    any_unfinished = true;
+    if (rs.state == State::Runnable) {
+      if (rs.time < best_time) {
+        best_time = rs.time;
+        best_rank = r;
+        best_blocked = false;
+      }
+    } else if (rs.state == State::Blocked) {
+      const auto ready = rs.pred();
+      if (ready) {
+        const TimePs t = std::max(rs.time, *ready);
+        if (t < best_time) {
+          best_time = t;
+          best_rank = r;
+          best_blocked = true;
+          best_ready = t;
+        }
+      }
+    }
+  }
+
+  if (!any_unfinished) {
+    // Run complete; Engine::run joins the exiting threads.
+    return;
+  }
+  if (best_rank < 0) {
+    abort_all(lock, std::make_exception_ptr(SimError(
+                        "virtual-time deadlock: every unfinished rank is "
+                        "blocked with no ready predicate")));
+    return;
+  }
+
+  auto& next = ranks_[static_cast<std::size_t>(best_rank)];
+  if (best_blocked) {
+    next.state = State::Runnable;
+    next.time = best_ready;
+  }
+  next.active = true;
+  next.cv.notify_one();
+}
+
+void Engine::await_turn(std::unique_lock<std::mutex>& lock, RankId r) {
+  auto& rs = ranks_[static_cast<std::size_t>(r)];
+  rs.cv.wait(lock, [&] { return rs.active || aborted_; });
+  if (aborted_) throw AbortSignal{};
+}
+
+void Engine::abort_all(std::unique_lock<std::mutex>& lock,
+                       std::exception_ptr err) {
+  (void)lock;
+  if (!error_) error_ = std::move(err);
+  aborted_ = true;
+  for (auto& rs : ranks_) rs.cv.notify_all();
+}
+
+}  // namespace ibp::sim

@@ -1,0 +1,145 @@
+#pragma once
+
+// Deterministic virtual-time execution engine.
+//
+// Each simulated rank runs its program on a dedicated OS thread, but the
+// engine admits exactly one rank at a time: always the runnable rank with
+// the smallest (virtual time, rank id) key. Ranks consume virtual time via
+// Context::advance() and block on conditions via Context::wait_until(),
+// whose predicate reports the earliest virtual time the condition holds.
+//
+// Because execution is serialized in global virtual-time order, shared
+// simulation state (queues, adapters, memory) needs no further locking and
+// every run is bit-reproducible. If every unfinished rank is blocked with
+// no predicate ready, the engine raises a deadlock error on all ranks.
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ibp/common/check.hpp"
+#include "ibp/common/types.hpp"
+
+namespace ibp::sim {
+
+class Engine;
+
+/// Per-rank handle passed to rank programs; all engine interaction goes
+/// through it. Valid only inside Engine::run().
+class Context {
+ public:
+  RankId rank() const { return rank_; }
+  int nranks() const;
+
+  /// Current virtual time of this rank.
+  TimePs now() const;
+
+  /// Consume `dt` of virtual time (compute, overheads). May hand control to
+  /// another rank whose clock is behind.
+  void advance(TimePs dt);
+
+  /// Block until `pred` reports a ready time. The predicate returns
+  /// std::nullopt while the condition is unsatisfied and the earliest
+  /// virtual time at which it is satisfied once it is. On resumption this
+  /// rank's clock is max(current, ready time). Predicates are re-evaluated
+  /// by the scheduler whenever any rank yields, so they must be cheap,
+  /// side-effect free, and monotone (once ready, stay ready with a
+  /// non-increasing ready time).
+  void wait_until(const std::function<std::optional<TimePs>()>& pred);
+
+  /// Sleep until absolute virtual time `t` (no-op if already past it).
+  void sleep_until(TimePs t);
+
+  /// Reschedule without consuming time (lets equal-time peers interleave
+  /// deterministically by rank id).
+  void yield();
+
+ private:
+  friend class Engine;
+  Context(Engine* eng, RankId rank) : eng_(eng), rank_(rank) {}
+  Engine* eng_;
+  RankId rank_;
+};
+
+class Engine {
+ public:
+  using RankFn = std::function<void(Context&)>;
+
+  explicit Engine(int nranks) : ranks_(static_cast<std::size_t>(nranks)) {
+    IBP_CHECK(nranks > 0, "engine needs at least one rank");
+  }
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  int nranks() const { return static_cast<int>(ranks_.size()); }
+
+  /// Run `fn` on every rank to completion. Rethrows the first rank error.
+  void run(const RankFn& fn);
+
+  /// Run one distinct program per rank.
+  void run(const std::vector<RankFn>& fns);
+
+  /// Final virtual time of rank `r` after run() returned.
+  TimePs final_time(RankId r) const {
+    return ranks_.at(static_cast<std::size_t>(r)).time;
+  }
+
+  /// Maximum final virtual time across ranks (the run's makespan).
+  TimePs makespan() const {
+    TimePs m = 0;
+    for (const auto& r : ranks_) m = std::max(m, r.time);
+    return m;
+  }
+
+ private:
+  friend class Context;
+
+  enum class State { NotStarted, Runnable, Blocked, Finished };
+
+  struct RankState {
+    TimePs time = 0;
+    State state = State::NotStarted;
+    std::function<std::optional<TimePs>()> pred;  // valid while Blocked
+    std::condition_variable cv;
+    bool active = false;  // this rank's thread may run right now
+  };
+
+  TimePs now_of(RankId r) const;
+  void advance_rank(RankId r, TimePs dt);
+  void wait_rank(RankId r, const std::function<std::optional<TimePs>()>& pred);
+  void yield_rank(RankId r);
+
+  /// Pick and wake the next rank; caller holds mu_ and has already cleared
+  /// its own `active` flag (or finished).
+  void schedule_next(std::unique_lock<std::mutex>& lock);
+
+  /// Wait (on rank r's cv) until it is this rank's turn or the run aborted.
+  void await_turn(std::unique_lock<std::mutex>& lock, RankId r);
+
+  void abort_all(std::unique_lock<std::mutex>& lock, std::exception_ptr err);
+
+  std::vector<RankState> ranks_;
+  std::mutex mu_;
+  std::exception_ptr error_;
+  bool aborted_ = false;
+};
+
+inline int Context::nranks() const { return eng_->nranks(); }
+inline TimePs Context::now() const { return eng_->now_of(rank_); }
+inline void Context::advance(TimePs dt) { eng_->advance_rank(rank_, dt); }
+inline void Context::wait_until(
+    const std::function<std::optional<TimePs>()>& pred) {
+  eng_->wait_rank(rank_, pred);
+}
+inline void Context::sleep_until(TimePs t) {
+  if (t > now()) advance(t - now());
+}
+inline void Context::yield() { eng_->yield_rank(rank_); }
+
+}  // namespace ibp::sim

@@ -1,0 +1,75 @@
+#pragma once
+
+// Virtual-time event tracing in Chrome trace-event format.
+//
+// Records named spans per rank and serializes them as a JSON array loadable
+// by chrome://tracing / Perfetto ("X" complete events; timestamps in
+// microseconds of *virtual* time, one thread lane per rank). Because the
+// engine runs one rank at a time, no locking is needed.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "ibp/common/types.hpp"
+
+namespace ibp::sim {
+
+class Tracer {
+ public:
+  /// Record a completed span [start, start+duration) on `rank`'s lane.
+  void add(RankId rank, std::string category, std::string name,
+           TimePs start, TimePs duration) {
+    events_.push_back(Event{rank, std::move(category), std::move(name),
+                            start, duration});
+  }
+
+  /// Record an instantaneous marker.
+  void mark(RankId rank, std::string category, std::string name,
+            TimePs at) {
+    add(rank, std::move(category), std::move(name), at, 0);
+  }
+
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Chrome trace-event JSON (the "JSON array" flavour).
+  void write_json(std::ostream& os) const {
+    os << "[\n";
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      const Event& e = events_[i];
+      os << R"(  {"pid": 1, "tid": )" << e.rank << R"(, "ph": ")"
+         << (e.duration == 0 ? 'i' : 'X') << R"(", "cat": ")" << e.category
+         << R"(", "name": ")" << escaped(e.name) << R"(", "ts": )"
+         << ps_to_us(e.start);
+      if (e.duration != 0) os << R"(, "dur": )" << ps_to_us(e.duration);
+      if (e.duration == 0) os << R"(, "s": "t")";
+      os << "}" << (i + 1 < events_.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+  }
+
+ private:
+  struct Event {
+    RankId rank;
+    std::string category;
+    std::string name;
+    TimePs start;
+    TimePs duration;
+  };
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<Event> events_;
+};
+
+}  // namespace ibp::sim

@@ -1,0 +1,67 @@
+#include "ibp/workloads/alloc_trace.hpp"
+
+#include "ibp/common/check.hpp"
+
+namespace ibp::workloads {
+
+std::uint32_t trace_slot_count(const TraceConfig& cfg) {
+  return cfg.persistent_arrays + cfg.burst;
+}
+
+std::vector<TraceOp> make_abinit_trace(const TraceConfig& cfg) {
+  IBP_CHECK(cfg.recurring_sizes > 0 && cfg.burst > 0);
+  Rng rng(cfg.seed);
+  std::vector<TraceOp> ops;
+  ops.reserve(cfg.persistent_arrays +
+              static_cast<std::size_t>(cfg.iterations) * cfg.burst * 2);
+
+  // Long-lived arrays (wavefunctions, densities).
+  for (std::uint32_t i = 0; i < cfg.persistent_arrays; ++i) {
+    TraceOp op;
+    op.kind = TraceOp::Kind::Malloc;
+    op.size = cfg.persistent_bytes / cfg.persistent_arrays +
+              (i % 3) * 64 * kKiB;
+    op.slot = i;
+    ops.push_back(op);
+  }
+
+  // The recurring temporary sizes an SCF loop cycles through.
+  std::vector<std::uint64_t> sizes;
+  for (std::uint32_t s = 0; s < cfg.recurring_sizes; ++s)
+    sizes.push_back(cfg.temp_min +
+                    rng.next_below(cfg.temp_max - cfg.temp_min + 1));
+
+  for (std::uint32_t it = 0; it < cfg.iterations; ++it) {
+    // Allocation burst.
+    for (std::uint32_t b = 0; b < cfg.burst; ++b) {
+      TraceOp op;
+      op.kind = TraceOp::Kind::Malloc;
+      if (rng.next_double() < cfg.odd_fraction) {
+        op.size = cfg.temp_min + rng.next_below(cfg.temp_max - cfg.temp_min);
+      } else {
+        // Same sizes every iteration — the coalesce/split churn driver.
+        op.size = sizes[b % sizes.size()];
+      }
+      op.slot = cfg.persistent_arrays + b;
+      ops.push_back(op);
+    }
+    // LIFO release, as Fortran work-array stacks do.
+    for (std::uint32_t b = cfg.burst; b-- > 0;) {
+      TraceOp op;
+      op.kind = TraceOp::Kind::Free;
+      op.slot = cfg.persistent_arrays + b;
+      ops.push_back(op);
+    }
+  }
+
+  // Tear down the persistent arrays.
+  for (std::uint32_t i = 0; i < cfg.persistent_arrays; ++i) {
+    TraceOp op;
+    op.kind = TraceOp::Kind::Free;
+    op.slot = i;
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+}  // namespace ibp::workloads

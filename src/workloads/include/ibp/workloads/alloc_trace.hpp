@@ -1,0 +1,53 @@
+#pragma once
+
+// Abinit-like allocation trace (§2/§3.2).
+//
+// The paper measured allocation speedups of up to 10x over the libc path
+// for instrumented applications like Abinit, which "raised a thrashing
+// behaviour into the libc memory allocator": plane-wave codes repeatedly
+// allocate and free same-sized wavefunction/work arrays inside their SCF
+// loop, making a coalescing allocator merge blocks on every free only to
+// split them again on the next same-sized malloc. This generator
+// reproduces that pattern:
+//
+//   * a base set of long-lived arrays (allocated once),
+//   * an SCF-style loop: per iteration, a burst of temporary arrays drawn
+//     from a small set of recurring sizes, freed in reverse order before
+//     the next burst,
+//   * occasional odd-sized allocations to keep the free list non-trivial.
+
+#include <cstdint>
+#include <vector>
+
+#include "ibp/common/rng.hpp"
+#include "ibp/common/types.hpp"
+
+namespace ibp::workloads {
+
+struct TraceOp {
+  enum class Kind : std::uint8_t { Malloc, Free };
+  Kind kind = Kind::Malloc;
+  std::uint64_t size = 0;   // Malloc: bytes
+  std::uint32_t slot = 0;   // logical handle: Free releases this slot
+};
+
+struct TraceConfig {
+  std::uint32_t persistent_arrays = 12;
+  std::uint64_t persistent_bytes = 6 * kMiB;
+  std::uint32_t iterations = 60;       // SCF loop count
+  std::uint32_t burst = 24;            // temporaries per iteration
+  std::uint32_t recurring_sizes = 6;   // distinct temp sizes
+  std::uint64_t temp_min = 48 * kKiB;  // above the 32 KB hugepage threshold
+  std::uint64_t temp_max = 2 * kMiB;
+  double odd_fraction = 0.1;           // odd-sized allocations
+  std::uint64_t seed = 1234;
+};
+
+/// Deterministic trace of Malloc/Free ops; slots are dense indices into a
+/// live-pointer table of size trace_slot_count().
+std::vector<TraceOp> make_abinit_trace(const TraceConfig& cfg = {});
+
+/// Number of live-pointer slots a trace needs.
+std::uint32_t trace_slot_count(const TraceConfig& cfg = {});
+
+}  // namespace ibp::workloads

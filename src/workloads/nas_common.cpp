@@ -1,0 +1,64 @@
+#include "ibp/workloads/nas.hpp"
+
+#include <algorithm>
+
+namespace ibp::workloads::detail {
+
+NasResult run_kernel(core::Cluster& cluster, const std::string& name,
+                     int scale, const KernelBody& body) {
+  const int n = cluster.nranks();
+  std::vector<TimePs> comm(static_cast<std::size_t>(n), 0);
+  std::vector<TimePs> elapsed(static_cast<std::size_t>(n), 0);
+  std::vector<KernelOutcome> outcome(static_cast<std::size_t>(n));
+
+  cluster.run([&](core::RankEnv& env) {
+    mpi::Comm comm_layer(env);
+    Timer timer(env, comm_layer);
+    outcome[static_cast<std::size_t>(env.rank())] =
+        body(env, comm_layer, scale, timer);
+    IBP_CHECK(timer.started(), "kernel body never started its timer");
+    comm_layer.barrier();
+    comm[static_cast<std::size_t>(env.rank())] =
+        comm_layer.profiler().total() - timer.comm0();
+    elapsed[static_cast<std::size_t>(env.rank())] = env.now() - timer.t0();
+  });
+
+  NasResult r;
+  r.name = name;
+  r.total = *std::max_element(elapsed.begin(), elapsed.end());
+  TimePs sum = 0;
+  for (TimePs c : comm) {
+    sum += c;
+    r.comm_max = std::max(r.comm_max, c);
+  }
+  r.comm_avg = sum / static_cast<std::uint64_t>(n);
+  r.other_avg = r.total > r.comm_avg ? r.total - r.comm_avg : 0;
+
+  r.verified = true;
+  for (int p = 0; p < n; ++p) {
+    r.verified = r.verified && outcome[static_cast<std::size_t>(p)].verified;
+    const auto& ts = cluster.rank(p).tlb.stats();
+    r.tlb_misses_small += ts.misses_small;
+    r.tlb_misses_huge += ts.misses_huge;
+  }
+  r.tlb_misses = r.tlb_misses_small + r.tlb_misses_huge;
+  r.figure_of_merit = outcome[0].fom;
+  return r;
+}
+
+}  // namespace ibp::workloads::detail
+
+namespace ibp::workloads {
+
+NasResult run_nas(const std::string& name, core::Cluster& cluster,
+                  NasScale s) {
+  if (name == "cg") return run_cg(cluster, s);
+  if (name == "ep") return run_ep(cluster, s);
+  if (name == "is") return run_is(cluster, s);
+  if (name == "lu") return run_lu(cluster, s);
+  if (name == "mg") return run_mg(cluster, s);
+  if (name == "ft") return run_ft(cluster, s);
+  IBP_FAIL("unknown NAS kernel '" << name << "'");
+}
+
+}  // namespace ibp::workloads

@@ -1,0 +1,180 @@
+// FT — 3D FFT kernel (extension beyond the paper's five: NAS FT is the
+// classic alltoall-dominated workload, a natural sixth point for the
+// placement study). Slab decomposition in z; each iteration runs local
+// FFTs along x and y, a global x<->z transpose (pack + alltoall + unpack
+// — the bandwidth-heavy part), the third-dimension FFT, a spectral
+// damping step, and the full inverse transform. Verified by round-
+// tripping: the inverse must reproduce the input field to ~1e-8.
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "ibp/workloads/nas.hpp"
+
+namespace ibp::workloads {
+namespace {
+
+constexpr std::uint64_t kN = 32;  // grid edge (kN^3 complex points)
+constexpr int kIters = 3;
+
+using Cx = std::complex<double>;
+
+/// Iterative radix-2 Cooley-Tukey, in place. n must be a power of two.
+void fft1d(Cx* a, std::uint64_t n, bool inverse) {
+  for (std::uint64_t i = 1, j = 0; i < n; ++i) {
+    std::uint64_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::uint64_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const Cx wl(std::cos(ang), std::sin(ang));
+    for (std::uint64_t i = 0; i < n; i += len) {
+      Cx w(1.0);
+      for (std::uint64_t k = 0; k < len / 2; ++k) {
+        const Cx u = a[i + k];
+        const Cx v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+  if (inverse)
+    for (std::uint64_t i = 0; i < n; ++i) a[i] /= static_cast<double>(n);
+}
+
+}  // namespace
+
+NasResult run_ft(core::Cluster& cluster, NasScale s) {
+  return detail::run_kernel(
+      cluster, "ft", s.scale,
+      [](core::RankEnv& env, mpi::Comm& comm, int scale,
+         detail::Timer& timer) -> detail::KernelOutcome {
+        const auto nranks = static_cast<std::uint64_t>(env.nranks());
+        const std::uint64_t n = kN * static_cast<std::uint64_t>(scale);
+        IBP_CHECK(n % nranks == 0, "grid must divide over ranks");
+        const std::uint64_t nz = n / nranks;    // local slab thickness
+        const std::uint64_t slab = n * n * nz;  // local points
+        const std::uint64_t bytes = slab * sizeof(Cx);
+        const std::uint64_t block = nz * n * nz;  // points per peer block
+
+        VirtAddr u_va = env.alloc(bytes);    // working slab
+        VirtAddr t_va = env.alloc(bytes);    // pack/unpack staging
+        const VirtAddr ref_va = env.alloc(bytes);
+        Cx* u = env.host_ptr<Cx>(u_va, slab);
+        Cx* t = env.host_ptr<Cx>(t_va, slab);
+        Cx* ref = env.host_ptr<Cx>(ref_va, slab);
+
+        // Local layout: A[x][y][z_local], x fastest.
+        auto at = [&](std::uint64_t x, std::uint64_t y, std::uint64_t z) {
+          return (z * n + y) * n + x;
+        };
+
+        // Deterministic pseudo-random initial field.
+        for (std::uint64_t i = 0; i < slab; ++i) {
+          const std::uint64_t g =
+              i * 2862933555777941757ull +
+              static_cast<std::uint64_t>(env.rank()) * 88172645463325252ull;
+          u[i] = Cx(static_cast<double>(g >> 40) / 16777216.0,
+                    static_cast<double>((g >> 16) & 0xFFFFFF) / 16777216.0);
+          ref[i] = u[i];
+        }
+        env.touch_stream(u_va, bytes);
+
+        // Global involutive transpose B[x][y][z] = A[z][y][x].
+        // Block to peer d: x in [d*nz,(d+1)*nz), all y, local z, stored as
+        // ((z*n)+y)*nz + x_local. The receiver scatters sender s's block
+        // to B[s*nz + z_sender][y][x_local].
+        auto transpose = [&] {
+          for (std::uint64_t d = 0; d < nranks; ++d)
+            for (std::uint64_t z = 0; z < nz; ++z)
+              for (std::uint64_t y = 0; y < n; ++y)
+                for (std::uint64_t xl = 0; xl < nz; ++xl)
+                  t[d * block + (z * n + y) * nz + xl] =
+                      u[at(d * nz + xl, y, z)];
+          env.compute(2 * slab);
+          env.touch_interleaved(std::vector<cpu::MemorySystem::StreamRef>{
+              {u_va, bytes}, {t_va, bytes}});
+
+          comm.alltoall(t_va, block * sizeof(Cx), u_va);
+
+          // Unpack the received blocks into the transposed layout.
+          for (std::uint64_t src = 0; src < nranks; ++src)
+            for (std::uint64_t z = 0; z < nz; ++z)
+              for (std::uint64_t y = 0; y < n; ++y)
+                for (std::uint64_t xl = 0; xl < nz; ++xl)
+                  t[at(src * nz + z, y, xl)] =
+                      u[src * block + (z * n + y) * nz + xl];
+          env.compute(2 * slab);
+          env.touch_interleaved(std::vector<cpu::MemorySystem::StreamRef>{
+              {u_va, bytes}, {t_va, bytes}});
+          std::swap(u_va, t_va);
+          std::swap(u, t);
+        };
+
+        auto fft_x = [&](bool inverse) {
+          for (std::uint64_t z = 0; z < nz; ++z)
+            for (std::uint64_t y = 0; y < n; ++y)
+              fft1d(&u[at(0, y, z)], n, inverse);
+          env.compute(5 * slab * 5);
+          env.touch_stream(u_va, bytes);
+        };
+        std::vector<Cx> scratch(n);
+        auto fft_y = [&](bool inverse) {
+          for (std::uint64_t z = 0; z < nz; ++z)
+            for (std::uint64_t x = 0; x < n; ++x) {
+              for (std::uint64_t y = 0; y < n; ++y)
+                scratch[y] = u[at(x, y, z)];
+              fft1d(scratch.data(), n, inverse);
+              for (std::uint64_t y = 0; y < n; ++y)
+                u[at(x, y, z)] = scratch[y];
+            }
+          env.compute(5 * slab * 5);
+          env.touch_interleaved(std::vector<cpu::MemorySystem::StreamRef>{
+              {u_va, bytes}, {t_va, bytes}});
+        };
+
+        timer.start();
+        bool ok = true;
+        double checksum = 0.0;
+        for (int it = 0; it < kIters; ++it) {
+          // Forward 3D FFT: x, y locally; z via transpose (z becomes x).
+          fft_x(false);
+          fft_y(false);
+          transpose();
+          fft_x(false);
+          // Spectral damping (deterministic, exactly invertible).
+          for (std::uint64_t i = 0; i < slab; ++i)
+            u[i] *= 1.0 - 1e-6 * static_cast<double>(i % 97);
+          env.compute(2 * slab);
+          env.touch_stream(u_va, bytes);
+          checksum += std::abs(u[static_cast<std::uint64_t>(it) % slab]);
+          for (std::uint64_t i = 0; i < slab; ++i)
+            u[i] /= 1.0 - 1e-6 * static_cast<double>(i % 97);
+          // Inverse.
+          fft_x(true);
+          transpose();
+          fft_y(true);
+          fft_x(true);
+        }
+
+        double err = 0.0;
+        for (std::uint64_t i = 0; i < slab; i += 17)
+          err = std::max(err, std::abs(u[i] - ref[i]));
+        const VirtAddr red = env.alloc(64);
+        *env.host_ptr<double>(red) = err;
+        comm.allreduce<double>(red, red, 1, mpi::ReduceOp::Max);
+        ok = *env.host_ptr<double>(red) < 1e-8;
+
+        detail::KernelOutcome out;
+        out.verified = ok;
+        out.fom = checksum;
+        return out;
+      });
+}
+
+}  // namespace ibp::workloads

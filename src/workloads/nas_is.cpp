@@ -1,0 +1,187 @@
+// IS — bucketed integer sort. Per iteration: local histogram into 1024
+// distribution buckets (random scatter), an allreduce of the bucket
+// counts, an alltoallv redistributing the keys so rank r receives the
+// r-th quantile, and a local counting sort of the received keys. Verified
+// by (a) global key conservation (checksum allreduce) and (b) local
+// sortedness plus cross-rank boundary ordering.
+
+#include <algorithm>
+#include <vector>
+
+#include "ibp/workloads/nas.hpp"
+
+namespace ibp::workloads {
+namespace {
+
+constexpr std::uint64_t kKeyBits = 19;                  // keys in [0, 2^19)
+constexpr std::uint64_t kRange = 1ull << kKeyBits;
+constexpr std::uint64_t kBuckets = 1024;                // distribution buckets
+constexpr std::uint64_t kBucketShift = kKeyBits - 10;   // key -> bucket
+constexpr int kIters = 4;
+
+}  // namespace
+
+NasResult run_is(core::Cluster& cluster, NasScale s) {
+  return detail::run_kernel(
+      cluster, "is", s.scale,
+      [](core::RankEnv& env, mpi::Comm& comm, int scale,
+         detail::Timer& timer) -> detail::KernelOutcome {
+        const int nranks = env.nranks();
+        const int me = env.rank();
+        const std::uint64_t nkeys =
+            (std::uint64_t{1} << 18) * static_cast<std::uint64_t>(scale);
+
+        const VirtAddr keys_va = env.alloc(nkeys * 4);
+        const VirtAddr recv_va = env.alloc(nkeys * 4 * 2);  // imbalance room
+        const VirtAddr out_va = env.alloc(nkeys * 4 * 2);
+        const VirtAddr cnt_va = env.alloc(kBuckets * 8 + 64);
+        const VirtAddr gcnt_va = env.alloc(kBuckets * 8 + 64);
+        const VirtAddr sum_va = env.alloc(64);
+
+        auto* keys = env.host_ptr<std::uint32_t>(keys_va, nkeys);
+        for (std::uint64_t i = 0; i < nkeys; ++i)
+          keys[i] = static_cast<std::uint32_t>(env.rng().next_below(kRange));
+        env.touch_stream(keys_va, nkeys * 4);
+
+        std::uint64_t local_sum = 0;
+        for (std::uint64_t i = 0; i < nkeys; ++i) local_sum += keys[i];
+        *env.host_ptr<std::uint64_t>(sum_va) = local_sum;
+        comm.allreduce<std::uint64_t>(sum_va, sum_va, 1, mpi::ReduceOp::Sum);
+        const std::uint64_t expect_sum =
+            *env.host_ptr<std::uint64_t>(sum_va);
+
+        bool ok = true;
+        std::uint64_t got = 0;
+        auto* recv = env.host_ptr<std::uint32_t>(recv_va, nkeys * 2);
+        auto* out = env.host_ptr<std::uint32_t>(out_va, nkeys * 2);
+
+        timer.start();
+        for (int iter = 0; iter < kIters; ++iter) {
+          // 1. Local histogram (random scatter into the bucket counters).
+          auto* cnt = env.host_ptr<std::uint64_t>(cnt_va, kBuckets);
+          std::fill_n(cnt, kBuckets, 0);
+          for (std::uint64_t i = 0; i < nkeys; ++i)
+            ++cnt[keys[i] >> kBucketShift];
+          env.compute(2 * nkeys);
+          env.touch_stream(keys_va, nkeys * 4);
+          env.touch_random(cnt_va, kBuckets * 8, nkeys / 16);
+
+          // 2. Global bucket counts.
+          comm.allreduce<std::uint64_t>(cnt_va, gcnt_va, kBuckets,
+                                        mpi::ReduceOp::Sum);
+          auto* gcnt = env.host_ptr<std::uint64_t>(gcnt_va, kBuckets);
+
+          // 3. Assign contiguous bucket spans to ranks (~equal keys).
+          const std::uint64_t total_keys =
+              nkeys * static_cast<std::uint64_t>(nranks);
+          std::vector<int> bucket_owner(kBuckets);
+          {
+            std::uint64_t acc = 0;
+            for (std::uint64_t b = 0; b < kBuckets; ++b) {
+              bucket_owner[b] = std::min<int>(
+                  nranks - 1,
+                  static_cast<int>(acc * static_cast<std::uint64_t>(nranks) /
+                                   std::max<std::uint64_t>(total_keys, 1)));
+              acc += gcnt[b];
+            }
+            env.compute(kBuckets * 4);
+          }
+
+          // 4. Pack keys by destination rank, then exchange.
+          std::vector<std::uint64_t> scounts(nranks, 0), sdispls(nranks, 0);
+          for (std::uint64_t i = 0; i < nkeys; ++i)
+            scounts[bucket_owner[keys[i] >> kBucketShift]] += 4;
+          for (int p = 1; p < nranks; ++p)
+            sdispls[p] = sdispls[p - 1] + scounts[p - 1];
+          {
+            std::vector<std::uint64_t> cursor = sdispls;
+            auto* staged = env.host_ptr<std::uint32_t>(out_va, nkeys);
+            for (std::uint64_t i = 0; i < nkeys; ++i) {
+              const int dstr = bucket_owner[keys[i] >> kBucketShift];
+              staged[cursor[dstr] / 4] = keys[i];
+              cursor[dstr] += 4;
+            }
+            env.compute(3 * nkeys);
+            // Scatter through per-destination cursors: many concurrent
+            // write streams through the staging buffer.
+            env.touch_stream(keys_va, nkeys * 4);
+            env.touch_random(out_va, nkeys * 4, nkeys / 16);
+          }
+          std::vector<std::uint64_t> rcounts(nranks, 0), rdispls(nranks, 0);
+          {
+            // Exchange counts first (tiny alltoall of 8-byte counters).
+            const VirtAddr cex_va = env.alloc(
+                static_cast<std::uint64_t>(nranks) * 8 * 2 + 64);
+            auto* cs = env.host_ptr<std::uint64_t>(cex_va, nranks);
+            for (int p = 0; p < nranks; ++p) cs[p] = scounts[p];
+            comm.alltoall(cex_va, 8,
+                          cex_va + static_cast<std::uint64_t>(nranks) * 8);
+            auto* cr = env.host_ptr<std::uint64_t>(
+                cex_va + static_cast<std::uint64_t>(nranks) * 8, nranks);
+            for (int p = 0; p < nranks; ++p) rcounts[p] = cr[p];
+            env.dealloc(cex_va);
+          }
+          for (int p = 1; p < nranks; ++p)
+            rdispls[p] = rdispls[p - 1] + rcounts[p - 1];
+          got = rdispls[nranks - 1] + rcounts[nranks - 1];
+          IBP_CHECK(got <= nkeys * 2 * 4, "receive imbalance overflow");
+          comm.alltoallv(out_va, scounts, sdispls, recv_va, rcounts,
+                         rdispls);
+          got /= 4;
+
+          // 5. Local counting sort of the received keys.
+          std::uint32_t kmin = ~0u, kmax = 0;
+          for (std::uint64_t i = 0; i < got; ++i) {
+            kmin = std::min(kmin, recv[i]);
+            kmax = std::max(kmax, recv[i]);
+          }
+          const std::uint64_t span =
+              got ? static_cast<std::uint64_t>(kmax - kmin) + 1 : 1;
+          std::vector<std::uint64_t> hist(span, 0);
+          for (std::uint64_t i = 0; i < got; ++i) ++hist[recv[i] - kmin];
+          std::uint64_t pos = 0;
+          for (std::uint64_t v = 0; v < span; ++v)
+            for (std::uint64_t c = 0; c < hist[v]; ++c)
+              out[pos++] = kmin + static_cast<std::uint32_t>(v);
+          env.compute(6 * got + span);
+          env.touch_stream(recv_va, got * 4);
+          env.touch_random(out_va, std::max<std::uint64_t>(got * 4, 64),
+                           got / 16);
+
+          // Verify sortedness + conservation this iteration.
+          for (std::uint64_t i = 1; i < pos; ++i)
+            ok = ok && out[i - 1] <= out[i];
+          std::uint64_t check = 0;
+          for (std::uint64_t i = 0; i < pos; ++i) check += out[i];
+          *env.host_ptr<std::uint64_t>(sum_va) = check;
+          comm.allreduce<std::uint64_t>(sum_va, sum_va, 1,
+                                        mpi::ReduceOp::Sum);
+          ok = ok && *env.host_ptr<std::uint64_t>(sum_va) == expect_sum;
+
+          // Boundary order across ranks: my max <= right neighbour's min.
+          if (nranks > 1) {
+            const VirtAddr b_va = env.alloc(64);
+            auto* b = env.host_ptr<std::uint32_t>(b_va);
+            *b = got ? out[pos - 1] : 0;
+            const int right = (me + 1) % nranks;
+            const int left = (me - 1 + nranks) % nranks;
+            const VirtAddr nb_va = env.alloc(64);
+            comm.sendrecv(b_va, 4, right, 99, nb_va, 4, left, 99);
+            if (me != 0 && got) {
+              const std::uint32_t left_max =
+                  *env.host_ptr<std::uint32_t>(nb_va);
+              ok = ok && left_max <= out[0];
+            }
+            env.dealloc(b_va);
+            env.dealloc(nb_va);
+          }
+        }
+
+        detail::KernelOutcome out_res;
+        out_res.verified = ok;
+        out_res.fom = static_cast<double>(expect_sum % 1000000007ull);
+        return out_res;
+      });
+}
+
+}  // namespace ibp::workloads

@@ -1,0 +1,238 @@
+// MG — V-cycle multigrid on a 3D grid, 1D-decomposed along z. Each level
+// performs Jacobi-style relaxations whose halo exchanges shrink with the
+// grid (finest level ≈ tens of KB — rendezvous/RDMA; coarse levels — a
+// few KB, eager), plus restriction/prolongation transfers and an
+// allreduce per cycle for the residual norm. The stencil loop touches
+// three z-planes of the field plus the RHS and the output per point —
+// many concurrent streams, the hugepage-TLB pressure pattern of §5.2.
+// Verified by the decrease of the residual norm across V-cycles.
+
+#include <cmath>
+#include <vector>
+
+#include "ibp/workloads/nas.hpp"
+
+namespace ibp::workloads {
+namespace {
+
+constexpr int kLevels = 4;
+constexpr int kCycles = 4;
+constexpr int kPreSmooth = 2;
+constexpr int kPostSmooth = 1;
+
+struct Level {
+  std::uint64_t nx = 0, ny = 0, nz = 0;  // local extents (nz = global/ranks)
+  VirtAddr u = 0, r = 0, tmp = 0;
+  VirtAddr halo_lo = 0, halo_hi = 0;  // one plane each
+  std::uint64_t plane_bytes() const { return nx * ny * 8; }
+  std::uint64_t points() const { return nx * ny * nz; }
+};
+
+}  // namespace
+
+NasResult run_mg(core::Cluster& cluster, NasScale s) {
+  return detail::run_kernel(
+      cluster, "mg", s.scale,
+      [](core::RankEnv& env, mpi::Comm& comm, int scale,
+         detail::Timer& timer) -> detail::KernelOutcome {
+        const int nranks = env.nranks();
+        const int me = env.rank();
+        const int up = me + 1 < nranks ? me + 1 : -1;
+        const int dn = me > 0 ? me - 1 : -1;
+
+        // Finest grid: 64 x 64 x (8*scale per rank).
+        std::vector<Level> lv(kLevels);
+        for (int l = 0; l < kLevels; ++l) {
+          Level& L = lv[l];
+          L.nx = 64ull >> l;
+          L.ny = 64ull >> l;
+          const std::uint64_t gz =
+              (64ull * static_cast<std::uint64_t>(scale)) >> l;
+          L.nz = std::max<std::uint64_t>(
+              gz / static_cast<std::uint64_t>(nranks), 2);
+          L.u = env.alloc(L.points() * 8);
+          L.r = env.alloc(L.points() * 8);
+          L.tmp = env.alloc(L.points() * 8);
+          L.halo_lo = env.alloc(std::max<std::uint64_t>(L.plane_bytes(), 64));
+          L.halo_hi = env.alloc(std::max<std::uint64_t>(L.plane_bytes(), 64));
+        }
+        const VirtAddr red_va = env.alloc(64);
+
+        auto at = [](const Level& L, std::uint64_t i, std::uint64_t j,
+                     std::uint64_t k) { return (k * L.ny + j) * L.nx + i; };
+
+        // RHS on the finest level: deterministic point sources.
+        {
+          Level& L = lv[0];
+          double* r = env.host_ptr<double>(L.r, L.points());
+          double* u = env.host_ptr<double>(L.u, L.points());
+          for (std::uint64_t n = 0; n < L.points(); ++n) {
+            u[n] = 0.0;
+            r[n] = ((n * 2654435761ull + static_cast<std::uint64_t>(me)) %
+                    97) == 0
+                       ? 1.0
+                       : 0.0;
+          }
+          env.touch_interleaved(std::vector<cpu::MemorySystem::StreamRef>{
+              {L.u, L.points() * 8}, {L.r, L.points() * 8}});
+        }
+
+        // Exchange z halos of `field` at level L into halo_lo / halo_hi.
+        auto exchange_halo = [&](Level& L, VirtAddr field, int tag) {
+          double* f = env.host_ptr<double>(field, L.points());
+          double* hlo = env.host_ptr<double>(L.halo_lo, L.nx * L.ny);
+          double* hhi = env.host_ptr<double>(L.halo_hi, L.nx * L.ny);
+          // Boundary-plane copies into the send staging (reuses tmp).
+          double* stage = env.host_ptr<double>(L.tmp, L.points());
+          mpi::Req reqs[4];
+          int nreq = 0;
+          if (dn >= 0) reqs[nreq++] = comm.irecv(L.halo_lo, L.plane_bytes(), dn, tag);
+          if (up >= 0) reqs[nreq++] = comm.irecv(L.halo_hi, L.plane_bytes(), up, tag);
+          if (up >= 0) {
+            for (std::uint64_t n = 0; n < L.nx * L.ny; ++n)
+              stage[n] = f[at(L, 0, 0, L.nz - 1) + n];
+            reqs[nreq++] = comm.isend(L.tmp, L.plane_bytes(), up, tag);
+          }
+          if (dn >= 0) {
+            for (std::uint64_t n = 0; n < L.nx * L.ny; ++n)
+              stage[L.nx * L.ny + n] = f[n];
+            reqs[nreq++] = comm.isend(L.tmp + L.plane_bytes(),
+                                      L.plane_bytes(), dn, tag);
+          }
+          for (int q = 0; q < nreq; ++q) comm.wait(reqs[q]);
+          if (dn < 0)
+            for (std::uint64_t n = 0; n < L.nx * L.ny; ++n) hlo[n] = 0.0;
+          if (up < 0)
+            for (std::uint64_t n = 0; n < L.nx * L.ny; ++n) hhi[n] = 0.0;
+          env.touch_stream(L.halo_lo, L.plane_bytes());
+          env.touch_stream(L.halo_hi, L.plane_bytes());
+        };
+
+        // Damped-Jacobi smoothing of 4u - (6 neighbours)/2 = r.
+        auto smooth = [&](Level& L, int sweeps, int tag) {
+          for (int sw = 0; sw < sweeps; ++sw) {
+            exchange_halo(L, L.u, tag);
+            double* u = env.host_ptr<double>(L.u, L.points());
+            double* r = env.host_ptr<double>(L.r, L.points());
+            double* t = env.host_ptr<double>(L.tmp, L.points());
+            double* hlo = env.host_ptr<double>(L.halo_lo, L.nx * L.ny);
+            double* hhi = env.host_ptr<double>(L.halo_hi, L.nx * L.ny);
+            for (std::uint64_t k = 0; k < L.nz; ++k)
+              for (std::uint64_t j = 0; j < L.ny; ++j)
+                for (std::uint64_t i = 0; i < L.nx; ++i) {
+                  const double uw = i ? u[at(L, i - 1, j, k)] : 0.0;
+                  const double ue = i + 1 < L.nx ? u[at(L, i + 1, j, k)] : 0.0;
+                  const double un = j ? u[at(L, i, j - 1, k)] : 0.0;
+                  const double us = j + 1 < L.ny ? u[at(L, i, j + 1, k)] : 0.0;
+                  const double ub =
+                      k ? u[at(L, i, j, k - 1)] : hlo[j * L.nx + i];
+                  const double ut = k + 1 < L.nz ? u[at(L, i, j, k + 1)]
+                                                 : hhi[j * L.nx + i];
+                  const double nb = 0.5 * (uw + ue + un + us + ub + ut);
+                  t[at(L, i, j, k)] =
+                      0.4 * u[at(L, i, j, k)] + 0.6 * 0.25 * (r[at(L, i, j, k)] + nb);
+                }
+            std::swap(L.u, L.tmp);
+            env.compute(12 * L.points());
+            // 3 z-plane input streams + rhs + output: 5+ concurrent
+            // streams through hugepage-backed arrays.
+            env.touch_interleaved(std::vector<cpu::MemorySystem::StreamRef>{
+                {L.u, L.points() * 8},
+                {L.r, L.points() * 8},
+                {L.tmp, L.points() * 8}});
+          }
+        };
+
+        auto residual_norm = [&](Level& L, int tag) {
+          exchange_halo(L, L.u, tag);
+          double* u = env.host_ptr<double>(L.u, L.points());
+          double* r = env.host_ptr<double>(L.r, L.points());
+          double* hlo = env.host_ptr<double>(L.halo_lo, L.nx * L.ny);
+          double* hhi = env.host_ptr<double>(L.halo_hi, L.nx * L.ny);
+          double acc = 0;
+          for (std::uint64_t k = 0; k < L.nz; ++k)
+            for (std::uint64_t j = 0; j < L.ny; ++j)
+              for (std::uint64_t i = 0; i < L.nx; ++i) {
+                const double uw = i ? u[at(L, i - 1, j, k)] : 0.0;
+                const double ue = i + 1 < L.nx ? u[at(L, i + 1, j, k)] : 0.0;
+                const double un = j ? u[at(L, i, j - 1, k)] : 0.0;
+                const double us = j + 1 < L.ny ? u[at(L, i, j + 1, k)] : 0.0;
+                const double ub = k ? u[at(L, i, j, k - 1)] : hlo[j * L.nx + i];
+                const double ut = k + 1 < L.nz ? u[at(L, i, j, k + 1)]
+                                               : hhi[j * L.nx + i];
+                const double res = r[at(L, i, j, k)] - 4.0 * u[at(L, i, j, k)] +
+                                   0.5 * (uw + ue + un + us + ub + ut);
+                acc += res * res;
+              }
+          env.compute(12 * L.points());
+          env.touch_interleaved(std::vector<cpu::MemorySystem::StreamRef>{
+              {L.u, L.points() * 8}, {L.r, L.points() * 8}});
+          *env.host_ptr<double>(red_va) = acc;
+          comm.allreduce<double>(red_va, red_va, 1, mpi::ReduceOp::Sum);
+          return std::sqrt(*env.host_ptr<double>(red_va));
+        };
+
+        // Restrict the fine residual to the coarse RHS (injection) and
+        // prolong the coarse correction back (piecewise-constant).
+        auto restrict_to = [&](Level& F, Level& C, int tag) {
+          residual_norm(F, tag);  // refresh halos; cheap revisit
+          double* uf = env.host_ptr<double>(F.u, F.points());
+          double* rf = env.host_ptr<double>(F.r, F.points());
+          double* rc = env.host_ptr<double>(C.r, C.points());
+          double* uc = env.host_ptr<double>(C.u, C.points());
+          for (std::uint64_t k = 0; k < C.nz; ++k)
+            for (std::uint64_t j = 0; j < C.ny; ++j)
+              for (std::uint64_t i = 0; i < C.nx; ++i) {
+                const std::uint64_t fi = std::min(2 * i, F.nx - 1);
+                const std::uint64_t fj = std::min(2 * j, F.ny - 1);
+                const std::uint64_t fk = std::min(2 * k, F.nz - 1);
+                rc[at(C, i, j, k)] = rf[at(F, fi, fj, fk)] -
+                                     4.0 * uf[at(F, fi, fj, fk)];
+                uc[at(C, i, j, k)] = 0.0;
+              }
+          env.compute(4 * C.points());
+          env.touch_interleaved(std::vector<cpu::MemorySystem::StreamRef>{
+              {F.r, F.points() * 8}, {C.r, C.points() * 8},
+              {C.u, C.points() * 8}});
+        };
+
+        auto prolong_from = [&](Level& F, Level& C) {
+          double* uf = env.host_ptr<double>(F.u, F.points());
+          double* uc = env.host_ptr<double>(C.u, C.points());
+          for (std::uint64_t k = 0; k < F.nz; ++k)
+            for (std::uint64_t j = 0; j < F.ny; ++j)
+              for (std::uint64_t i = 0; i < F.nx; ++i) {
+                const std::uint64_t ci = std::min(i / 2, C.nx - 1);
+                const std::uint64_t cj = std::min(j / 2, C.ny - 1);
+                const std::uint64_t ck = std::min(k / 2, C.nz - 1);
+                uf[at(F, i, j, k)] += 0.5 * uc[at(C, ci, cj, ck)];
+              }
+          env.compute(2 * F.points());
+          env.touch_interleaved(std::vector<cpu::MemorySystem::StreamRef>{
+              {F.u, F.points() * 8}, {C.u, C.points() * 8}});
+        };
+
+        timer.start();
+        const double res0 = residual_norm(lv[0], 9000);
+        int tag = 0;
+        for (int cyc = 0; cyc < kCycles; ++cyc) {
+          for (int l = 0; l < kLevels - 1; ++l) {
+            smooth(lv[l], kPreSmooth, tag += 10);
+            restrict_to(lv[l], lv[l + 1], tag += 10);
+          }
+          smooth(lv[kLevels - 1], kPreSmooth + kPostSmooth, tag += 10);
+          for (int l = kLevels - 1; l-- > 0;) {
+            prolong_from(lv[l], lv[l + 1]);
+            smooth(lv[l], kPostSmooth, tag += 10);
+          }
+        }
+        const double res1 = residual_norm(lv[0], 9990);
+
+        detail::KernelOutcome out;
+        out.verified = std::isfinite(res1) && res1 < res0;
+        out.fom = res1;
+        return out;
+      });
+}
+
+}  // namespace ibp::workloads

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "ibp/common/check.hpp"
+#include "ibp/common/lru.hpp"
+#include "ibp/common/rng.hpp"
+#include "ibp/common/stats.hpp"
+#include "ibp/common/table.hpp"
+#include "ibp/common/types.hpp"
+
+namespace ibp {
+namespace {
+
+TEST(Types, AlignHelpers) {
+  EXPECT_EQ(align_up(0, 4096), 0u);
+  EXPECT_EQ(align_up(1, 4096), 4096u);
+  EXPECT_EQ(align_up(4096, 4096), 4096u);
+  EXPECT_EQ(align_down(4097, 4096), 4096u);
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+}
+
+TEST(Types, PagesSpanned) {
+  EXPECT_EQ(pages_spanned(0, 0, 4096), 0u);
+  EXPECT_EQ(pages_spanned(0, 1, 4096), 1u);
+  EXPECT_EQ(pages_spanned(0, 4096, 4096), 1u);
+  EXPECT_EQ(pages_spanned(0, 4097, 4096), 2u);
+  EXPECT_EQ(pages_spanned(4095, 2, 4096), 2u);
+  EXPECT_EQ(pages_spanned(100, 8192, 4096), 3u);
+}
+
+TEST(Types, TimeUnits) {
+  EXPECT_EQ(ns(1), 1000u);
+  EXPECT_EQ(us(1), 1000000u);
+  EXPECT_EQ(ms(1), 1000000000u);
+  EXPECT_DOUBLE_EQ(ps_to_us(us(3)), 3.0);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    IBP_CHECK(1 == 2, "context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const SimError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    (void)c.next_u64();
+  }
+  Rng a2(7), c2(8);
+  EXPECT_NE(a2.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, BoundedValuesInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const auto v = rng.next_in(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, RoughlyUniform) {
+  Rng rng(123);
+  int buckets[10] = {};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++buckets[rng.next_below(10)];
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_GT(buckets[b], kN / 10 - kN / 50);
+    EXPECT_LT(buckets[b], kN / 10 + kN / 50);
+  }
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Rng a(7);
+  Rng b = a.fork();
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= a.next_u64() != b.next_u64();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double() * 100;
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(SampleSet, Quantiles) {
+  SampleSet s;
+  for (int i = 100; i >= 1; --i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.0, 1.0);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-12);
+}
+
+TEST(LruSet, EvictsLeastRecentlyUsed) {
+  LruSet<int> lru(2);
+  EXPECT_FALSE(lru.touch(1));
+  EXPECT_FALSE(lru.touch(2));
+  EXPECT_TRUE(lru.touch(1));   // 1 now MRU
+  EXPECT_FALSE(lru.touch(3));  // evicts 2
+  EXPECT_TRUE(lru.touch(1));
+  EXPECT_FALSE(lru.touch(2));
+  EXPECT_EQ(lru.size(), 2u);
+}
+
+TEST(LruSet, ZeroCapacityNeverHits) {
+  LruSet<int> lru(0);
+  EXPECT_FALSE(lru.touch(1));
+  EXPECT_FALSE(lru.touch(1));
+  EXPECT_EQ(lru.size(), 0u);
+}
+
+TEST(LruSet, EraseAndClear) {
+  LruSet<int> lru(4);
+  lru.touch(1);
+  lru.touch(2);
+  lru.erase(1);
+  EXPECT_FALSE(lru.contains(1));
+  EXPECT_TRUE(lru.contains(2));
+  lru.clear();
+  EXPECT_EQ(lru.size(), 0u);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row("x", 1.5);
+  t.add_row("longer", 22.25);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("22.25"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row("only one"), SimError);
+}
+
+}  // namespace
+}  // namespace ibp

@@ -1,0 +1,213 @@
+// Typed (non-contiguous) transfers, waitany and the new collectives.
+
+#include <gtest/gtest.h>
+
+#include "ibp/mpi/comm.hpp"
+
+namespace ibp::mpi {
+namespace {
+
+core::ClusterConfig topo(int nodes, int rpn) {
+  core::ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.ranks_per_node = rpn;
+  return cfg;
+}
+
+TEST(Datatype, Geometry) {
+  const Datatype v = Datatype::vector(4, 16, 64);
+  EXPECT_EQ(v.size(), 64u);
+  EXPECT_EQ(v.extent(), 3 * 64 + 16u);
+  EXPECT_FALSE(v.is_contiguous());
+  const Datatype c = Datatype::contiguous(100);
+  EXPECT_TRUE(c.is_contiguous());
+  EXPECT_EQ(c.size(), 100u);
+  EXPECT_EQ(c.extent(), 100u);
+  EXPECT_THROW(Datatype::vector(2, 64, 32), SimError);  // overlap
+}
+
+TEST(Datatype, SegmentsMatchLayout) {
+  const auto segs = Comm::type_segments(0x1000, Datatype::vector(3, 8, 32));
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].addr, 0x1000u);
+  EXPECT_EQ(segs[1].addr, 0x1020u);
+  EXPECT_EQ(segs[2].addr, 0x1040u);
+  for (const auto& s : segs) EXPECT_EQ(s.len, 8u);
+}
+
+class TypedTransfer : public ::testing::TestWithParam<bool> {};  // sge_gather
+
+TEST_P(TypedTransfer, MatrixColumnExchange) {
+  // Send a column of a row-major matrix (classic strided datatype).
+  core::Cluster cluster(topo(2, 1));
+  CommConfig ccfg;
+  ccfg.sge_gather = GetParam();
+  constexpr std::uint64_t kRows = 32, kCols = 24;
+  cluster.run([&](core::RankEnv& env) {
+    Comm comm(env, ccfg);
+    const VirtAddr mat = env.alloc(kRows * kCols * 8);
+    auto* m = env.host_ptr<double>(mat, kRows * kCols);
+    const Datatype col = Datatype::vector(kRows, 8, kCols * 8);
+    if (env.rank() == 0) {
+      for (std::uint64_t r = 0; r < kRows; ++r)
+        for (std::uint64_t c = 0; c < kCols; ++c)
+          m[r * kCols + c] = static_cast<double>(r * 1000 + c);
+      // Ship column 5.
+      comm.send_typed(mat + 5 * 8, col, 1, 7);
+    } else {
+      for (std::uint64_t i = 0; i < kRows * kCols; ++i) m[i] = -1.0;
+      // Land it in column 2.
+      comm.recv_typed(mat + 2 * 8, col, 0, 7);
+      for (std::uint64_t r = 0; r < kRows; ++r) {
+        ASSERT_DOUBLE_EQ(m[r * kCols + 2], static_cast<double>(r * 1000 + 5));
+        ASSERT_DOUBLE_EQ(m[r * kCols + 3], -1.0) << "neighbour clobbered";
+      }
+    }
+  });
+}
+
+TEST_P(TypedTransfer, LargeTypedFallsBackToPack) {
+  // Beyond the eager band the typed path must still deliver (pack route).
+  core::Cluster cluster(topo(2, 1));
+  CommConfig ccfg;
+  ccfg.sge_gather = GetParam();
+  const Datatype big = Datatype::vector(64, 2 * kKiB, 4 * kKiB);  // 128 KB
+  cluster.run([&](core::RankEnv& env) {
+    Comm comm(env, ccfg);
+    const VirtAddr buf = env.alloc(big.extent());
+    if (env.rank() == 0) {
+      auto s = env.space().host_span(buf, big.extent());
+      for (std::uint64_t i = 0; i < s.size(); ++i)
+        s[i] = static_cast<std::uint8_t>(i * 3);
+      comm.send_typed(buf, big, 1, 1);
+    } else {
+      const RecvStatus st = comm.recv_typed(buf, big, 0, 1);
+      EXPECT_EQ(st.len, big.size());
+      // Block 10, byte 100 corresponds to source offset 10*4K+100.
+      auto s = env.space().host_span(buf + 10 * 4 * kKiB + 100, 1);
+      EXPECT_EQ(s[0], static_cast<std::uint8_t>((10 * 4 * kKiB + 100) * 3));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(GatherModes, TypedTransfer, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "sge" : "pack";
+                         });
+
+TEST(Waitany, ReturnsFirstCompleted) {
+  core::Cluster cluster(topo(2, 1));
+  cluster.run([&](core::RankEnv& env) {
+    Comm comm(env);
+    const VirtAddr buf = env.alloc(1 * kMiB);
+    if (env.rank() == 0) {
+      env.sim().advance(us(500));
+      comm.send(buf, 256, 1, 2);  // the small one goes out second but
+      env.sim().advance(us(500));
+      comm.send(buf, 512 * kKiB, 1, 1);  // ...the big one finishes later
+    } else {
+      std::vector<Req> rs{comm.irecv(buf, 512 * kKiB, 0, 1),
+                          comm.irecv(buf + 600 * kKiB, 256, 0, 2)};
+      const std::size_t first = comm.waitany(rs);
+      EXPECT_EQ(first, 1u) << "small message must complete first";
+      comm.wait(rs[0]);
+    }
+  });
+}
+
+TEST(ScatterGatherv, RoundTrip) {
+  core::Cluster cluster(topo(2, 2));
+  cluster.run([&](core::RankEnv& env) {
+    Comm comm(env);
+    const int n = comm.size();
+    const int me = env.rank();
+    constexpr std::uint64_t kLen = 3000;
+    const VirtAddr root_buf = env.alloc(kLen * 4);
+    const VirtAddr mine = env.alloc(kLen);
+
+    if (me == 0) {
+      auto s = env.space().host_span(root_buf, kLen * 4);
+      for (std::uint64_t i = 0; i < s.size(); ++i)
+        s[i] = static_cast<std::uint8_t>(i / kLen + 10);
+    }
+    comm.scatter(root_buf, kLen, mine, 0);
+    auto mine_s = env.space().host_span(mine, kLen);
+    EXPECT_EQ(mine_s[0], me + 10);
+    EXPECT_EQ(mine_s[kLen - 1], me + 10);
+
+    // gatherv with per-rank counts (rank r returns r+1 bytes).
+    std::vector<std::uint64_t> counts(n), displs(n);
+    std::uint64_t off = 0;
+    for (int p = 0; p < n; ++p) {
+      counts[p] = static_cast<std::uint64_t>(p) + 1;
+      displs[p] = off;
+      off += counts[p];
+    }
+    const VirtAddr gbuf = env.alloc(64);
+    comm.gatherv(mine, counts[me], gbuf, counts, displs, 0);
+    if (me == 0) {
+      auto g = env.space().host_span(gbuf, off);
+      // Rank p contributed p+1 bytes of value p+10.
+      EXPECT_EQ(g[0], 10);   // rank 0
+      EXPECT_EQ(g[1], 11);   // rank 1 (2 bytes)
+      EXPECT_EQ(g[2], 11);
+      EXPECT_EQ(g[3], 12);   // rank 2 (3 bytes)
+      EXPECT_EQ(g[6], 13);   // rank 3 (4 bytes)
+    }
+  });
+}
+
+}  // namespace
+}  // namespace ibp::mpi
+
+namespace ibp::mpi {
+namespace {
+
+TEST(ReduceScatterScan, ReduceScatterSplitsTheSum) {
+  core::Cluster cluster(topo(2, 2));
+  cluster.run([&](core::RankEnv& env) {
+    Comm comm(env);
+    const int n = comm.size();
+    constexpr std::uint64_t kPer = 33;
+    const std::uint64_t total = kPer * static_cast<std::uint64_t>(n);
+    const VirtAddr in = env.alloc(total * 8);
+    const VirtAddr out = env.alloc(kPer * 8 + 64);
+    auto* p = env.host_ptr<double>(in, total);
+    for (std::uint64_t i = 0; i < total; ++i)
+      p[i] = static_cast<double>(env.rank() + 1);
+    comm.reduce_scatter<double>(in, out, kPer, ReduceOp::Sum);
+    auto* q = env.host_ptr<double>(out, kPer);
+    for (std::uint64_t i = 0; i < kPer; ++i)
+      ASSERT_DOUBLE_EQ(q[i], 1 + 2 + 3 + 4);
+  });
+}
+
+TEST(ReduceScatterScan, InclusiveScan) {
+  core::Cluster cluster(topo(2, 2));
+  cluster.run([&](core::RankEnv& env) {
+    Comm comm(env);
+    const VirtAddr in = env.alloc(64);
+    const VirtAddr out = env.alloc(64);
+    *env.host_ptr<std::uint64_t>(in) =
+        static_cast<std::uint64_t>(env.rank()) + 1;
+    comm.scan<std::uint64_t>(in, out, 1, ReduceOp::Sum);
+    // Rank r gets 1 + 2 + ... + (r+1).
+    const std::uint64_t r = static_cast<std::uint64_t>(env.rank());
+    EXPECT_EQ(*env.host_ptr<std::uint64_t>(out), (r + 1) * (r + 2) / 2);
+  });
+}
+
+TEST(ReduceScatterScan, ScanMax) {
+  core::Cluster cluster(topo(2, 1));
+  cluster.run([&](core::RankEnv& env) {
+    Comm comm(env);
+    const VirtAddr in = env.alloc(64);
+    const VirtAddr out = env.alloc(64);
+    *env.host_ptr<double>(in) = env.rank() == 0 ? 9.0 : 3.0;
+    comm.scan<double>(in, out, 1, ReduceOp::Max);
+    EXPECT_DOUBLE_EQ(*env.host_ptr<double>(out), 9.0);
+  });
+}
+
+}  // namespace
+}  // namespace ibp::mpi

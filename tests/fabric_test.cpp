@@ -1,0 +1,99 @@
+// Multi-stage fabric: cross-pod traffic shares core links; same-pod
+// traffic does not; oversubscription slows cross-pod floods.
+
+#include <gtest/gtest.h>
+
+#include "ibp/hca/fabric.hpp"
+#include "ibp/mpi/comm.hpp"
+#include "ibp/workloads/nas.hpp"
+
+namespace ibp {
+namespace {
+
+TEST(Fabric, LeastLoadedLinkChosen) {
+  hca::Fabric f(2, ns(100), ns(500));
+  // Two simultaneous bulk transfers of 1 us: each takes its own link.
+  const TimePs a = f.traverse(0, us(1), false);
+  const TimePs b = f.traverse(0, us(1), false);
+  EXPECT_EQ(a, us(1));
+  EXPECT_EQ(b, us(1));
+  // A third queues behind one of them.
+  const TimePs c = f.traverse(0, us(1), false);
+  EXPECT_EQ(c, us(2));
+}
+
+TEST(Fabric, ControlInterleavesWithBulk) {
+  hca::Fabric f(1, ns(100), ns(500));
+  f.traverse(0, us(100), false);  // long bulk transfer holds the link
+  const TimePs ctrl = f.traverse(0, us(1), true);
+  EXPECT_LT(ctrl, us(3)) << "control must not wait out the whole bulk";
+}
+
+core::ClusterConfig podded(int nodes, int pod_nodes, int core_links) {
+  core::ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.ranks_per_node = 1;
+  cfg.fabric_pod_nodes = pod_nodes;
+  cfg.fabric_core_links = core_links;
+  return cfg;
+}
+
+TimePs exchange_time(const core::ClusterConfig& cfg, int partner_stride) {
+  core::Cluster cluster(cfg);
+  TimePs dt = 0;
+  constexpr std::uint64_t kLen = 1 * kMiB;
+  const int n = cfg.nodes * cfg.ranks_per_node;
+  cluster.run([&](core::RankEnv& env) {
+    mpi::Comm comm(env);
+    const VirtAddr a = env.alloc(kLen);
+    const VirtAddr b = env.alloc(kLen);
+    const int partner = env.rank() ^ partner_stride;
+    if (partner >= n) return;
+    comm.barrier();
+    const TimePs t0 = env.now();
+    for (int i = 0; i < 4; ++i)
+      comm.sendrecv(a, kLen, partner, i, b, kLen, partner, i);
+    if (env.rank() == 0) dt = env.now() - t0;
+  });
+  return dt;
+}
+
+TEST(Fabric, CrossPodSlowerThanSamePodUnderOversubscription) {
+  // 4 nodes, 2 pods of 2, ONE core link: pairs 0-1 / 2-3 stay inside
+  // their pods; pairs 0-2 / 1-3 share the single core link.
+  const auto cfg = podded(4, 2, 1);
+  const TimePs same_pod = exchange_time(cfg, 1);
+  const TimePs cross_pod = exchange_time(cfg, 2);
+  EXPECT_GT(cross_pod, same_pod * 3 / 2)
+      << "two cross-pod flows over one core link must contend";
+}
+
+TEST(Fabric, MoreCoreLinksRestoreThroughput) {
+  const TimePs one_link = exchange_time(podded(4, 2, 1), 2);
+  const TimePs two_links = exchange_time(podded(4, 2, 2), 2);
+  EXPECT_LT(two_links, one_link * 3 / 4)
+      << "full bisection must beat 2:1 oversubscription";
+}
+
+TEST(Fabric, DisabledFabricMatchesCrossbar) {
+  // fabric_pod_nodes = 0: behaviour identical to the classic wiring.
+  core::ClusterConfig plain = podded(4, 0, 1);
+  plain.fabric_pod_nodes = 0;
+  core::ClusterConfig podded1 = podded(4, 4, 1);  // everyone in one pod
+  EXPECT_EQ(exchange_time(plain, 2), exchange_time(podded1, 2))
+      << "a single pod never touches the core links";
+}
+
+TEST(Fabric, NasRunsAcrossPods) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.ranks_per_node = 2;
+  cfg.fabric_pod_nodes = 2;
+  cfg.fabric_core_links = 1;
+  core::Cluster cluster(cfg);
+  const auto r = workloads::run_nas("mg", cluster);
+  EXPECT_TRUE(r.verified);
+}
+
+}  // namespace
+}  // namespace ibp

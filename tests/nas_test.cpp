@@ -1,0 +1,63 @@
+#include "ibp/workloads/nas.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ibp/workloads/imb.hpp"
+
+namespace ibp::workloads {
+namespace {
+
+core::ClusterConfig paper_cluster(bool hugepages) {
+  core::ClusterConfig cfg;  // 2 nodes x 4 ranks, Opteron — the §5.2 setup
+  cfg.hugepage_library = hugepages;
+  return cfg;
+}
+
+class NasKernels : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NasKernels, VerifiesOnSmallPages) {
+  core::Cluster cluster(paper_cluster(false));
+  const NasResult r = run_nas(GetParam(), cluster);
+  EXPECT_TRUE(r.verified) << r.name;
+  EXPECT_GT(r.total, 0u);
+  EXPECT_GT(r.comm_avg, 0u);
+  EXPECT_LT(r.comm_avg, r.total);
+}
+
+TEST_P(NasKernels, VerifiesOnHugePages) {
+  core::Cluster cluster(paper_cluster(true));
+  const NasResult r = run_nas(GetParam(), cluster);
+  EXPECT_TRUE(r.verified) << r.name;
+}
+
+TEST_P(NasKernels, PlacementDoesNotChangeNumericalResult) {
+  core::Cluster small(paper_cluster(false));
+  core::Cluster huge(paper_cluster(true));
+  const NasResult a = run_nas(GetParam(), small);
+  const NasResult b = run_nas(GetParam(), huge);
+  EXPECT_DOUBLE_EQ(a.figure_of_merit, b.figure_of_merit) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, NasKernels,
+                         ::testing::Values("cg", "ep", "is", "lu", "mg",
+                                           "ft"));
+
+TEST(Imb, SendRecvBandwidthGrowsWithMessageSize) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  core::Cluster cluster(cfg);
+  ImbConfig icfg;
+  icfg.sizes = {4 * kKiB, 64 * kKiB, 1 * kMiB, 8 * kMiB};
+  icfg.iterations = 5;
+  const auto pts = run_sendrecv(cluster, icfg);
+  ASSERT_EQ(pts.size(), 4u);
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_GT(pts[i].mbytes_per_sec, pts[i - 1].mbytes_per_sec);
+  // Large-message bandwidth should approach (but not exceed) 2x link rate.
+  EXPECT_GT(pts.back().mbytes_per_sec, 1000.0);
+  EXPECT_LT(pts.back().mbytes_per_sec, 2000.0);
+}
+
+}  // namespace
+}  // namespace ibp::workloads

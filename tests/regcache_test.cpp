@@ -1,0 +1,236 @@
+#include "ibp/regcache/regcache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ibp/core/cluster.hpp"
+#include "ibp/mpi/comm.hpp"
+
+namespace ibp::regcache {
+namespace {
+
+void with_env(bool lazy, const std::function<void(core::RankEnv&)>& fn) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.ranks_per_node = 1;
+  cfg.lazy_deregistration = lazy;
+  core::Cluster cluster(cfg);
+  cluster.run(fn);
+}
+
+TEST(RegCache, LazyHitsOnReuse) {
+  with_env(true, [](core::RankEnv& env) {
+    auto& m = env.space().map(1 * kMiB, mem::PageKind::Small);
+    RegCache& rc = env.rcache();
+    const verbs::Mr a = rc.acquire(m.va_base, 64 * kKiB);
+    rc.release(a);
+    const verbs::Mr b = rc.acquire(m.va_base, 64 * kKiB);
+    EXPECT_EQ(a.lkey, b.lkey);
+    EXPECT_EQ(rc.stats().hits, 1u);
+    EXPECT_EQ(rc.stats().misses, 1u);
+  });
+}
+
+TEST(RegCache, HullCoversNeighbouringBuffers) {
+  // Registering the page-aligned hull makes a nearby buffer in the same
+  // pages a cache hit.
+  with_env(true, [](core::RankEnv& env) {
+    auto& m = env.space().map(1 * kMiB, mem::PageKind::Small);
+    RegCache& rc = env.rcache();
+    rc.acquire(m.va_base + 100, 1000);
+    const verbs::Mr b = rc.acquire(m.va_base + 2000, 500);  // same page
+    (void)b;
+    EXPECT_EQ(rc.stats().hits, 1u);
+  });
+}
+
+TEST(RegCache, LazyKeepsMemoryPinned) {
+  // The §1 drawback the paper discusses: pinned memory accumulates.
+  with_env(true, [](core::RankEnv& env) {
+    auto& m = env.space().map(4 * kMiB, mem::PageKind::Small);
+    RegCache& rc = env.rcache();
+    const verbs::Mr a = rc.acquire(m.va_base, 1 * kMiB);
+    rc.release(a);
+    EXPECT_GT(env.space().pinned_pages(), 0u)
+        << "lazy release must keep pages pinned";
+    EXPECT_GT(rc.stats().pinned_bytes, 0u);
+  });
+}
+
+TEST(RegCache, NonLazyDeregistersOnRelease) {
+  with_env(false, [](core::RankEnv& env) {
+    auto& m = env.space().map(1 * kMiB, mem::PageKind::Small);
+    RegCache& rc = env.rcache();
+    const verbs::Mr a = rc.acquire(m.va_base, 1 * kMiB);
+    rc.release(a);
+    EXPECT_EQ(env.space().pinned_pages(), 0u);
+    // Every acquire re-registers.
+    rc.acquire(m.va_base, 1 * kMiB);
+    EXPECT_EQ(rc.stats().misses, 2u);
+    EXPECT_EQ(rc.stats().hits, 0u);
+  });
+}
+
+TEST(RegCache, NonLazyCostsFullRegistrationEachTime) {
+  // The fig5 mechanism: without lazy dereg every use pays registration.
+  with_env(false, [](core::RankEnv& env) {
+    auto& m = env.space().map(4 * kMiB, mem::PageKind::Small);
+    RegCache& rc = env.rcache();
+    const TimePs t0 = env.now();
+    const verbs::Mr a = rc.acquire(m.va_base, 4 * kMiB);
+    const TimePs first = env.now() - t0;
+    rc.release(a);
+    const TimePs t1 = env.now();
+    const verbs::Mr b = rc.acquire(m.va_base, 4 * kMiB);
+    const TimePs second = env.now() - t1;
+    rc.release(b);
+    EXPECT_GT(second, first / 2) << "second acquire must not be cached";
+  });
+}
+
+TEST(RegCache, InvalidateDropsCoveredEntries) {
+  with_env(true, [](core::RankEnv& env) {
+    auto& m = env.space().map(4 * kMiB, mem::PageKind::Small);
+    RegCache& rc = env.rcache();
+    rc.acquire(m.va_base, 1 * kMiB);
+    rc.acquire(m.va_base + 2 * kMiB, 1 * kMiB);
+    EXPECT_EQ(rc.entries(), 2u);
+    rc.invalidate(m.va_base, 1 * kMiB);
+    EXPECT_EQ(rc.entries(), 1u);
+    EXPECT_EQ(rc.stats().invalidations, 1u);
+    // Freed region really is unpinned again.
+    rc.invalidate(m.va_base + 2 * kMiB, 1 * kMiB);
+    EXPECT_EQ(env.space().pinned_pages(), 0u);
+  });
+}
+
+TEST(RegCache, InvalidateIgnoresNonOverlapping) {
+  with_env(true, [](core::RankEnv& env) {
+    auto& m = env.space().map(4 * kMiB, mem::PageKind::Small);
+    RegCache& rc = env.rcache();
+    rc.acquire(m.va_base, 64 * kKiB);
+    rc.invalidate(m.va_base + 2 * kMiB, 64 * kKiB);
+    EXPECT_EQ(rc.entries(), 1u);
+    EXPECT_EQ(rc.stats().invalidations, 0u);
+  });
+}
+
+TEST(RegCache, FlushUnpinsEverything) {
+  with_env(true, [](core::RankEnv& env) {
+    auto& m = env.space().map(8 * kMiB, mem::PageKind::Small);
+    RegCache& rc = env.rcache();
+    for (int i = 0; i < 4; ++i)
+      rc.acquire(m.va_base + static_cast<std::uint64_t>(i) * 2 * kMiB,
+                 1 * kMiB);
+    rc.flush();
+    EXPECT_EQ(rc.entries(), 0u);
+    EXPECT_EQ(env.space().pinned_pages(), 0u);
+  });
+}
+
+TEST(RegCache, PinnedBytesPeakTracksGrowth) {
+  with_env(true, [](core::RankEnv& env) {
+    auto& m = env.space().map(8 * kMiB, mem::PageKind::Small);
+    RegCache& rc = env.rcache();
+    rc.acquire(m.va_base, 2 * kMiB);
+    rc.acquire(m.va_base + 4 * kMiB, 2 * kMiB);
+    EXPECT_GE(rc.stats().pinned_bytes_peak, 4 * kMiB);
+  });
+}
+
+}  // namespace
+}  // namespace ibp::regcache
+
+namespace ibp::regcache {
+namespace {
+
+void with_capped_env(std::uint64_t cap,
+                     const std::function<void(core::RankEnv&)>& fn) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.ranks_per_node = 1;
+  cfg.lazy_deregistration = true;
+  cfg.regcache_capacity_bytes = cap;
+  core::Cluster cluster(cfg);
+  cluster.run(fn);
+}
+
+TEST(RegCacheCapacity, EvictsLruWhenOverBound) {
+  with_capped_env(2 * kMiB, [](core::RankEnv& env) {
+    auto& m = env.space().map(8 * kMiB, mem::PageKind::Small);
+    RegCache& rc = env.rcache();
+    // Three 1 MB regions: the third acquire must evict the first.
+    const verbs::Mr a = rc.acquire(m.va_base, 1 * kMiB);
+    rc.release(a);
+    const verbs::Mr b = rc.acquire(m.va_base + 2 * kMiB, 1 * kMiB);
+    rc.release(b);
+    const verbs::Mr c = rc.acquire(m.va_base + 4 * kMiB, 1 * kMiB);
+    rc.release(c);
+    EXPECT_EQ(rc.stats().evictions, 1u);
+    EXPECT_LE(rc.stats().pinned_bytes, 2 * kMiB);
+    // The evicted (oldest) region misses again; the newest still hits.
+    rc.release(rc.acquire(m.va_base + 4 * kMiB, 1 * kMiB));
+    EXPECT_EQ(rc.stats().hits, 1u);
+    rc.release(rc.acquire(m.va_base, 1 * kMiB));
+    EXPECT_EQ(rc.stats().misses, 4u);
+  });
+}
+
+TEST(RegCacheCapacity, BusyEntriesAreNotEvicted) {
+  with_capped_env(2 * kMiB, [](core::RankEnv& env) {
+    auto& m = env.space().map(8 * kMiB, mem::PageKind::Small);
+    RegCache& rc = env.rcache();
+    // Hold both resident entries (simulating in-flight transfers).
+    const verbs::Mr a = rc.acquire(m.va_base, 1 * kMiB);
+    const verbs::Mr b = rc.acquire(m.va_base + 2 * kMiB, 1 * kMiB);
+    // Over-capacity acquire: nothing evictable, bound exceeded briefly.
+    const verbs::Mr c = rc.acquire(m.va_base + 4 * kMiB, 1 * kMiB);
+    EXPECT_EQ(rc.stats().evictions, 0u);
+    EXPECT_GT(rc.stats().pinned_bytes, 2 * kMiB);
+    rc.release(a);
+    rc.release(b);
+    rc.release(c);
+    // Now the next acquire can evict.
+    rc.release(rc.acquire(m.va_base + 6 * kMiB, 1 * kMiB));
+    EXPECT_GT(rc.stats().evictions, 0u);
+  });
+}
+
+TEST(RegCacheCapacity, UnlimitedNeverEvicts) {
+  with_capped_env(0, [](core::RankEnv& env) {
+    auto& m = env.space().map(16 * kMiB, mem::PageKind::Small);
+    RegCache& rc = env.rcache();
+    for (int i = 0; i < 8; ++i)
+      rc.release(rc.acquire(m.va_base + static_cast<std::uint64_t>(i) * 2 * kMiB,
+                            1 * kMiB));
+    EXPECT_EQ(rc.stats().evictions, 0u);
+    EXPECT_EQ(rc.entries(), 8u);
+  });
+}
+
+TEST(RegCacheCapacity, EndToEndTransfersUnderTightBound) {
+  // Full MPI rendezvous traffic with a cache smaller than one buffer:
+  // every transfer re-registers, but nothing breaks mid-flight.
+  core::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  cfg.regcache_capacity_bytes = 256 * kKiB;
+  core::Cluster cluster(cfg);
+  cluster.run([](core::RankEnv& env) {
+    mpi::Comm comm(env);
+    constexpr std::uint64_t kLen = 1 * kMiB;
+    // Cycle through more distinct buffers than the cache can hold.
+    VirtAddr bufs[6];
+    for (auto& b : bufs) b = env.alloc(kLen);
+    const int other = 1 - env.rank();
+    for (int round = 0; round < 3; ++round)
+      for (int i = 0; i < 3; ++i)
+        comm.sendrecv(bufs[i], kLen, other, i, bufs[3 + i], kLen, other, i);
+    EXPECT_GT(env.rcache().stats().evictions, 0u);
+    // The bound holds once transfers drain (one in-flight pair may exceed
+    // it transiently).
+    EXPECT_LE(env.rcache().stats().pinned_bytes, 2 * kMiB + 256 * kKiB);
+  });
+}
+
+}  // namespace
+}  // namespace ibp::regcache

@@ -1,0 +1,65 @@
+#include "ibp/sim/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ibp/mpi/comm.hpp"
+
+namespace ibp {
+namespace {
+
+TEST(Tracer, WritesChromeTraceJson) {
+  sim::Tracer t;
+  t.add(0, "mpi", "send", us(10), us(5));
+  t.add(1, "app", R"(phase "two")", us(20), us(1));
+  t.mark(0, "app", "checkpoint", us(30));
+  std::ostringstream os;
+  t.write_json(os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_NE(out.find(R"("ph": "X")"), std::string::npos);
+  EXPECT_NE(out.find(R"("ph": "i")"), std::string::npos);
+  EXPECT_NE(out.find(R"("ts": 10)"), std::string::npos);
+  EXPECT_NE(out.find(R"("dur": 5)"), std::string::npos);
+  EXPECT_NE(out.find(R"(\"two\")"), std::string::npos) << "quote escaping";
+  // Balanced brackets and no trailing comma before the closing bracket.
+  EXPECT_EQ(out.find("},\n]"), std::string::npos);
+}
+
+TEST(Tracer, RecordsMpiSpansWhenEnabled) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  cfg.enable_tracing = true;
+  core::Cluster cluster(cfg);
+  cluster.run([](core::RankEnv& env) {
+    mpi::Comm comm(env);
+    const VirtAddr buf = env.alloc(64 * kKiB);
+    const TimePs t0 = env.now();
+    comm.barrier();
+    const int other = 1 - env.rank();
+    comm.sendrecv(buf, 32 * kKiB, other, 1, buf, 32 * kKiB, other, 1);
+    env.trace("app", "exchange-phase", t0);
+  });
+  ASSERT_NE(cluster.tracer(), nullptr);
+  EXPECT_GT(cluster.tracer()->size(), 4u);  // barriers + sendrecvs + spans
+  std::ostringstream os;
+  cluster.tracer()->write_json(os);
+  EXPECT_NE(os.str().find("sendrecv"), std::string::npos);
+  EXPECT_NE(os.str().find("exchange-phase"), std::string::npos);
+}
+
+TEST(Tracer, DisabledByDefaultCostsNothing) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.ranks_per_node = 1;
+  core::Cluster cluster(cfg);
+  cluster.run([](core::RankEnv& env) {
+    env.trace("app", "ignored", 0);  // must be a safe no-op
+  });
+  EXPECT_EQ(cluster.tracer(), nullptr);
+}
+
+}  // namespace
+}  // namespace ibp

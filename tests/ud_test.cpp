@@ -1,0 +1,186 @@
+// UD (unreliable datagram) transport: adapter-level semantics and the
+// hybrid UD-eager MPI path with cross-transport sequencing.
+
+#include <gtest/gtest.h>
+
+#include "ibp/hca/adapter.hpp"
+#include "ibp/mpi/comm.hpp"
+
+namespace ibp {
+namespace {
+
+TEST(UdQp, DatagramDeliversWithoutConnection) {
+  mem::PhysicalMemory pm_a(16 * kMiB, 4, 1), pm_b(16 * kMiB, 4, 2);
+  mem::HugeTlbFs fs_a(&pm_a, 4, 0), fs_b(&pm_b, 4, 0);
+  mem::AddressSpace as_a(&pm_a, &fs_a), as_b(&pm_b, &fs_b);
+  hca::Adapter a(0, hca::AdapterConfig{}), b(1, hca::AdapterConfig{});
+  hca::CompletionQueue a_scq, a_rcq, b_scq, b_rcq;
+  hca::QueuePair& qa = a.create_qp(&a_scq, &a_rcq, hca::QpType::UD);
+  hca::QueuePair& qb = b.create_qp(&b_scq, &b_rcq, hca::QpType::UD);
+
+  auto& ma = as_a.map(4096, mem::PageKind::Small);
+  auto& mb = as_b.map(4096, mem::PageKind::Small);
+  const auto ra = a.reg_mr(as_a, ma.va_base, 4096, kSmallPageSize);
+  const auto rb = b.reg_mr(as_b, mb.va_base, 4096, kSmallPageSize);
+
+  auto src = as_a.host_span(ma.va_base, 256);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = static_cast<std::uint8_t>(i);
+
+  hca::RecvWr rwr;
+  rwr.sges = {{mb.va_base, 4096, rb.mr->lkey}};
+  qb.post_recv(rwr, 0);
+
+  hca::SendWr swr;
+  swr.wr_id = 5;
+  swr.sges = {{ma.va_base, 256, ra.mr->lkey}};
+  swr.ud_dest = &qb;
+  qa.post_send(swr, 0);
+
+  const auto scqe = a_scq.poll(ms(10));
+  ASSERT_TRUE(scqe);
+  const auto rcqe = b_rcq.poll(ms(10));
+  ASSERT_TRUE(rcqe);
+  EXPECT_EQ(rcqe->byte_len, 256u);
+  // Fire-and-forget: the sender CQE precedes full remote delivery (no ACK
+  // round), unlike RC.
+  EXPECT_LT(scqe->ready_time, rcqe->ready_time);
+  auto dst = as_b.host_span(mb.va_base, 256);
+  for (std::size_t i = 0; i < dst.size(); ++i)
+    ASSERT_EQ(dst[i], static_cast<std::uint8_t>(i));
+}
+
+TEST(UdQp, RejectsOversizedAndRdma) {
+  mem::PhysicalMemory pm(16 * kMiB, 4, 1);
+  mem::HugeTlbFs fs(&pm, 4, 0);
+  mem::AddressSpace as(&pm, &fs);
+  hca::Adapter a(0, hca::AdapterConfig{});
+  hca::CompletionQueue scq, rcq;
+  hca::QueuePair& qa = a.create_qp(&scq, &rcq, hca::QpType::UD);
+  hca::QueuePair& qb = a.create_qp(&scq, &rcq, hca::QpType::UD);
+  auto& m = as.map(16 * kKiB, mem::PageKind::Small);
+  const auto r = a.reg_mr(as, m.va_base, 16 * kKiB, kSmallPageSize);
+
+  hca::SendWr wr;
+  wr.sges = {{m.va_base, 8 * kKiB, r.mr->lkey}};  // > 1 MTU
+  wr.ud_dest = &qb;
+  EXPECT_THROW(qa.post_send(wr, 0), SimError);
+  wr.sges = {{m.va_base, 256, r.mr->lkey}};
+  wr.opcode = hca::Opcode::RdmaWrite;
+  EXPECT_THROW(qa.post_send(wr, 0), SimError);
+  EXPECT_THROW(qa.connect(&qb), SimError);
+}
+
+core::ClusterConfig topo(int nodes, int rpn) {
+  core::ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.ranks_per_node = rpn;
+  return cfg;
+}
+
+TEST(UdEager, SmallMessagesRideDatagrams) {
+  core::Cluster cluster(topo(2, 1));
+  mpi::CommConfig ccfg;
+  ccfg.ud_eager = true;
+  cluster.run([&](core::RankEnv& env) {
+    mpi::Comm comm(env, ccfg);
+    const VirtAddr buf = env.alloc(4 * kKiB);
+    if (env.rank() == 0) {
+      for (int i = 0; i < 10; ++i) comm.send(buf, 512, 1, i);
+      EXPECT_EQ(comm.stats().ud_sent, 10u);
+      EXPECT_EQ(comm.stats().eager_sent, 10u);
+    } else {
+      for (int i = 0; i < 10; ++i) comm.recv(buf, 512, 0, i);
+    }
+  });
+}
+
+TEST(UdEager, MixedTransportsKeepEnvelopeOrder) {
+  // Interleave UD-sized and RC-sized messages on one envelope: sequence
+  // numbers must prevent the faster datagrams from overtaking.
+  core::Cluster cluster(topo(2, 1));
+  mpi::CommConfig ccfg;
+  ccfg.ud_eager = true;
+  // A multi-MTU eager message (RC bounce, bulk lane) chased by datagrams
+  // (UD, control lane): the datagrams physically arrive first and must
+  // wait in the reorder buffer.
+  const std::uint64_t sizes[] = {6 * kKiB, 64, 128, 6 * kKiB, 256, 1};
+  cluster.run([&](core::RankEnv& env) {
+    mpi::Comm comm(env, ccfg);
+    if (env.rank() == 0) {
+      std::vector<mpi::Req> rs;
+      for (std::size_t i = 0; i < std::size(sizes); ++i) {
+        const VirtAddr b = env.alloc(std::max<std::uint64_t>(sizes[i], 64));
+        auto s = env.space().host_span(b, sizes[i]);
+        std::fill(s.begin(), s.end(), static_cast<std::uint8_t>(i + 1));
+        rs.push_back(comm.isend(b, sizes[i], 1, 9));
+      }
+      comm.waitall(rs);
+    } else {
+      for (std::size_t i = 0; i < std::size(sizes); ++i) {
+        const VirtAddr b = env.alloc(std::max<std::uint64_t>(sizes[i], 64));
+        const mpi::RecvStatus st = comm.recv(b, sizes[i], 0, 9);
+        ASSERT_EQ(st.len, sizes[i]) << "message " << i << " overtaken";
+        if (sizes[i] > 0) {
+          auto s = env.space().host_span(b, sizes[i]);
+          ASSERT_EQ(s[0], static_cast<std::uint8_t>(i + 1));
+        }
+      }
+      EXPECT_GT(comm.stats().reordered + 0u, 0u)
+          << "this pattern should exercise the reorder buffer";
+    }
+  });
+}
+
+TEST(UdEager, NasKernelRunsOnHybridTransport) {
+  core::Cluster cluster(topo(2, 4));
+  // run_nas constructs its own Comm; emulate via direct kernel + config is
+  // not exposed, so run a representative collective-heavy pattern instead.
+  mpi::CommConfig ccfg;
+  ccfg.ud_eager = true;
+  cluster.run([&](core::RankEnv& env) {
+    mpi::Comm comm(env, ccfg);
+    const VirtAddr buf = env.alloc(64 * kKiB);
+    for (int i = 0; i < 3; ++i) {
+      comm.barrier();
+      comm.bcast(buf, 4 * kKiB, i % comm.size());
+      comm.allreduce<double>(buf, buf, 16, mpi::ReduceOp::Sum);
+      comm.allgather(buf, 4 * kKiB, buf + 8 * kKiB);
+    }
+  });
+}
+
+TEST(UdEager, LowerSmallMessageLatencyThanRc) {
+  // No ACK round: UD eager one-way latency beats RC eager.
+  auto latency = [](bool ud) {
+    core::Cluster cluster(topo(2, 1));
+    mpi::CommConfig ccfg;
+    ccfg.ud_eager = ud;
+    TimePs dt = 0;
+    cluster.run([&](core::RankEnv& env) {
+      mpi::Comm comm(env, ccfg);
+      const VirtAddr buf = env.alloc(4 * kKiB);
+      constexpr int kIters = 20;
+      if (env.rank() == 0) {
+        for (int i = 0; i < kIters; ++i) {
+          comm.send(buf, 64, 1, i);
+          comm.recv(buf, 64, 1, 1000 + i);
+        }
+      } else {
+        const TimePs t0 = env.now();
+        for (int i = 0; i < kIters; ++i) {
+          comm.recv(buf, 64, 0, i);
+          comm.send(buf, 64, 0, 1000 + i);
+        }
+        dt = (env.now() - t0) / kIters;
+      }
+    });
+    return dt;
+  };
+  const TimePs rc = latency(false);
+  const TimePs ud = latency(true);
+  EXPECT_LT(ud, rc);
+}
+
+}  // namespace
+}  // namespace ibp

@@ -1,0 +1,167 @@
+// One-sided communication windows: put/get/atomics over RDMA and the
+// intra-node shared-memory path, fence synchronization.
+
+#include <gtest/gtest.h>
+
+#include "ibp/mpi/window.hpp"
+
+namespace ibp::mpi {
+namespace {
+
+core::ClusterConfig topo(int nodes, int rpn) {
+  core::ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.ranks_per_node = rpn;
+  return cfg;
+}
+
+TEST(Window, PutGetAcrossNodes) {
+  core::Cluster cluster(topo(2, 1));
+  constexpr std::uint64_t kWin = 64 * kKiB;
+  cluster.run([&](core::RankEnv& env) {
+    Comm comm(env);
+    const VirtAddr win_buf = env.alloc(kWin);
+    const VirtAddr scratch = env.alloc(kWin);
+    auto w = env.space().host_span(win_buf, kWin);
+    std::fill(w.begin(), w.end(),
+              static_cast<std::uint8_t>(env.rank() + 1));
+    Window win(comm, win_buf, kWin);
+
+    if (env.rank() == 0) {
+      // Write a pattern into rank 1's window...
+      auto s = env.space().host_span(scratch, 1000);
+      for (std::size_t i = 0; i < s.size(); ++i)
+        s[i] = static_cast<std::uint8_t>(i * 5);
+      win.put(scratch, 1000, 1, 4096);
+    }
+    win.fence();
+    if (env.rank() == 1) {
+      auto s = env.space().host_span(win_buf + 4096, 1000);
+      for (std::size_t i = 0; i < s.size(); ++i)
+        ASSERT_EQ(s[i], static_cast<std::uint8_t>(i * 5));
+    }
+
+    // ...and pull rank 1's untouched prefix back to rank 0.
+    if (env.rank() == 0) {
+      win.get(scratch, 512, 1, 0);
+    }
+    win.fence();
+    if (env.rank() == 0) {
+      auto s = env.space().host_span(scratch, 512);
+      for (std::size_t i = 0; i < s.size(); ++i)
+        ASSERT_EQ(s[i], 2) << "rank 1's window fill";
+    }
+    win.fence();
+  });
+}
+
+TEST(Window, IntraNodePath) {
+  core::Cluster cluster(topo(1, 2));
+  cluster.run([&](core::RankEnv& env) {
+    Comm comm(env);
+    const VirtAddr win_buf = env.alloc(4096);
+    auto w = env.space().host_span(win_buf, 4096);
+    std::fill(w.begin(), w.end(), static_cast<std::uint8_t>(0));
+    Window win(comm, win_buf, 4096);
+    if (env.rank() == 0) {
+      const VirtAddr src = env.alloc(64);
+      auto s = env.space().host_span(src, 64);
+      std::fill(s.begin(), s.end(), static_cast<std::uint8_t>(0xAB));
+      win.put(src, 64, 1, 128);
+    }
+    win.fence();
+    if (env.rank() == 1) {
+      EXPECT_EQ(env.space().host_span(win_buf + 128, 1)[0], 0xAB);
+    }
+    win.fence();
+  });
+}
+
+TEST(Window, FetchAddAccumulatesAcrossRanks) {
+  // Every rank atomically bumps a counter in rank 0's window; the sum and
+  // the returned "old" values must form a permutation of partial sums.
+  core::Cluster cluster(topo(2, 2));
+  constexpr int kAddsPerRank = 5;
+  cluster.run([&](core::RankEnv& env) {
+    Comm comm(env);
+    const VirtAddr win_buf = env.alloc(4096);
+    *env.host_ptr<std::uint64_t>(win_buf) = 0;
+    Window win(comm, win_buf, 4096);
+    win.fence();
+
+    std::uint64_t last_seen = 0;
+    for (int i = 0; i < kAddsPerRank; ++i) {
+      const std::uint64_t old_val = win.fetch_add(0, 0, 1);
+      EXPECT_GE(old_val, last_seen) << "atomic order went backwards";
+      last_seen = old_val;
+    }
+    win.fence();
+    if (env.rank() == 0) {
+      EXPECT_EQ(*env.host_ptr<std::uint64_t>(win_buf),
+                static_cast<std::uint64_t>(comm.size() * kAddsPerRank));
+    }
+    win.fence();
+  });
+}
+
+TEST(Window, CompareSwapElectsOneWinner) {
+  core::Cluster cluster(topo(2, 2));
+  std::vector<int> winner;
+  cluster.run([&](core::RankEnv& env) {
+    Comm comm(env);
+    const VirtAddr win_buf = env.alloc(4096);
+    *env.host_ptr<std::uint64_t>(win_buf) = 0;
+    Window win(comm, win_buf, 4096);
+    win.fence();
+    // Everyone tries to claim slot 0 of rank 0's window with their id+1.
+    const std::uint64_t old_val = win.compare_swap(
+        0, 0, 0, static_cast<std::uint64_t>(env.rank()) + 1);
+    if (old_val == 0) winner.push_back(env.rank());
+    win.fence();
+    if (env.rank() == 0) {
+      const std::uint64_t v = *env.host_ptr<std::uint64_t>(win_buf);
+      EXPECT_GE(v, 1u);
+      EXPECT_LE(v, 4u);
+    }
+    win.fence();
+  });
+  EXPECT_EQ(winner.size(), 1u) << "exactly one CAS may win";
+}
+
+TEST(Window, OutOfRangeAccessThrows) {
+  core::Cluster cluster(topo(2, 1));
+  EXPECT_THROW(cluster.run([&](core::RankEnv& env) {
+    Comm comm(env);
+    const VirtAddr win_buf = env.alloc(4096);
+    Window win(comm, win_buf, 4096);
+    const VirtAddr src = env.alloc(8192);
+    if (env.rank() == 0) win.put(src, 8192, 1, 0);  // larger than window
+    win.fence();
+  }),
+               SimError);
+}
+
+TEST(Window, PlacementAffectsWindowRegistrationCost) {
+  // The paper's registration story applies to RMA windows verbatim.
+  TimePs costs[2];
+  for (int huge = 0; huge < 2; ++huge) {
+    core::ClusterConfig cfg = topo(2, 1);
+    cfg.hugepage_library = huge != 0;
+    core::Cluster cluster(cfg);
+    TimePs dt = 0;
+    cluster.run([&](core::RankEnv& env) {
+      Comm comm(env);
+      const VirtAddr buf = env.alloc(8 * kMiB);
+      const TimePs t0 = env.now();
+      Window win(comm, buf, 8 * kMiB);
+      if (env.rank() == 0) dt = env.now() - t0;
+      win.fence();
+    });
+    costs[huge] = dt;
+  }
+  EXPECT_LT(costs[1], costs[0] / 4)
+      << "hugepage window creation must be far cheaper";
+}
+
+}  // namespace
+}  // namespace ibp::mpi

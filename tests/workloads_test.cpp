@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ibp/workloads/alloc_trace.hpp"
+#include "ibp/workloads/imb.hpp"
+#include "ibp/workloads/nas.hpp"
+
+namespace ibp::workloads {
+namespace {
+
+TEST(AllocTrace, BalancedAndSlotConsistent) {
+  const TraceConfig cfg;
+  const auto ops = make_abinit_trace(cfg);
+  std::map<std::uint32_t, bool> live;
+  std::uint64_t mallocs = 0, frees = 0;
+  for (const auto& op : ops) {
+    ASSERT_LT(op.slot, trace_slot_count(cfg));
+    if (op.kind == TraceOp::Kind::Malloc) {
+      ASSERT_FALSE(live[op.slot]) << "slot reused while live";
+      ASSERT_GT(op.size, 0u);
+      live[op.slot] = true;
+      ++mallocs;
+    } else {
+      ASSERT_TRUE(live[op.slot]) << "free of dead slot";
+      live[op.slot] = false;
+      ++frees;
+    }
+  }
+  EXPECT_EQ(mallocs, frees) << "trace must end with everything freed";
+  for (const auto& [slot, alive] : live) EXPECT_FALSE(alive);
+}
+
+TEST(AllocTrace, DeterministicPerSeed) {
+  const auto a = make_abinit_trace();
+  const auto b = make_abinit_trace();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].size, b[i].size);
+    EXPECT_EQ(a[i].slot, b[i].slot);
+  }
+}
+
+TEST(AllocTrace, RecurringSizesDominate) {
+  TraceConfig cfg;
+  cfg.odd_fraction = 0.0;
+  const auto ops = make_abinit_trace(cfg);
+  std::map<std::uint64_t, int> size_freq;
+  for (const auto& op : ops)
+    if (op.kind == TraceOp::Kind::Malloc && op.size >= cfg.temp_min)
+      ++size_freq[op.size];
+  // With no odd sizes, only the recurring temp sizes (plus persistents).
+  EXPECT_LE(size_freq.size(),
+            static_cast<std::size_t>(cfg.recurring_sizes) + 3);
+}
+
+TEST(Imb, DefaultSizesAreFigure5Range) {
+  const auto sizes = imb_default_sizes();
+  EXPECT_EQ(sizes.front(), 4 * kKiB);
+  EXPECT_EQ(sizes.back(), 16 * kMiB);
+  for (std::size_t i = 1; i < sizes.size(); ++i)
+    EXPECT_EQ(sizes[i], sizes[i - 1] * 2);
+}
+
+TEST(Imb, ReportsBidirectionalBandwidth) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  core::Cluster cluster(cfg);
+  ImbConfig icfg;
+  icfg.sizes = {1 * kMiB};
+  icfg.iterations = 5;
+  const auto pts = run_sendrecv(cluster, icfg);
+  ASSERT_EQ(pts.size(), 1u);
+  // IMB convention counts both directions; a single direction cannot
+  // exceed the link, so the reported number may exceed 1x link bandwidth
+  // but never 2x.
+  const double link_mbs = 0.95 * 1000.0;
+  EXPECT_GT(pts[0].mbytes_per_sec, link_mbs * 0.8);
+  EXPECT_LT(pts[0].mbytes_per_sec, 2 * link_mbs);
+}
+
+TEST(Imb, MoreRanksStillWork) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 2;
+  core::Cluster cluster(cfg);
+  ImbConfig icfg;
+  icfg.sizes = {64 * kKiB, 256 * kKiB};
+  icfg.iterations = 3;
+  const auto pts = run_sendrecv(cluster, icfg);
+  EXPECT_GT(pts[0].mbytes_per_sec, 0.0);
+  EXPECT_GT(pts[1].mbytes_per_sec, 0.0);
+}
+
+TEST(Nas, UnknownKernelThrows) {
+  core::ClusterConfig cfg;
+  core::Cluster cluster(cfg);
+  EXPECT_THROW(run_nas("bt", cluster), SimError);
+}
+
+TEST(Nas, ResultFieldsArePopulated) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 2;
+  core::Cluster cluster(cfg);
+  const NasResult r = run_ep(cluster);
+  EXPECT_EQ(r.name, "ep");
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.total, 0u);
+  EXPECT_GT(r.comm_avg, 0u);
+  EXPECT_GE(r.comm_max, r.comm_avg);
+  EXPECT_EQ(r.other_avg, r.total - r.comm_avg);
+  EXPECT_GT(r.tlb_misses, 0u);
+}
+
+}  // namespace
+}  // namespace ibp::workloads
+
+namespace ibp::workloads {
+namespace {
+
+TEST(ImbModes, PingPongLatencyOrdering) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  core::Cluster cluster(cfg);
+  ImbConfig icfg;
+  icfg.sizes = {8, 4 * kKiB, 64 * kKiB};
+  icfg.iterations = 5;
+  const auto pts = run_pingpong(cluster, icfg);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_LT(pts[0].avg_time, pts[1].avg_time);
+  EXPECT_LT(pts[1].avg_time, pts[2].avg_time);
+  // One-way 8 B latency lands in a plausible band (a few microseconds).
+  EXPECT_GT(pts[0].avg_time, us(1));
+  EXPECT_LT(pts[0].avg_time, us(20));
+}
+
+TEST(ImbModes, ExchangeCarriesFourMessagesPerRank) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  core::Cluster cluster(cfg);
+  ImbConfig icfg;
+  icfg.sizes = {256 * kKiB};
+  icfg.iterations = 5;
+  const auto pts = run_exchange(cluster, icfg);
+  // Exchange reports ~2x the SendRecv figure at the same size (4 vs 2
+  // messages counted over a similarly saturated link).
+  EXPECT_GT(pts[0].mbytes_per_sec, 1000.0);
+}
+
+}  // namespace
+}  // namespace ibp::workloads

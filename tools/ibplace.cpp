@@ -1,0 +1,236 @@
+// ibplace — command-line driver for the simulator.
+//
+//   ibplace info                         platform parameter dump
+//   ibplace imb <mode> [opts]            sendrecv | pingpong | exchange
+//   ibplace nas <kernel> [opts]          cg|ep|is|lu|mg|ft, both placements
+//   ibplace reg [opts]                   registration cost sweep
+//
+// Common options:
+//   --platform=opteron|xeon|systemp   (default opteron)
+//   --nodes=N --rpn=R                 topology (default 2x4; imb 2x1)
+//   --hugepages=0|1                   preload the hugepage library
+//   --lazy=0|1                        lazy deregistration (default 1)
+//   --patched=0|1                     driver hugepage passthrough (default 1)
+//   --rndv-read=0|1                   RDMA-read rendezvous (default 0)
+//   --iters=N  --scale=N
+//
+// Everything is deterministic; outputs are stable across runs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ibp/common/table.hpp"
+#include "ibp/workloads/imb.hpp"
+#include "ibp/workloads/nas.hpp"
+
+using namespace ibp;
+
+namespace {
+
+struct Options {
+  std::string platform = "opteron";
+  int nodes = 2;
+  int rpn = 4;
+  bool hugepages = false;
+  bool lazy = true;
+  bool patched = true;
+  bool rndv_read = false;
+  int iters = 10;
+  int scale = 1;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: ibplace <info|imb|nas|reg> [args] [--options]\n"
+               "  ibplace info [--platform=P]\n"
+               "  ibplace imb <sendrecv|pingpong|exchange> [--options]\n"
+               "  ibplace nas <cg|ep|is|lu|mg|ft> [--options]\n"
+               "  ibplace reg [--platform=P]\n"
+               "options: --platform=opteron|xeon|systemp --nodes=N --rpn=R\n"
+               "         --hugepages=0|1 --lazy=0|1 --patched=0|1\n"
+               "         --rndv-read=0|1 --iters=N --scale=N\n");
+  std::exit(2);
+}
+
+bool parse_flag(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+Options parse_options(int argc, char** argv, int first) {
+  Options o;
+  for (int i = first; i < argc; ++i) {
+    std::string v;
+    if (parse_flag(argv[i], "--platform", &v)) {
+      o.platform = v;
+    } else if (parse_flag(argv[i], "--nodes", &v)) {
+      o.nodes = std::atoi(v.c_str());
+    } else if (parse_flag(argv[i], "--rpn", &v)) {
+      o.rpn = std::atoi(v.c_str());
+    } else if (parse_flag(argv[i], "--hugepages", &v)) {
+      o.hugepages = v == "1";
+    } else if (parse_flag(argv[i], "--lazy", &v)) {
+      o.lazy = v == "1";
+    } else if (parse_flag(argv[i], "--patched", &v)) {
+      o.patched = v == "1";
+    } else if (parse_flag(argv[i], "--rndv-read", &v)) {
+      o.rndv_read = v == "1";
+    } else if (parse_flag(argv[i], "--iters", &v)) {
+      o.iters = std::atoi(v.c_str());
+    } else if (parse_flag(argv[i], "--scale", &v)) {
+      o.scale = std::atoi(v.c_str());
+    } else {
+      usage(("unknown option " + std::string(argv[i])).c_str());
+    }
+  }
+  if (o.nodes < 1 || o.rpn < 1 || o.iters < 1 || o.scale < 1)
+    usage("topology/iteration options must be positive");
+  return o;
+}
+
+core::ClusterConfig cluster_config(const Options& o) {
+  core::ClusterConfig cfg;
+  cfg.platform = platform::by_name(o.platform);
+  cfg.nodes = o.nodes;
+  cfg.ranks_per_node = o.rpn;
+  cfg.hugepage_library = o.hugepages;
+  cfg.lazy_deregistration = o.lazy;
+  cfg.driver.hugepage_passthrough = o.patched;
+  return cfg;
+}
+
+int cmd_info(const Options& o) {
+  const auto p = platform::by_name(o.platform);
+  std::printf("platform %s\n", p.name.c_str());
+  TextTable t({"parameter", "value"});
+  t.add_row("tbr frequency [MHz]", p.tbr_hz / 1e6);
+  t.add_row("compute [ops/ns]", p.ops_per_ns);
+  t.add_row("TLB 4K entries", static_cast<std::uint64_t>(p.tlb.small_entries));
+  t.add_row("TLB 2M entries", static_cast<std::uint64_t>(p.tlb.huge_entries));
+  t.add_row("DRAM stream [B/ns]", p.mem.stream_bw_bytes_per_ns);
+  t.add_row("link [B/ns]", p.adapter.link_bw_bytes_per_ns);
+  t.add_row("ATT entries", p.adapter.att_entries);
+  t.add_row("ATT miss [ns]", ps_to_ns(p.adapter.att_miss));
+  t.add_row("post base [ns]", ps_to_ns(p.adapter.post_base));
+  t.add_row("pin/page [ns]", ps_to_ns(p.adapter.pin_per_page));
+  t.print();
+  return 0;
+}
+
+int cmd_imb(const std::string& mode, const Options& o) {
+  Options opt = o;
+  core::ClusterConfig cfg = cluster_config(opt);
+  core::Cluster cluster(cfg);
+  workloads::ImbConfig icfg;
+  icfg.sizes = workloads::imb_default_sizes();
+  icfg.iterations = opt.iters;
+
+  std::vector<workloads::ImbPoint> pts;
+  if (mode == "sendrecv") {
+    pts = workloads::run_sendrecv(cluster, icfg);
+  } else if (mode == "pingpong") {
+    pts = workloads::run_pingpong(cluster, icfg);
+  } else if (mode == "exchange") {
+    pts = workloads::run_exchange(cluster, icfg);
+  } else {
+    usage(("unknown imb mode " + mode).c_str());
+  }
+
+  std::printf("IMB %s  platform=%s %dx%d hugepages=%d lazy=%d patched=%d\n\n",
+              mode.c_str(), opt.platform.c_str(), opt.nodes, opt.rpn,
+              opt.hugepages, opt.lazy, opt.patched);
+  TextTable t({"bytes", "t [us]", "MB/s"});
+  for (const auto& p : pts)
+    t.add_row(p.bytes, ps_to_us(p.avg_time), p.mbytes_per_sec);
+  t.print();
+  return 0;
+}
+
+int cmd_nas(const std::string& kernel, const Options& o) {
+  std::printf("NAS %s  platform=%s %dx%d scale=%d (both placements)\n\n",
+              kernel.c_str(), o.platform.c_str(), o.nodes, o.rpn, o.scale);
+  workloads::NasResult r[2];
+  for (int huge = 0; huge < 2; ++huge) {
+    Options opt = o;
+    opt.hugepages = huge != 0;
+    core::Cluster cluster(cluster_config(opt));
+    r[huge] = workloads::run_nas(kernel, cluster,
+                                 workloads::NasScale{o.scale});
+  }
+  TextTable t({"placement", "total [ms]", "comm [ms]", "other [ms]",
+               "TLB misses", "verified"});
+  const char* names[2] = {"small pages", "hugepages"};
+  for (int i = 0; i < 2; ++i)
+    t.add_row(names[i], static_cast<double>(r[i].total) / 1e9,
+              static_cast<double>(r[i].comm_avg) / 1e9,
+              static_cast<double>(r[i].other_avg) / 1e9, r[i].tlb_misses,
+              r[i].verified ? "yes" : "NO");
+  t.print();
+  std::printf("\nimprovement: comm %+.1f %%, overall %+.1f %%\n",
+              (1.0 - static_cast<double>(r[1].comm_avg) /
+                         static_cast<double>(r[0].comm_avg)) * 100.0,
+              (1.0 - static_cast<double>(r[1].total) /
+                         static_cast<double>(r[0].total)) * 100.0);
+  return r[0].verified && r[1].verified ? 0 : 1;
+}
+
+int cmd_reg(const Options& o) {
+  std::printf("registration cost  platform=%s patched=%d\n\n",
+              o.platform.c_str(), o.patched);
+  TextTable t({"bytes", "4K pages [us]", "hugepages [us]", "ratio %"});
+  for (std::uint64_t bytes = 256 * kKiB; bytes <= 64 * kMiB; bytes *= 4) {
+    TimePs cost[2];
+    for (int huge = 0; huge < 2; ++huge) {
+      core::ClusterConfig cfg = cluster_config(o);
+      cfg.nodes = 1;
+      cfg.ranks_per_node = 1;
+      cfg.hugepages_per_node = 2048;
+      core::Cluster cluster(cfg);
+      TimePs dt = 0;
+      cluster.run([&](core::RankEnv& env) {
+        auto& m = env.space().map(bytes, huge ? mem::PageKind::Huge
+                                              : mem::PageKind::Small);
+        const TimePs t0 = env.now();
+        env.verbs().reg_mr(m.va_base, bytes);
+        dt = env.now() - t0;
+      });
+      cost[huge] = dt;
+    }
+    t.add_row(bytes, ps_to_us(cost[0]), ps_to_us(cost[1]),
+              100.0 * static_cast<double>(cost[1]) /
+                  static_cast<double>(cost[0]));
+  }
+  t.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "info") return cmd_info(parse_options(argc, argv, 2));
+    if (cmd == "reg") return cmd_reg(parse_options(argc, argv, 2));
+    if (cmd == "imb") {
+      if (argc < 3) usage("imb needs a mode");
+      Options o = parse_options(argc, argv, 3);
+      if (o.nodes == 2 && o.rpn == 4) o.rpn = 1;  // friendlier default
+      return cmd_imb(argv[2], o);
+    }
+    if (cmd == "nas") {
+      if (argc < 3) usage("nas needs a kernel");
+      return cmd_nas(argv[2], parse_options(argc, argv, 3));
+    }
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "simulation error: %s\n", e.what());
+    return 1;
+  }
+  usage(("unknown command " + cmd).c_str());
+}
