@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_coalesce"
+  "../bench/abl_coalesce.pdb"
+  "CMakeFiles/abl_coalesce.dir/abl_coalesce.cpp.o"
+  "CMakeFiles/abl_coalesce.dir/abl_coalesce.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_coalesce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

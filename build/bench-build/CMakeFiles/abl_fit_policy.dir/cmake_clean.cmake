@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_fit_policy"
+  "../bench/abl_fit_policy.pdb"
+  "CMakeFiles/abl_fit_policy.dir/abl_fit_policy.cpp.o"
+  "CMakeFiles/abl_fit_policy.dir/abl_fit_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fit_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

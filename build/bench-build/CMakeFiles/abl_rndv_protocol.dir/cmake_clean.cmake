@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_rndv_protocol"
+  "../bench/abl_rndv_protocol.pdb"
+  "CMakeFiles/abl_rndv_protocol.dir/abl_rndv_protocol.cpp.o"
+  "CMakeFiles/abl_rndv_protocol.dir/abl_rndv_protocol.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rndv_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

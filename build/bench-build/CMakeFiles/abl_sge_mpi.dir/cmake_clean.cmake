@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_sge_mpi"
+  "../bench/abl_sge_mpi.pdb"
+  "CMakeFiles/abl_sge_mpi.dir/abl_sge_mpi.cpp.o"
+  "CMakeFiles/abl_sge_mpi.dir/abl_sge_mpi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sge_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_ft_nas"
+  "../bench/ext_ft_nas.pdb"
+  "CMakeFiles/ext_ft_nas.dir/ext_ft_nas.cpp.o"
+  "CMakeFiles/ext_ft_nas.dir/ext_ft_nas.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ft_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_ud_eager"
+  "../bench/ext_ud_eager.pdb"
+  "CMakeFiles/ext_ud_eager.dir/ext_ud_eager.cpp.o"
+  "CMakeFiles/ext_ud_eager.dir/ext_ud_eager.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ud_eager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_ud_eager.
+# This may be replaced when dependencies are built.

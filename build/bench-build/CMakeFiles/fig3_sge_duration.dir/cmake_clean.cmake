@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_sge_duration"
+  "../bench/fig3_sge_duration.pdb"
+  "CMakeFiles/fig3_sge_duration.dir/fig3_sge_duration.cpp.o"
+  "CMakeFiles/fig3_sge_duration.dir/fig3_sge_duration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_sge_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

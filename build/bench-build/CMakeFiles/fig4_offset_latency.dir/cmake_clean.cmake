@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_offset_latency"
+  "../bench/fig4_offset_latency.pdb"
+  "CMakeFiles/fig4_offset_latency.dir/fig4_offset_latency.cpp.o"
+  "CMakeFiles/fig4_offset_latency.dir/fig4_offset_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_offset_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_imb_sendrecv"
+  "../bench/fig5_imb_sendrecv.pdb"
+  "CMakeFiles/fig5_imb_sendrecv.dir/fig5_imb_sendrecv.cpp.o"
+  "CMakeFiles/fig5_imb_sendrecv.dir/fig5_imb_sendrecv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_imb_sendrecv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_nas"
+  "../bench/fig6_nas.pdb"
+  "CMakeFiles/fig6_nas.dir/fig6_nas.cpp.o"
+  "CMakeFiles/fig6_nas.dir/fig6_nas.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_allocator"
+  "../bench/tab_allocator.pdb"
+  "CMakeFiles/tab_allocator.dir/tab_allocator.cpp.o"
+  "CMakeFiles/tab_allocator.dir/tab_allocator.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_post_overhead"
+  "../bench/tab_post_overhead.pdb"
+  "CMakeFiles/tab_post_overhead.dir/tab_post_overhead.cpp.o"
+  "CMakeFiles/tab_post_overhead.dir/tab_post_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_post_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

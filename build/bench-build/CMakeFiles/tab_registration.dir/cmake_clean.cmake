@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_registration"
+  "../bench/tab_registration.pdb"
+  "CMakeFiles/tab_registration.dir/tab_registration.cpp.o"
+  "CMakeFiles/tab_registration.dir/tab_registration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_registration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

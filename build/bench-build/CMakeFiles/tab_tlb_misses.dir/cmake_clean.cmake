@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_tlb_misses"
+  "../bench/tab_tlb_misses.pdb"
+  "CMakeFiles/tab_tlb_misses.dir/tab_tlb_misses.cpp.o"
+  "CMakeFiles/tab_tlb_misses.dir/tab_tlb_misses.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_tlb_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_xeon_att"
+  "../bench/tab_xeon_att.pdb"
+  "CMakeFiles/tab_xeon_att.dir/tab_xeon_att.cpp.o"
+  "CMakeFiles/tab_xeon_att.dir/tab_xeon_att.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_xeon_att.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

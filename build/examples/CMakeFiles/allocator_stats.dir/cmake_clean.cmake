@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocator_stats.dir/allocator_stats.cpp.o"
+  "CMakeFiles/allocator_stats.dir/allocator_stats.cpp.o.d"
+  "allocator_stats"
+  "allocator_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocator_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

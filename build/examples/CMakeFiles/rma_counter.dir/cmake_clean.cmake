@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rma_counter.dir/rma_counter.cpp.o"
+  "CMakeFiles/rma_counter.dir/rma_counter.cpp.o.d"
+  "rma_counter"
+  "rma_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rma_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sge_aggregation.dir/sge_aggregation.cpp.o"
+  "CMakeFiles/sge_aggregation.dir/sge_aggregation.cpp.o.d"
+  "sge_aggregation"
+  "sge_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sge_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

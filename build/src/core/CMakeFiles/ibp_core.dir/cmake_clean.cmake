@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibp_core.dir/cluster.cpp.o"
+  "CMakeFiles/ibp_core.dir/cluster.cpp.o.d"
+  "libibp_core.a"
+  "libibp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

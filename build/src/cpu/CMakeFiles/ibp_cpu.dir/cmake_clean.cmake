@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibp_cpu.dir/memory_system.cpp.o"
+  "CMakeFiles/ibp_cpu.dir/memory_system.cpp.o.d"
+  "libibp_cpu.a"
+  "libibp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibp_hca.dir/adapter.cpp.o"
+  "CMakeFiles/ibp_hca.dir/adapter.cpp.o.d"
+  "libibp_hca.a"
+  "libibp_hca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibp_hca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libibp_hca.a"
+)

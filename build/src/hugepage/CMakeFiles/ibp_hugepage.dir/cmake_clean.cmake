@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibp_hugepage.dir/heap.cpp.o"
+  "CMakeFiles/ibp_hugepage.dir/heap.cpp.o.d"
+  "CMakeFiles/ibp_hugepage.dir/libc_heap.cpp.o"
+  "CMakeFiles/ibp_hugepage.dir/libc_heap.cpp.o.d"
+  "libibp_hugepage.a"
+  "libibp_hugepage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibp_hugepage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ibp_hugepage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibp_mem.dir/address_space.cpp.o"
+  "CMakeFiles/ibp_mem.dir/address_space.cpp.o.d"
+  "CMakeFiles/ibp_mem.dir/physical.cpp.o"
+  "CMakeFiles/ibp_mem.dir/physical.cpp.o.d"
+  "libibp_mem.a"
+  "libibp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibp_mpi.dir/comm.cpp.o"
+  "CMakeFiles/ibp_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/ibp_mpi.dir/window.cpp.o"
+  "CMakeFiles/ibp_mpi.dir/window.cpp.o.d"
+  "libibp_mpi.a"
+  "libibp_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibp_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

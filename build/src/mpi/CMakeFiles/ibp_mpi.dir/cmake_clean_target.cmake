@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libibp_mpi.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibp_platform.dir/platform.cpp.o"
+  "CMakeFiles/ibp_platform.dir/platform.cpp.o.d"
+  "libibp_platform.a"
+  "libibp_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibp_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibp_sim.dir/engine.cpp.o"
+  "CMakeFiles/ibp_sim.dir/engine.cpp.o.d"
+  "libibp_sim.a"
+  "libibp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/alloc_trace.cpp" "src/workloads/CMakeFiles/ibp_workloads.dir/alloc_trace.cpp.o" "gcc" "src/workloads/CMakeFiles/ibp_workloads.dir/alloc_trace.cpp.o.d"
+  "/root/repo/src/workloads/imb.cpp" "src/workloads/CMakeFiles/ibp_workloads.dir/imb.cpp.o" "gcc" "src/workloads/CMakeFiles/ibp_workloads.dir/imb.cpp.o.d"
+  "/root/repo/src/workloads/nas_cg.cpp" "src/workloads/CMakeFiles/ibp_workloads.dir/nas_cg.cpp.o" "gcc" "src/workloads/CMakeFiles/ibp_workloads.dir/nas_cg.cpp.o.d"
+  "/root/repo/src/workloads/nas_common.cpp" "src/workloads/CMakeFiles/ibp_workloads.dir/nas_common.cpp.o" "gcc" "src/workloads/CMakeFiles/ibp_workloads.dir/nas_common.cpp.o.d"
+  "/root/repo/src/workloads/nas_ep.cpp" "src/workloads/CMakeFiles/ibp_workloads.dir/nas_ep.cpp.o" "gcc" "src/workloads/CMakeFiles/ibp_workloads.dir/nas_ep.cpp.o.d"
+  "/root/repo/src/workloads/nas_ft.cpp" "src/workloads/CMakeFiles/ibp_workloads.dir/nas_ft.cpp.o" "gcc" "src/workloads/CMakeFiles/ibp_workloads.dir/nas_ft.cpp.o.d"
+  "/root/repo/src/workloads/nas_is.cpp" "src/workloads/CMakeFiles/ibp_workloads.dir/nas_is.cpp.o" "gcc" "src/workloads/CMakeFiles/ibp_workloads.dir/nas_is.cpp.o.d"
+  "/root/repo/src/workloads/nas_lu.cpp" "src/workloads/CMakeFiles/ibp_workloads.dir/nas_lu.cpp.o" "gcc" "src/workloads/CMakeFiles/ibp_workloads.dir/nas_lu.cpp.o.d"
+  "/root/repo/src/workloads/nas_mg.cpp" "src/workloads/CMakeFiles/ibp_workloads.dir/nas_mg.cpp.o" "gcc" "src/workloads/CMakeFiles/ibp_workloads.dir/nas_mg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ibp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/ibp_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/hugepage/CMakeFiles/ibp_hugepage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ibp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/ibp_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ibp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/hca/CMakeFiles/ibp_hca.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ibp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

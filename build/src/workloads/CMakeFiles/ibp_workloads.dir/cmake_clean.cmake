@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibp_workloads.dir/alloc_trace.cpp.o"
+  "CMakeFiles/ibp_workloads.dir/alloc_trace.cpp.o.d"
+  "CMakeFiles/ibp_workloads.dir/imb.cpp.o"
+  "CMakeFiles/ibp_workloads.dir/imb.cpp.o.d"
+  "CMakeFiles/ibp_workloads.dir/nas_cg.cpp.o"
+  "CMakeFiles/ibp_workloads.dir/nas_cg.cpp.o.d"
+  "CMakeFiles/ibp_workloads.dir/nas_common.cpp.o"
+  "CMakeFiles/ibp_workloads.dir/nas_common.cpp.o.d"
+  "CMakeFiles/ibp_workloads.dir/nas_ep.cpp.o"
+  "CMakeFiles/ibp_workloads.dir/nas_ep.cpp.o.d"
+  "CMakeFiles/ibp_workloads.dir/nas_ft.cpp.o"
+  "CMakeFiles/ibp_workloads.dir/nas_ft.cpp.o.d"
+  "CMakeFiles/ibp_workloads.dir/nas_is.cpp.o"
+  "CMakeFiles/ibp_workloads.dir/nas_is.cpp.o.d"
+  "CMakeFiles/ibp_workloads.dir/nas_lu.cpp.o"
+  "CMakeFiles/ibp_workloads.dir/nas_lu.cpp.o.d"
+  "CMakeFiles/ibp_workloads.dir/nas_mg.cpp.o"
+  "CMakeFiles/ibp_workloads.dir/nas_mg.cpp.o.d"
+  "libibp_workloads.a"
+  "libibp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hca_test.dir/hca_test.cpp.o"
+  "CMakeFiles/hca_test.dir/hca_test.cpp.o.d"
+  "hca_test"
+  "hca_test.pdb"
+  "hca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_fuzz_test.dir/mpi_fuzz_test.cpp.o"
+  "CMakeFiles/mpi_fuzz_test.dir/mpi_fuzz_test.cpp.o.d"
+  "mpi_fuzz_test"
+  "mpi_fuzz_test.pdb"
+  "mpi_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

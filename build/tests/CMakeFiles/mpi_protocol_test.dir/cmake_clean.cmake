@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_protocol_test.dir/mpi_protocol_test.cpp.o"
+  "CMakeFiles/mpi_protocol_test.dir/mpi_protocol_test.cpp.o.d"
+  "mpi_protocol_test"
+  "mpi_protocol_test.pdb"
+  "mpi_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

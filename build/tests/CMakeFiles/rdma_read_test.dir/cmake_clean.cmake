@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_read_test.dir/rdma_read_test.cpp.o"
+  "CMakeFiles/rdma_read_test.dir/rdma_read_test.cpp.o.d"
+  "rdma_read_test"
+  "rdma_read_test.pdb"
+  "rdma_read_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_read_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/regcache_test.cpp" "tests/CMakeFiles/regcache_test.dir/regcache_test.cpp.o" "gcc" "tests/CMakeFiles/regcache_test.dir/regcache_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ibp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/ibp_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/hugepage/CMakeFiles/ibp_hugepage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ibp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/ibp_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ibp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/hca/CMakeFiles/ibp_hca.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ibp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

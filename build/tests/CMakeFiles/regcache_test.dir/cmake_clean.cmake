@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regcache_test.dir/regcache_test.cpp.o"
+  "CMakeFiles/regcache_test.dir/regcache_test.cpp.o.d"
+  "regcache_test"
+  "regcache_test.pdb"
+  "regcache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regcache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/registration_sweep_test.dir/registration_sweep_test.cpp.o"
+  "CMakeFiles/registration_sweep_test.dir/registration_sweep_test.cpp.o.d"
+  "registration_sweep_test"
+  "registration_sweep_test.pdb"
+  "registration_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/registration_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

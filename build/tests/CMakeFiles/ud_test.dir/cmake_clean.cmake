@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ud_test.dir/ud_test.cpp.o"
+  "CMakeFiles/ud_test.dir/ud_test.cpp.o.d"
+  "ud_test"
+  "ud_test.pdb"
+  "ud_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ud_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/nas_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/hca_test[1]_include.cmake")
+include("/root/repo/build/tests/hugepage_test[1]_include.cmake")
+include("/root/repo/build/tests/verbs_test[1]_include.cmake")
+include("/root/repo/build/tests/regcache_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/registration_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/rdma_read_test[1]_include.cmake")
+include("/root/repo/build/tests/datatype_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/tracer_test[1]_include.cmake")
+include("/root/repo/build/tests/window_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/ud_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibplace.dir/ibplace.cpp.o"
+  "CMakeFiles/ibplace.dir/ibplace.cpp.o.d"
+  "ibplace"
+  "ibplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_info "/root/repo/build/tools/ibplace" "info" "--platform=systemp")
+set_tests_properties(cli_info PROPERTIES  PASS_REGULAR_EXPRESSION "platform systemp" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/ibplace")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_nas "/root/repo/build/tools/ibplace" "nas" "ep" "--nodes=2" "--rpn=2")
+set_tests_properties(cli_nas PROPERTIES  PASS_REGULAR_EXPRESSION "improvement: comm" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_imb "/root/repo/build/tools/ibplace" "imb" "pingpong" "--nodes=2" "--rpn=1" "--iters=3")
+set_tests_properties(cli_imb PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_reg "/root/repo/build/tools/ibplace" "reg" "--platform=xeon")
+set_tests_properties(cli_reg PROPERTIES  PASS_REGULAR_EXPRESSION "ratio" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
