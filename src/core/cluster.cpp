@@ -27,6 +27,17 @@ Cluster::Cluster(ClusterConfig cfg)
   for (int n = 0; n < cfg_.nodes; ++n)
     nodes_.push_back(std::make_unique<Node>(cfg_, n, seeder.next_u64()));
 
+  if (!cfg_.fault.empty()) {
+    fault_ = std::make_unique<fault::FaultInjector>(cfg_.fault, cfg_.seed);
+    if (cfg_.enable_tracing) {
+      // Fault/retry events land on the owning node's tracer lane.
+      fault_->set_observer([this](const char* kind, NodeId node, TimePs at) {
+        tracer_.mark(node, "fault", kind, at);
+      });
+    }
+    for (auto& nd : nodes_) nd->adapter.set_fault_injector(fault_.get());
+  }
+
   if (cfg_.fabric_pod_nodes > 0) {
     fabric_ = std::make_unique<hca::Fabric>(
         cfg_.fabric_core_links, cfg_.fabric_hop_latency,
@@ -46,6 +57,7 @@ Cluster::Cluster(ClusterConfig cfg)
     RankState& rs = *ranks_.back();
     rs.ud_qp = &nd.adapter.create_qp(&rs.send_cq, &rs.recv_cq,
                                      hca::QpType::UD);
+    rs.ud_qp->set_attrs(cfg_.driver.qp);
   }
 
   // Wiring. Inter-node pairs get an RC QP pair; same-node pairs get a
@@ -76,6 +88,8 @@ Cluster::Cluster(ClusterConfig cfg)
             ra.node->adapter.create_qp(&ra.send_cq, &ra.recv_cq);
         hca::QueuePair& qb =
             rb.node->adapter.create_qp(&rb.send_cq, &rb.recv_cq);
+        qa.set_attrs(cfg_.driver.qp);
+        qb.set_attrs(cfg_.driver.qp);
         qa.connect(&qb);
         qb.connect(&qa);
         ra.qp_to[static_cast<std::size_t>(b)] = &qa;

@@ -20,6 +20,7 @@
 #include "ibp/common/rng.hpp"
 #include "ibp/common/types.hpp"
 #include "ibp/core/shm.hpp"
+#include "ibp/fault/fault.hpp"
 #include "ibp/cpu/memory_system.hpp"
 #include "ibp/cpu/tlb.hpp"
 #include "ibp/hca/adapter.hpp"
@@ -51,7 +52,7 @@ struct ClusterConfig {
   /// drawback at the price of re-registrations).
   std::uint64_t regcache_capacity_bytes = 0;
   /// The paper's OpenIB driver patch: ship native hugepage translations.
-  verbs::DriverConfig driver{true};
+  verbs::DriverConfig driver{.hugepage_passthrough = true, .qp = {}};
   hugepage::LibraryConfig library;  // threshold / fit policy / costs
   /// Record MPI-call and user spans into Cluster::tracer() (Chrome
   /// trace-event JSON via Tracer::write_json).
@@ -63,6 +64,10 @@ struct ClusterConfig {
   int fabric_pod_nodes = 0;
   int fabric_core_links = 1;
   TimePs fabric_hop_latency = ns(450);
+  /// Fault plan evaluated by a cluster-owned FaultInjector (seeded from
+  /// `seed` unless the plan carries its own). An empty plan attaches no
+  /// injector, leaving the legacy always-healthy transport untouched.
+  fault::FaultPlan fault;
   std::uint64_t seed = 42;
 };
 
@@ -202,6 +207,10 @@ class Cluster {
   /// Populated when config().enable_tracing; null otherwise.
   sim::Tracer* tracer() { return cfg_.enable_tracing ? &tracer_ : nullptr; }
 
+  /// The fault injector driving config().fault, or null for a healthy
+  /// fabric. Shared by every adapter in the cluster.
+  fault::FaultInjector* fault() { return fault_.get(); }
+
   /// Run one program on every rank (single-use, like sim::Engine).
   void run(const std::function<void(RankEnv&)>& fn);
 
@@ -218,6 +227,7 @@ class Cluster {
   sim::Engine engine_;
   sim::Tracer tracer_;
   std::unique_ptr<hca::Fabric> fabric_;
+  std::unique_ptr<fault::FaultInjector> fault_;
 };
 
 inline void RankEnv::trace(const char* category, const char* name,

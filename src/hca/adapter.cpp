@@ -89,7 +89,7 @@ std::vector<const MemoryRegion*> Adapter::validate_sges(
 }
 
 Adapter::DmaCost Adapter::dma_sge_cost(const MemoryRegion& mr, VirtAddr addr,
-                                       std::uint32_t len) {
+                                       std::uint32_t len, TimePs now) {
   DmaCost cost;
   if (len == 0) return cost;
 
@@ -103,12 +103,22 @@ Adapter::DmaCost Adapter::dma_sge_cost(const MemoryRegion& mr, VirtAddr addr,
   const std::uint64_t crossings = (addr + len - 1) / burst - addr / burst;
   cost.stalls += crossings * cfg_.burst_cross_penalty;
 
-  // ATT: every distinct translation entry the transfer touches.
+  // ATT: every distinct translation entry the transfer touches. During an
+  // injected miss storm the cache is being thrashed by a competing agent:
+  // every lookup is charged as a miss and bypasses the LRU (its resident
+  // entries are stale by the time the storm passes anyway).
+  const bool storm = fault_ != nullptr && fault_->att_storm_active(node_, now);
   const std::uint64_t first =
       (align_down(addr, mr.trans_page_size) -
        align_down(mr.addr, mr.trans_page_size)) /
       mr.trans_page_size;
   const std::uint64_t count = pages_spanned(addr, len, mr.trans_page_size);
+  if (storm) {
+    stats_.att_misses += count;
+    stats_.storm_att_misses += count;
+    cost.stalls += count * cfg_.att_miss;
+    return cost;
+  }
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::uint64_t key =
         (static_cast<std::uint64_t>(mr.lkey) << 32) | (first + i);
@@ -166,9 +176,135 @@ TimePs Adapter::acquire_rx(TimePs first_byte, TimePs duration, bool ctrl) {
 }
 
 // ---------------------------------------------------------------------------
+// QueuePair — reliability machinery
+//
+// All of this is inert unless a fault injector is attached to the posting
+// adapter: a healthy fabric never consults the injector, so the legacy
+// timing model (and every existing trace) is reproduced bit-exactly.
+
+CqeType QueuePair::send_cqe_type(Opcode op) {
+  switch (op) {
+    case Opcode::Send: return CqeType::SendComplete;
+    case Opcode::RdmaWrite: return CqeType::RdmaWriteComplete;
+    case Opcode::RdmaRead: return CqeType::RdmaReadComplete;
+    case Opcode::AtomicFetchAdd:
+    case Opcode::AtomicCmpSwap: return CqeType::AtomicComplete;
+  }
+  return CqeType::SendComplete;
+}
+
+TimePs QueuePair::retransmit_backoff(std::uint32_t attempt) const {
+  // Exponential backoff, capped at 16x the base timeout (IB's timeout
+  // field is similarly bounded in practice).
+  return attrs_.retransmit_timeout << std::min<std::uint32_t>(attempt, 4);
+}
+
+// Walk the packet train of one transfer through the injector. Every lost
+// (dropped or ICRC-corrupted) packet costs the sender one timeout at the
+// current backoff level plus a resend; a packet that stays lost after
+// retry_cnt resends is fatal. The whole train is judged inside the posting
+// rank's turn — consistent with the synchronous timing model, the lane
+// stays reserved across the timeouts (an approximation that overcharges
+// neighbours only while a link is actively lossy).
+QueuePair::LossModel QueuePair::judge_packets(std::uint64_t npkts,
+                                              TimePs start, NodeId src_node,
+                                              NodeId dst_node) {
+  LossModel out;
+  fault::FaultInjector* inj = adapter_->fault_;
+  if (inj == nullptr) return out;
+  const TimePs pkt = adapter_->mtu_time();
+  TimePs t = start;
+  for (std::uint64_t i = 0; i < npkts; ++i) {
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      const fault::PacketVerdict v = inj->judge_packet(src_node, dst_node, t);
+      if (v == fault::PacketVerdict::Deliver) break;
+      v == fault::PacketVerdict::Drop ? ++out.dropped : ++out.corrupted;
+      if (attempt >= attrs_.retry_cnt) {
+        out.fatal = true;
+        out.fail_time = t + retransmit_backoff(attempt);
+        return out;
+      }
+      const TimePs wait = retransmit_backoff(attempt) + pkt;
+      out.extra += wait;
+      t += wait;
+      ++out.retransmits;
+      inj->note("retransmit", src_node, t);
+    }
+    t += pkt;
+  }
+  return out;
+}
+
+void QueuePair::account_loss(const LossModel& loss) {
+  qp_stats_.retransmits += loss.retransmits;
+  qp_stats_.pkts_dropped += loss.dropped;
+  qp_stats_.pkts_corrupted += loss.corrupted;
+  AdapterStats& s = adapter_->stats_;
+  s.retransmits += loss.retransmits;
+  s.pkts_dropped += loss.dropped;
+  s.pkts_corrupted += loss.corrupted;
+}
+
+void QueuePair::check_injected_error(TimePs now) {
+  if (state_ == QpState::Ready && adapter_->fault_ != nullptr &&
+      adapter_->fault_->qp_error_due(adapter_->node_, qp_num_, now))
+    enter_error(now);
+}
+
+void QueuePair::enter_error(TimePs now) {
+  if (state_ == QpState::Error) return;
+  state_ = QpState::Error;
+  ++adapter_->stats_.qp_errors;
+  if (adapter_->fault_ != nullptr)
+    adapter_->fault_->note("qp_error", adapter_->node_, now);
+  const TimePs ready = now + adapter_->cfg_.cqe_write;
+  for (const auto& pr : recv_queue_) {
+    Cqe c;
+    c.wr_id = pr.wr.wr_id;
+    c.type = CqeType::RecvComplete;
+    c.status = WcStatus::WorkRequestFlushed;
+    c.qp_num = qp_num_;
+    c.ready_time = ready;
+    recv_cq_->push(c);
+  }
+  recv_queue_.clear();
+  // Queued inbound messages whose senders track an RNR deadline keep that
+  // deadline: a post-reset receive can still rescue them. Senders with an
+  // unbounded RNR budget would wait on a dead QP forever — fail them like
+  // an exhausted retry instead of hanging the engine.
+  for (auto it = inbound_.begin(); it != inbound_.end();) {
+    if (it->src_qp != nullptr && !it->rnr_cqe_scheduled) {
+      Cqe c;
+      c.wr_id = it->send_wr_id;
+      c.type = CqeType::SendComplete;
+      c.status = WcStatus::RetryExceeded;
+      c.qp_num = it->src_qp->qp_num_;
+      c.ready_time = ready;
+      it->src_qp->send_cq_->push(c);
+      it->src_qp->enter_error(now);
+      it = inbound_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // QueuePair
 
 TimePs QueuePair::post_send(const SendWr& wr, TimePs now) {
+  check_injected_error(now);
+  if (state_ == QpState::Error) {
+    // Error-state QPs complete every new WR immediately as flushed.
+    Cqe cqe;
+    cqe.wr_id = wr.wr_id;
+    cqe.type = send_cqe_type(wr.opcode);
+    cqe.status = WcStatus::WorkRequestFlushed;
+    cqe.qp_num = qp_num_;
+    cqe.ready_time = now + adapter_->cfg_.cqe_write;
+    send_cq_->push(cqe);
+    return adapter_->cfg_.post_base;
+  }
   QueuePair* dst = peer_;
   if (type_ == QpType::UD) {
     // Connectionless: Send only, one MTU max, destination per WR.
@@ -201,7 +337,8 @@ TimePs QueuePair::post_send(const SendWr& wr, TimePs now) {
   const TimePs nic_start = std::max(now + cpu_cost, nic_busy_until_);
   TimePs dma = 0;
   for (std::size_t i = 0; i < wr.sges.size(); ++i)
-    dma += hca.dma_sge_cost(*mrs[i], wr.sges[i].addr, wr.sges[i].length)
+    dma += hca.dma_sge_cost(*mrs[i], wr.sges[i].addr, wr.sges[i].length,
+                            nic_start)
                .total();
   const TimePs nic_proc =
       cfg.wqe_fetch + wr.sges.size() * cfg.dma_setup;
@@ -219,16 +356,43 @@ TimePs QueuePair::post_send(const SendWr& wr, TimePs now) {
               "RDMA write outside the remote region");
     if (bytes != 0)
       remote_dma = rhca.dma_sge_cost(*rmr, wr.remote_addr,
-                                     static_cast<std::uint32_t>(bytes))
+                                     static_cast<std::uint32_t>(bytes),
+                                     nic_start)
                        .total();
   }
 
   // Multi-packet transfers pipeline payload gather, wire streaming and
   // remote placement; a single-packet message runs them back to back.
-  const TimePs transfer =
+  TimePs transfer =
       bytes > cfg.mtu
           ? std::max({dma, hca.wire_time(bytes), remote_dma})
           : dma + hca.wire_time(bytes) + remote_dma;
+
+  // RC reliability: judge the packet train against the fault plan. Lost
+  // packets stretch the transfer by their timeout + resend; an exhausted
+  // per-packet retry budget fails the WR and errors the QP instead of
+  // delivering anything.
+  const bool reliable = type_ == QpType::RC && hca.fault_ != nullptr;
+  if (reliable) {
+    const std::uint64_t npkts =
+        std::max<std::uint64_t>(1, div_ceil(bytes, cfg.mtu));
+    const LossModel loss =
+        judge_packets(npkts, nic_start + nic_proc, hca.node_, rhca.node_);
+    account_loss(loss);
+    if (loss.fatal) {
+      nic_busy_until_ = loss.fail_time;
+      Cqe cqe;
+      cqe.wr_id = wr.wr_id;
+      cqe.type = send_cqe_type(wr.opcode);
+      cqe.status = WcStatus::RetryExceeded;
+      cqe.qp_num = qp_num_;
+      cqe.ready_time = loss.fail_time + cfg.cqe_write;
+      send_cq_->push(cqe);
+      enter_error(loss.fail_time);
+      return cpu_cost;
+    }
+    transfer += loss.extra;
+  }
 
   const bool ctrl = bytes <= cfg.mtu;
   const TimePs tx_end = hca.acquire_tx(nic_start + nic_proc, transfer, ctrl);
@@ -261,9 +425,37 @@ TimePs QueuePair::post_send(const SendWr& wr, TimePs now) {
 
   hca.stats_.bytes_tx += bytes;
 
+  // UD is unreliable: a lost datagram simply never arrives — no
+  // retransmission, and the sender's "on the wire" CQE is unaffected.
+  bool ud_lost = false;
+  if (type_ == QpType::UD && hca.fault_ != nullptr) {
+    const fault::PacketVerdict v =
+        hca.fault_->judge_packet(hca.node_, rhca.node_, nic_start + nic_proc);
+    if (v != fault::PacketVerdict::Deliver) {
+      ud_lost = true;
+      v == fault::PacketVerdict::Drop ? ++qp_stats_.pkts_dropped
+                                      : ++qp_stats_.pkts_corrupted;
+      v == fault::PacketVerdict::Drop ? ++hca.stats_.pkts_dropped
+                                      : ++hca.stats_.pkts_corrupted;
+    }
+  }
+
+  // Reliable Send completions are ACK-gated: the CQE is generated at match
+  // time (try_match), after any RNR backoff the receiver imposes.
+  const bool defer_cqe = reliable && wr.opcode == Opcode::Send;
+  if (defer_cqe) {
+    msg.src_qp = this;
+    msg.send_wr_id = wr.wr_id;
+    // Retries fire at arrival + k*rnr_timeout for k = 1..rnr_retry; a
+    // receive posted by the last retry rescues the message.
+    if (attrs_.rnr_retry < 7)  // 7 = retry forever (IB convention)
+      msg.rnr_deadline = msg.arrival + static_cast<TimePs>(attrs_.rnr_retry) *
+                                           attrs_.rnr_timeout;
+  }
+
   if (wr.opcode == Opcode::Send) {
     hca.stats_.sends_posted += 1;
-    dst->deliver(std::move(msg));
+    if (!ud_lost) dst->deliver(std::move(msg));
   } else {
     hca.stats_.rdma_writes_posted += 1;
     if (bytes != 0) {
@@ -274,16 +466,18 @@ TimePs QueuePair::post_send(const SendWr& wr, TimePs now) {
 
   // RC send completion is visible after the remote HCA acknowledged; UD
   // is fire-and-forget — the CQE means "on the wire", no ACK round.
-  Cqe cqe;
-  cqe.wr_id = wr.wr_id;
-  cqe.type = wr.opcode == Opcode::Send ? CqeType::SendComplete
-                                       : CqeType::RdmaWriteComplete;
-  cqe.byte_len = static_cast<std::uint32_t>(bytes);
-  cqe.qp_num = qp_num_;
-  cqe.ready_time = type_ == QpType::UD
-                       ? tx_end + cfg.cqe_write
-                       : msg.arrival + cfg.ack_latency + cfg.cqe_write;
-  send_cq_->push(cqe);
+  if (!defer_cqe) {
+    Cqe cqe;
+    cqe.wr_id = wr.wr_id;
+    cqe.type = wr.opcode == Opcode::Send ? CqeType::SendComplete
+                                         : CqeType::RdmaWriteComplete;
+    cqe.byte_len = static_cast<std::uint32_t>(bytes);
+    cqe.qp_num = qp_num_;
+    cqe.ready_time = type_ == QpType::UD
+                         ? tx_end + cfg.cqe_write
+                         : msg.arrival + cfg.ack_latency + cfg.cqe_write;
+    send_cq_->push(cqe);
+  }
 
   return cpu_cost;
 }
@@ -305,10 +499,30 @@ TimePs QueuePair::post_rdma_read(const SendWr& wr, TimePs now) {
   const TimePs nic_start = std::max(now + cpu_cost, nic_busy_until_);
   const TimePs nic_proc = cfg.wqe_fetch + wr.sges.size() * cfg.dma_setup;
 
-  // 1. The read *request* travels as one control packet.
+  // 1. The read *request* travels as one control packet. A lost request is
+  //    retried by the requester like any lost data packet.
+  const bool reliable = hca.fault_ != nullptr;
+  TimePs req_send = nic_start + nic_proc;
+  if (reliable) {
+    const LossModel loss =
+        judge_packets(1, req_send, hca.node_, rhca.node_);
+    account_loss(loss);
+    if (loss.fatal) {
+      nic_busy_until_ = loss.fail_time;
+      Cqe cqe;
+      cqe.wr_id = wr.wr_id;
+      cqe.type = CqeType::RdmaReadComplete;
+      cqe.status = WcStatus::RetryExceeded;
+      cqe.qp_num = qp_num_;
+      cqe.ready_time = loss.fail_time + cfg.cqe_write;
+      send_cq_->push(cqe);
+      enter_error(loss.fail_time);
+      return cpu_cost;
+    }
+    req_send += loss.extra;
+  }
   const TimePs req_dur = hca.wire_time(0);
-  const TimePs req_end =
-      hca.acquire_tx(nic_start + nic_proc, req_dur, /*ctrl=*/true);
+  const TimePs req_end = hca.acquire_tx(req_send, req_dur, /*ctrl=*/true);
   const TimePs req_arrival =
       rhca.acquire_rx(req_end - req_dur + cfg.wire_latency, req_dur, true);
 
@@ -318,18 +532,43 @@ TimePs QueuePair::post_rdma_read(const SendWr& wr, TimePs now) {
   TimePs remote_dma = 0;
   if (bytes != 0)
     remote_dma = rhca.dma_sge_cost(*rmr, wr.remote_addr,
-                                   static_cast<std::uint32_t>(bytes))
+                                   static_cast<std::uint32_t>(bytes),
+                                   req_arrival)
                      .total();
   TimePs local_dma = 0;
   for (std::size_t i = 0; i < wr.sges.size(); ++i)
-    local_dma +=
-        hca.dma_sge_cost(*mrs[i], wr.sges[i].addr, wr.sges[i].length).total();
+    local_dma += hca.dma_sge_cost(*mrs[i], wr.sges[i].addr, wr.sges[i].length,
+                                  req_arrival)
+                     .total();
 
   const bool ctrl = bytes <= cfg.mtu;
-  const TimePs transfer =
+  TimePs transfer =
       bytes > cfg.mtu
           ? std::max({remote_dma, hca.wire_time(bytes), local_dma})
           : remote_dma + hca.wire_time(bytes) + local_dma;
+
+  // Response packets cross the reverse link; the requester times out and
+  // re-requests the missing stretch, so losses charge *this* QP's budget.
+  if (reliable) {
+    const std::uint64_t npkts =
+        std::max<std::uint64_t>(1, div_ceil(bytes, cfg.mtu));
+    const LossModel loss = judge_packets(
+        npkts, req_arrival + rhca.cfg_.wqe_fetch, rhca.node_, hca.node_);
+    account_loss(loss);
+    if (loss.fatal) {
+      nic_busy_until_ = req_end;
+      Cqe cqe;
+      cqe.wr_id = wr.wr_id;
+      cqe.type = CqeType::RdmaReadComplete;
+      cqe.status = WcStatus::RetryExceeded;
+      cqe.qp_num = qp_num_;
+      cqe.ready_time = loss.fail_time + cfg.cqe_write;
+      send_cq_->push(cqe);
+      enter_error(loss.fail_time);
+      return cpu_cost;
+    }
+    transfer += loss.extra;
+  }
 
   // The response consumes the remote transmit and local receive lanes.
   const TimePs resp_end = rhca.acquire_tx(
@@ -392,7 +631,7 @@ TimePs QueuePair::post_atomic(const SendWr& wr, TimePs now) {
       rhca.acquire_rx(req_end - req_dur + cfg.wire_latency, req_dur, true);
   const TimePs exec_done =
       req_arrival + rhca.cfg_.atomic_exec +
-      rhca.dma_sge_cost(*rmr, wr.remote_addr, 8).total();
+      rhca.dma_sge_cost(*rmr, wr.remote_addr, 8, req_arrival).total();
   const TimePs resp_end = rhca.acquire_tx(exec_done, req_dur, true);
   const TimePs arrival =
       hca.acquire_rx(resp_end - req_dur + cfg.wire_latency, req_dur, true);
@@ -425,8 +664,19 @@ TimePs QueuePair::post_atomic(const SendWr& wr, TimePs now) {
 }
 
 TimePs QueuePair::post_recv(const RecvWr& wr, TimePs now) {
+  check_injected_error(now);
   Adapter& hca = *adapter_;
   const AdapterConfig& cfg = hca.cfg_;
+  if (state_ == QpState::Error) {
+    Cqe cqe;
+    cqe.wr_id = wr.wr_id;
+    cqe.type = CqeType::RecvComplete;
+    cqe.status = WcStatus::WorkRequestFlushed;
+    cqe.qp_num = qp_num_;
+    cqe.ready_time = now + cfg.cqe_write;
+    recv_cq_->push(cqe);
+    return cfg.post_recv_base;
+  }
   hca.validate_sges(wr.sges);
   hca.stats_.recvs_posted += 1;
 
@@ -439,6 +689,39 @@ TimePs QueuePair::post_recv(const RecvWr& wr, TimePs now) {
 }
 
 void QueuePair::deliver(StagedMsg msg) {
+  // A passive receiver still notices an injected one-shot error when
+  // traffic reaches it.
+  check_injected_error(msg.arrival);
+  if (state_ == QpState::Error) {
+    if (msg.src_qp != nullptr) {
+      // The receiver NAKs everything in the error state; the sender's
+      // retries can never succeed.
+      Cqe cqe;
+      cqe.wr_id = msg.send_wr_id;
+      cqe.type = CqeType::SendComplete;
+      cqe.status = WcStatus::RetryExceeded;
+      cqe.qp_num = msg.src_qp->qp_num_;
+      cqe.ready_time = msg.arrival + adapter_->cfg_.cqe_write;
+      msg.src_qp->send_cq_->push(cqe);
+      msg.src_qp->enter_error(msg.arrival);
+    }
+    return;  // UD datagrams to a dead QP vanish silently
+  }
+  if (msg.src_qp != nullptr && recv_queue_.empty() && msg.rnr_deadline != 0) {
+    // No receive posted: the receiver returns RNR NAKs until one shows up.
+    // Schedule the sender's exhaustion CQE at the deadline now — a receive
+    // posted in time cancels it (the engine runs ranks in virtual-time
+    // order, so any rescuing post_recv executes before the sender's clock
+    // can reach the deadline).
+    Cqe cqe;
+    cqe.wr_id = msg.send_wr_id;
+    cqe.type = CqeType::SendComplete;
+    cqe.status = WcStatus::RnrRetryExceeded;
+    cqe.qp_num = msg.src_qp->qp_num_;
+    cqe.ready_time = msg.rnr_deadline;
+    msg.src_qp->send_cq_->push(cqe);
+    msg.rnr_cqe_scheduled = true;
+  }
   inbound_.push_back(std::move(msg));
   try_match();
 }
@@ -452,6 +735,44 @@ void QueuePair::try_match() {
     PostedRecv pr = std::move(recv_queue_.front());
     recv_queue_.pop_front();
 
+    // Reliable delivery: resolve the RNR episode this message went
+    // through, if any. `delivered` is when the (re)sent message finally
+    // lands in a posted receive.
+    TimePs delivered = std::max(msg.arrival, pr.post_time);
+    if (msg.src_qp != nullptr) {
+      if (msg.rnr_deadline != 0 && pr.post_time > msg.rnr_deadline) {
+        // The receive came after the sender's last RNR retry: the
+        // exhaustion CQE stands (or is created now), the message is gone,
+        // and the receive stays posted for future traffic.
+        if (!msg.rnr_cqe_scheduled) {
+          Cqe cqe;
+          cqe.wr_id = msg.send_wr_id;
+          cqe.type = CqeType::SendComplete;
+          cqe.status = WcStatus::RnrRetryExceeded;
+          cqe.qp_num = msg.src_qp->qp_num_;
+          cqe.ready_time = msg.rnr_deadline;
+          msg.src_qp->send_cq_->push(cqe);
+        }
+        msg.src_qp->enter_error(msg.rnr_deadline);
+        recv_queue_.push_front(std::move(pr));
+        continue;
+      }
+      delivered = msg.arrival;
+      if (pr.post_time > msg.arrival) {
+        // One RNR NAK + resend per backoff round until the receive shows.
+        const TimePs rnr = msg.src_qp->attrs_.rnr_timeout;
+        const std::uint64_t rounds = div_ceil(pr.post_time - msg.arrival, rnr);
+        delivered = msg.arrival + rounds * rnr;
+        msg.src_qp->qp_stats_.rnr_naks += rounds;
+        hca.stats_.rnr_naks += rounds;
+        if (hca.fault_ != nullptr)
+          hca.fault_->note("rnr_nak", hca.node_, pr.post_time);
+      }
+      if (msg.rnr_cqe_scheduled)
+        msg.src_qp->send_cq_->cancel(msg.send_wr_id,
+                                     WcStatus::RnrRetryExceeded);
+    }
+
     Cqe cqe;
     cqe.wr_id = pr.wr.wr_id;
     cqe.type = CqeType::RecvComplete;
@@ -463,9 +784,19 @@ void QueuePair::try_match() {
     if (msg.data.size() > pr.wr.total_length()) {
       // Real RC would move the QP to error state; a per-WR error CQE keeps
       // the simulation testable without modelling QP teardown.
-      cqe.status = CqeStatus::LocalLengthError;
-      cqe.ready_time = std::max(msg.arrival, pr.post_time) + cfg.cqe_write;
+      cqe.status = WcStatus::LocalLengthError;
+      cqe.ready_time = delivered + cfg.cqe_write;
       recv_cq_->push(cqe);
+      if (msg.src_qp != nullptr) {
+        // The receiver's HCA NAKs the oversized message.
+        Cqe scqe;
+        scqe.wr_id = msg.send_wr_id;
+        scqe.type = CqeType::SendComplete;
+        scqe.status = WcStatus::RemoteError;
+        scqe.qp_num = msg.src_qp->qp_num_;
+        scqe.ready_time = delivered + cfg.ack_latency + cfg.cqe_write;
+        msg.src_qp->send_cq_->push(scqe);
+      }
       continue;
     }
 
@@ -485,18 +816,29 @@ void QueuePair::try_match() {
       auto dst = mr->space->host_span(s.addr, chunk);
       std::copy_n(msg.data.begin() + static_cast<std::ptrdiff_t>(off),
                   chunk, dst.begin());
-      scatter +=
-          cfg.dma_setup +
-          hca.dma_sge_cost(*mr, s.addr, static_cast<std::uint32_t>(chunk))
-              .stalls;
+      scatter += cfg.dma_setup +
+                 hca.dma_sge_cost(*mr, s.addr,
+                                  static_cast<std::uint32_t>(chunk), delivered)
+                     .stalls;
       off += chunk;
     }
 
-    cqe.ready_time =
-        hca.acquire_rx(std::max(msg.arrival, pr.post_time), scatter,
-                       msg.data.size() <= cfg.mtu) +
-        cfg.cqe_write;
+    cqe.ready_time = hca.acquire_rx(delivered, scatter,
+                                    msg.data.size() <= cfg.mtu) +
+                     cfg.cqe_write;
     recv_cq_->push(cqe);
+
+    if (msg.src_qp != nullptr) {
+      // ACK-gated sender completion, delayed by the RNR rounds above.
+      const AdapterConfig& scfg = msg.src_qp->adapter_->cfg_;
+      Cqe scqe;
+      scqe.wr_id = msg.send_wr_id;
+      scqe.type = CqeType::SendComplete;
+      scqe.byte_len = static_cast<std::uint32_t>(msg.data.size());
+      scqe.qp_num = msg.src_qp->qp_num_;
+      scqe.ready_time = delivered + scfg.ack_latency + scfg.cqe_write;
+      msg.src_qp->send_cq_->push(scqe);
+    }
   }
 }
 

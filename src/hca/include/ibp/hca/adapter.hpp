@@ -23,6 +23,7 @@
 #include "ibp/common/check.hpp"
 #include "ibp/common/lru.hpp"
 #include "ibp/common/types.hpp"
+#include "ibp/fault/fault.hpp"
 #include "ibp/hca/completion_queue.hpp"
 #include "ibp/hca/config.hpp"
 #include "ibp/hca/fabric.hpp"
@@ -51,11 +52,28 @@ struct MemoryRegion {
 
 enum class QpType : std::uint8_t { RC, UD };
 
+/// QP lifecycle, collapsed to the two states the model distinguishes.
+/// (Real verbs walk RESET→INIT→RTR→RTS; connect() stands in for that.)
+enum class QpState : std::uint8_t { Ready, Error };
+
 class QueuePair {
  public:
   std::uint32_t qp_num() const { return qp_num_; }
   Adapter& adapter() { return *adapter_; }
   QpType type() const { return type_; }
+  QpState state() const { return state_; }
+
+  /// RC reliability attributes (modify_qp equivalent). Consulted only when
+  /// the adapter has a fault injector attached.
+  void set_attrs(const QpAttrs& attrs) { attrs_ = attrs; }
+  const QpAttrs& attrs() const { return attrs_; }
+  const QpStats& qp_stats() const { return qp_stats_; }
+
+  /// Recycle an errored QP back to Ready (ERR→RESET→RTS shortcut).
+  /// Receives flushed on the way into the error state stay flushed;
+  /// inbound messages from still-retransmitting senders remain queued and
+  /// match against receives posted after the reset.
+  void reset() { state_ = QpState::Ready; }
 
   /// Wire this QP to its RC peer (both directions must be connected).
   void connect(QueuePair* peer) {
@@ -96,6 +114,15 @@ class QueuePair {
     TimePs arrival = 0;  // fully received at the peer HCA
     bool has_imm = false;
     std::uint32_t imm = 0;
+    // Reliable (ACK-gated) delivery, set when the sending adapter has a
+    // fault injector: the sender's CQE is generated at match time, after
+    // any RNR backoff rounds.
+    QueuePair* src_qp = nullptr;
+    std::uint64_t send_wr_id = 0;
+    TimePs rnr_deadline = 0;  // 0 = unbounded RNR retries
+    // A provisional RnrRetryExceeded CQE sits in the sender's CQ at
+    // rnr_deadline; cancelled if a receive rescues the message in time.
+    bool rnr_cqe_scheduled = false;
   };
 
   struct PostedRecv {
@@ -103,16 +130,40 @@ class QueuePair {
     TimePs post_time = 0;
   };
 
+  /// Packet-loss outcome of pushing `npkts` MTUs through the injector.
+  struct LossModel {
+    TimePs extra = 0;  // transfer time added by timeouts + resends
+    std::uint64_t retransmits = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t corrupted = 0;
+    bool fatal = false;     // some packet exhausted retry_cnt
+    TimePs fail_time = 0;   // when the final timeout expired
+  };
+
   TimePs post_rdma_read(const SendWr& wr, TimePs now);
   TimePs post_atomic(const SendWr& wr, TimePs now);
   void deliver(StagedMsg msg);
   void try_match();
+  LossModel judge_packets(std::uint64_t npkts, TimePs start, NodeId src_node,
+                          NodeId dst_node);
+  TimePs retransmit_backoff(std::uint32_t attempt) const;
+  void account_loss(const LossModel& loss);
+  /// Fire a pending injected one-shot QP error, if any.
+  void check_injected_error(TimePs now);
+  /// Move to the error state: flush posted receives, fail senders whose
+  /// queued messages can no longer complete.
+  void enter_error(TimePs now);
+  /// Completion type reported for a flushed/failed send-side WR.
+  static CqeType send_cqe_type(Opcode op);
 
   Adapter* adapter_;
   std::uint32_t qp_num_;
   CompletionQueue* send_cq_;
   CompletionQueue* recv_cq_;
   QpType type_ = QpType::RC;
+  QpState state_ = QpState::Ready;
+  QpAttrs attrs_;
+  QpStats qp_stats_;
   QueuePair* peer_ = nullptr;
   TimePs nic_busy_until_ = 0;  // per-QP in-order WQE processing
   std::deque<PostedRecv> recv_queue_;
@@ -140,6 +191,13 @@ class Adapter {
   Fabric* fabric() { return fabric_; }
   const AdapterStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
+
+  /// Attach the cluster's fault injector (nullptr detaches). With an
+  /// injector attached, RC QPs run the full reliability protocol
+  /// (per-packet loss judging, retransmission, RNR backoff, error state);
+  /// without one, the legacy always-healthy fast path is taken unchanged.
+  void set_fault_injector(fault::FaultInjector* inj) { fault_ = inj; }
+  fault::FaultInjector* fault_injector() { return fault_; }
 
   /// Register [addr, addr+len) of `space`. `trans_page_size` is the
   /// granularity of the translations shipped to the NIC — the stock driver
@@ -178,8 +236,9 @@ class Adapter {
     TimePs stalls = 0;
     TimePs total() const { return stream + stalls; }
   };
+  /// `now` lets an active ATT-miss storm turn every lookup into a miss.
   DmaCost dma_sge_cost(const MemoryRegion& mr, VirtAddr addr,
-                       std::uint32_t len);
+                       std::uint32_t len, TimePs now);
 
   /// Wire time for `bytes` on the link (streaming + packetization).
   TimePs wire_time(std::uint64_t bytes) const;
@@ -200,6 +259,7 @@ class Adapter {
   NodeId node_;
   AdapterConfig cfg_;
   Fabric* fabric_ = nullptr;
+  fault::FaultInjector* fault_ = nullptr;
   int pod_ = 0;
   AdapterStats stats_;
   LruSet<std::uint64_t> att_;  // key: (lkey << 32) | translation index

@@ -38,6 +38,20 @@ class CompletionQueue {
     return c;
   }
 
+  /// Withdraw the pending CQE matching (wr_id, status). Used to cancel a
+  /// provisionally scheduled error completion — e.g. an RNR-exhaustion CQE
+  /// rescued by a receive posted before the deadline. Returns whether a
+  /// matching entry was removed.
+  bool cancel(std::uint64_t wr_id, WcStatus status) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->wr_id == wr_id && it->status == status) {
+        entries_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
   /// Ready time of the earliest pending CQE (for scheduler wait
   /// predicates), or nullopt when empty.
   std::optional<TimePs> next_ready() const {

@@ -69,6 +69,26 @@ struct AdapterConfig {
   TimePs unpin_per_page = ns(300);
 };
 
+/// RC reliability attributes (ibv_qp_attr subset). Only consulted when a
+/// fault injector is attached to the adapter; a healthy fabric never
+/// retransmits, so the legacy timing model is untouched without one.
+struct QpAttrs {
+  std::uint8_t retry_cnt = 7;   // transport retries per lost packet
+  std::uint8_t rnr_retry = 7;   // RNR NAK retries; 7 = infinite (IB spec)
+  TimePs retransmit_timeout = us(60);  // first loss-detection timeout;
+                                       // doubles per retry, capped at 16x
+  TimePs rnr_timeout = us(20);         // receiver-not-ready backoff interval
+};
+
+/// Per-QP reliability counters (surfaced through verbs::Context::query_qp
+/// and aggregated into mpi::CommStats).
+struct QpStats {
+  std::uint64_t retransmits = 0;     // packets resent after drop/corruption
+  std::uint64_t pkts_dropped = 0;
+  std::uint64_t pkts_corrupted = 0;  // ICRC failures (NAK'd like drops)
+  std::uint64_t rnr_naks = 0;        // RNR backoff rounds this QP suffered
+};
+
 struct AdapterStats {
   std::uint64_t sends_posted = 0;
   std::uint64_t recvs_posted = 0;
@@ -83,6 +103,13 @@ struct AdapterStats {
   std::uint64_t pages_pinned = 0;
   std::uint64_t translations_shipped = 0;
   TimePs reg_time_total = 0;
+  // Fault-plane counters (all zero on a healthy fabric).
+  std::uint64_t pkts_dropped = 0;
+  std::uint64_t pkts_corrupted = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t rnr_naks = 0;
+  std::uint64_t qp_errors = 0;
+  std::uint64_t storm_att_misses = 0;  // ATT misses forced by a storm
 };
 
 }  // namespace ibp::hca

@@ -68,12 +68,34 @@ enum class CqeType : std::uint8_t {
   RdmaReadComplete,
   AtomicComplete,
 };
-enum class CqeStatus : std::uint8_t { Success, LocalLengthError };
+/// Work-completion status (ibv_wc_status equivalent).
+enum class WcStatus : std::uint8_t {
+  Success,
+  LocalLengthError,    // inbound message truncated by the receive WR
+  RetryExceeded,       // transport retry budget exhausted (lost packets)
+  RnrRetryExceeded,    // receiver never posted a receive within the budget
+  WorkRequestFlushed,  // WR drained while the QP sat in the error state
+  RemoteError,         // peer NAK'd the request (e.g. length violation)
+};
+/// Historical name, kept for call sites predating the reliability model.
+using CqeStatus = WcStatus;
+
+inline const char* wc_status_name(WcStatus s) {
+  switch (s) {
+    case WcStatus::Success: return "success";
+    case WcStatus::LocalLengthError: return "local-length-error";
+    case WcStatus::RetryExceeded: return "retry-exceeded";
+    case WcStatus::RnrRetryExceeded: return "rnr-retry-exceeded";
+    case WcStatus::WorkRequestFlushed: return "work-request-flushed";
+    case WcStatus::RemoteError: return "remote-error";
+  }
+  return "unknown";
+}
 
 struct Cqe {
   std::uint64_t wr_id = 0;
   CqeType type = CqeType::SendComplete;
-  CqeStatus status = CqeStatus::Success;
+  WcStatus status = WcStatus::Success;
   std::uint32_t byte_len = 0;
   bool has_imm = false;
   std::uint32_t imm = 0;

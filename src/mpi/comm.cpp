@@ -23,6 +23,9 @@ Comm::Comm(core::RankEnv& env, CommConfig cfg) : env_(&env), cfg_(cfg) {
             "eager threshold must not exceed the rendezvous-copy ceiling");
   IBP_CHECK(cfg_.rndv_copy_max + kHeaderBytes <= cfg_.slot_bytes,
             "bounce slots too small for the rendezvous-copy ceiling");
+  IBP_CHECK(!cfg_.ud_eager || env.cluster().fault() == nullptr,
+            "ud_eager rides an unreliable datagram transport; disable it "
+            "when a fault plan is active");
 
   const int n = size();
   peer_idx_.assign(static_cast<std::size_t>(n), ~0ull);
@@ -163,14 +166,17 @@ void Comm::transport_send(int peer, const Header& hdr_in,
       cfg_.ud_eager &&
       kHeaderBytes + payload.size() <=
           env_->state().node->adapter.config().mtu;
-  send_actions_.emplace(wr.wr_id, std::move(action));
   if (fits_datagram) {
     ++stats_.ud_sent;
     wr.ud_dest = env_->cluster().rank(peer).ud_qp;
+    send_actions_.emplace(wr.wr_id, std::move(action));
     auto qp = env_->verbs().wrap_qp(*env_->state().ud_qp);
     env_->verbs().post_send(qp, wr);
     return;
   }
+  action.wr = wr;  // the bounce slot stays held, so the WR is replayable
+  action.dest = peer;
+  send_actions_.emplace(wr.wr_id, std::move(action));
   auto qp = env_->verbs().wrap_qp(
       *env_->state().qp_to[static_cast<std::size_t>(peer)]);
   env_->verbs().post_send(qp, wr);
@@ -202,6 +208,8 @@ void Comm::transport_send_sges(int peer, const Header& hdr_in,
         {s.addr, static_cast<std::uint32_t>(s.len), mr.lkey});
   }
   action.slot = slot;
+  action.wr = wr;  // gathered buffers stay registered (lazy cache), so
+  action.dest = peer;  // the WR is replayable
   send_actions_.emplace(wr.wr_id, std::move(action));
   auto qp = env_->verbs().wrap_qp(
       *env_->state().qp_to[static_cast<std::size_t>(peer)]);
@@ -503,8 +511,11 @@ void Comm::progress_once() {
     }
 
     while (auto c = env_->verbs().poll_recv()) {
-      IBP_CHECK(c->status == hca::CqeStatus::Success,
-                "transport receive completed in error");
+      if (c->status != hca::WcStatus::Success) {
+        handle_recv_error(*c);
+        again = true;
+        continue;
+      }
       if (c->wr_id >= kUdWrBase) {
         // Datagram slot.
         const std::uint64_t slot = c->wr_id - kUdWrBase;
@@ -640,6 +651,8 @@ void Comm::handle_msg(const Header& hdr,
         SendAction action;
         action.req = r;
         action.rdma_fin = true;
+        action.wr = wr;
+        action.dest = r->peer;
         r->mr = mr;
         r->holds_mr = true;
         send_actions_.emplace(wr.wr_id, std::move(action));
@@ -700,6 +713,32 @@ void Comm::handle_send_cqe(const hca::Cqe& cqe) {
   SendAction action = std::move(it->second);
   send_actions_.erase(it);
 
+  if (cqe.status != hca::WcStatus::Success) {
+    IBP_CHECK(cfg_.recovery == CommConfig::Recovery::Repost &&
+                  action.dest >= 0 &&
+                  action.attempts < cfg_.max_send_retries,
+              "transport send to rank "
+                  << action.dest << " failed ("
+                  << hca::wc_status_name(cqe.status) << ") after "
+                  << action.attempts << " replay(s)");
+    // Recycle the errored QP and replay the stored WR. The bounce slot
+    // (or registered user buffer) is still held, so the payload is
+    // intact; the recovery delay lets the peer — whose own QP end also
+    // errored — drain its flushed completions and repost receives before
+    // the replay arrives.
+    ++action.attempts;
+    recover_qp(action.dest);
+    env_->sim().advance(cfg_.recovery_delay);
+    hca::SendWr wr = action.wr;
+    wr.wr_id = next_wr_id_++;
+    const int dest = action.dest;
+    send_actions_.emplace(wr.wr_id, std::move(action));
+    auto qp = env_->verbs().wrap_qp(
+        *env_->state().qp_to[static_cast<std::size_t>(dest)]);
+    env_->verbs().post_send(qp, wr);
+    return;
+  }
+
   if (action.slot >= 0) release_send_slot(action.slot);
   if (action.read_fin) {
     // The pull finished: the payload is in place; tell the sender its
@@ -738,6 +777,49 @@ void Comm::handle_send_cqe(const hca::Cqe& cqe) {
   } else if (action.req) {
     action.req->state = Request::State::Done;
   }
+}
+
+void Comm::handle_recv_error(const hca::Cqe& cqe) {
+  IBP_CHECK(cfg_.recovery == CommConfig::Recovery::Repost &&
+                cqe.wr_id < kUdWrBase,
+            "transport receive completed in error ("
+                << hca::wc_status_name(cqe.status) << ")");
+  // A QP error flushed this preposted bounce slot: recycle the QP and
+  // put the slot back. Messages that arrived while the QP was down were
+  // either queued by the HCA (they match the reposted receives) or
+  // errored back to the sender, which replays them.
+  const std::uint64_t pi = cqe.wr_id / cfg_.recv_slots;
+  const std::uint64_t slot = cqe.wr_id % cfg_.recv_slots;
+  const int peer = ib_peers_[pi];
+  recover_qp(peer);
+  hca::RecvWr wr;
+  wr.wr_id = cqe.wr_id;
+  wr.sges = {{recv_slot_va(static_cast<int>(pi), static_cast<int>(slot)),
+              static_cast<std::uint32_t>(cfg_.slot_bytes), recv_mr_.lkey}};
+  auto qp = env_->verbs().wrap_qp(
+      *env_->state().qp_to[static_cast<std::size_t>(peer)]);
+  env_->verbs().post_recv(qp, wr);
+}
+
+void Comm::recover_qp(int peer) {
+  hca::QueuePair* qp = env_->state().qp_to[static_cast<std::size_t>(peer)];
+  if (qp == nullptr || qp->state() != hca::QpState::Error) return;
+  qp->reset();
+  ++stats_.recoveries;
+}
+
+const CommStats& Comm::stats() const {
+  stats_.retransmits = 0;
+  stats_.rnr_naks = 0;
+  core::RankState& st = env_->state();
+  auto add = [this](const hca::QueuePair* qp) {
+    if (qp == nullptr) return;
+    stats_.retransmits += qp->qp_stats().retransmits;
+    stats_.rnr_naks += qp->qp_stats().rnr_naks;
+  };
+  for (const hca::QueuePair* qp : st.qp_to) add(qp);
+  add(st.ud_qp);
+  return stats_;
 }
 
 void Comm::complete_eager_recv(const Req& r, const Header& hdr,
@@ -780,6 +862,8 @@ void Comm::start_rndv_recv(const Req& r, const Header& hdr) {
     action.peer_req = hdr.req;
     action.peer_rank = hdr.src;
     action.msg_size = hdr.size;
+    action.wr = wr;
+    action.dest = hdr.src;
     send_actions_.emplace(wr.wr_id, std::move(action));
     r->state = Request::State::CtsSent;
     auto qp = env_->verbs().wrap_qp(

@@ -52,6 +52,19 @@ struct CommConfig {
   /// traffic stays on the RC paths. Sequence numbers restore envelope
   /// order across the mixed transports.
   bool ud_eager = false;
+  /// What to do when the transport reports an error completion (only
+  /// possible with a cluster fault plan; a healthy fabric never errors).
+  enum class Recovery : std::uint8_t {
+    FailFast,  // abort the run — errors are bugs on a healthy fabric
+    Repost,    // reset the QP, repost flushed receives, replay the send
+  };
+  Recovery recovery = Recovery::FailFast;
+  /// Repost policy: bound on MPI-level replays of one work request.
+  std::uint32_t max_send_retries = 4;
+  /// Repost policy: virtual time charged per replay (models connection
+  /// re-establishment; also lets the peer drain its own flushed
+  /// completions and repost its receives before the replay arrives).
+  TimePs recovery_delay = us(100);
 };
 
 /// One contiguous piece of a gathered send.
@@ -76,6 +89,10 @@ struct CommStats {
   std::uint64_t gather_sends = 0;
   std::uint64_t ud_sent = 0;
   std::uint64_t reordered = 0;  // arrivals stashed for sequencing
+  // Transport reliability (refreshed from the QP counters by stats()).
+  std::uint64_t retransmits = 0;  // NIC-level packet retransmissions
+  std::uint64_t rnr_naks = 0;     // receiver-not-ready backoff rounds
+  std::uint64_t recoveries = 0;   // Repost-policy QP resets
 };
 
 class Window;
@@ -164,7 +181,9 @@ class Comm {
   std::size_t unexpected_depth() const { return unexpected_.size(); }
   std::size_t posted_depth() const { return posted_.size(); }
   regcache::RegCache& rcache() { return env_->rcache(); }
-  const CommStats& stats() const { return stats_; }
+  /// Traffic counters. The transport-reliability fields (retransmits,
+  /// rnr_naks) are pulled from the rank's QP counters on each call.
+  const CommStats& stats() const;
 
  private:
   friend class Window;  // one-sided ops post through the same engine
@@ -182,6 +201,9 @@ class Comm {
     std::uint64_t peer_req = 0;  // read_fin: the sender's request id
     std::int32_t peer_rank = -1;
     std::uint64_t msg_size = 0;
+    hca::SendWr wr;          // stored for Repost-policy replays
+    std::int32_t dest = -1;  // peer the RC WR targeted (-1: not replayable)
+    std::uint32_t attempts = 0;  // replays consumed so far
   };
 
   // Transport helpers.
@@ -211,6 +233,10 @@ class Comm {
   void ingest(const Header& hdr, std::span<const std::uint8_t> payload);
   void handle_msg(const Header& hdr, std::span<const std::uint8_t> payload);
   void handle_send_cqe(const hca::Cqe& cqe);
+  /// Repost-policy path for a flushed preposted receive.
+  void handle_recv_error(const hca::Cqe& cqe);
+  /// Reset the QP to `peer` if a fault errored it (counts a recovery).
+  void recover_qp(int peer);
   void complete_eager_recv(const Req& r, const Header& hdr,
                            std::span<const std::uint8_t> payload);
   void start_rndv_recv(const Req& r, const Header& hdr);
@@ -258,7 +284,7 @@ class Comm {
   core::RankEnv* env_;
   CommConfig cfg_;
   Profiler prof_;
-  CommStats stats_;
+  mutable CommStats stats_;  // stats() refreshes the QP-derived fields
   int prof_depth_ = 0;
 
   // Bounce buffers.

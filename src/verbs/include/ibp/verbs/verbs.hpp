@@ -34,6 +34,17 @@ struct DriverConfig {
   /// hugepage-sized translations for hugepage-backed regions instead of
   /// pretending 4 KB pages.
   bool hugepage_passthrough = false;
+  /// RC reliability attributes applied to every QP this driver creates
+  /// (retry_cnt, rnr_retry, timeouts). Only consulted when the cluster
+  /// attaches a fault injector; a healthy fabric never retransmits.
+  hca::QpAttrs qp;
+};
+
+/// Snapshot of a QP's state and reliability counters (query_qp).
+struct QpInfo {
+  hca::QpState state = hca::QpState::Ready;
+  hca::QpAttrs attrs;
+  hca::QpStats stats;
 };
 
 /// Registered-region handle.
@@ -104,11 +115,23 @@ class Context {
 
   void dereg_mr(const Mr& mr) { sc_->advance(hca_->dereg_mr(mr.lkey)); }
 
-  Qp create_qp() { return Qp(&hca_->create_qp(send_cq_p_, recv_cq_p_)); }
+  Qp create_qp() {
+    hca::QueuePair& qp = hca_->create_qp(send_cq_p_, recv_cq_p_);
+    qp.set_attrs(drv_.qp);
+    return Qp(&qp);
+  }
 
   /// Wrap a QP created directly on the adapter (must target this
   /// context's CQs).
   Qp wrap_qp(hca::QueuePair& qp) { return Qp(&qp); }
+
+  /// State + reliability counters of a QP (ibv_query_qp equivalent).
+  QpInfo query_qp(const Qp& qp) const {
+    return QpInfo{qp.qp_->state(), qp.qp_->attrs(), qp.qp_->qp_stats()};
+  }
+
+  /// Recycle an errored QP back to a usable state (ERR→RESET→RTS).
+  void reset_qp(Qp& qp) { qp.qp_->reset(); }
 
   void post_send(Qp& qp, const hca::SendWr& wr) {
     sc_->advance(qp.qp_->post_send(wr, sc_->now()));

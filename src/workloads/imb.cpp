@@ -23,7 +23,7 @@ std::vector<ImbPoint> run_sendrecv(core::Cluster& cluster,
       cfg.sizes.size(), std::vector<TimePs>(static_cast<std::size_t>(n), 0));
 
   cluster.run([&](core::RankEnv& env) {
-    mpi::Comm comm(env);
+    mpi::Comm comm(env, cfg.comm);
     const int right = (env.rank() + 1) % n;
     const int left = (env.rank() - 1 + n) % n;
 
@@ -83,7 +83,7 @@ std::vector<ImbPoint> run_pingpong(core::Cluster& cluster,
   std::vector<TimePs> elapsed(cfg.sizes.size(), 0);
 
   cluster.run([&](core::RankEnv& env) {
-    mpi::Comm comm(env);
+    mpi::Comm comm(env, cfg.comm);
     if (env.rank() > 1) return;  // spectators, as in IMB
     const int other = 1 - env.rank();
     VirtAddr buf = 0;
@@ -134,7 +134,7 @@ std::vector<ImbPoint> run_exchange(core::Cluster& cluster,
       cfg.sizes.size(), std::vector<TimePs>(static_cast<std::size_t>(n), 0));
 
   cluster.run([&](core::RankEnv& env) {
-    mpi::Comm comm(env);
+    mpi::Comm comm(env, cfg.comm);
     const int right = (env.rank() + 1) % n;
     const int left = (env.rank() - 1 + n) % n;
     VirtAddr sbuf = 0, rbuf = 0;

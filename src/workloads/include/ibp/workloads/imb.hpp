@@ -14,6 +14,7 @@
 
 #include "ibp/common/types.hpp"
 #include "ibp/core/cluster.hpp"
+#include "ibp/mpi/comm.hpp"
 
 namespace ibp::workloads {
 
@@ -30,6 +31,9 @@ struct ImbConfig {
   /// Reallocate the message buffer for every size (fresh pages each time,
   /// like IMB's default off-cache mode combined with an allocating app).
   bool fresh_buffers = true;
+  /// MPI layer configuration (protocol thresholds, recovery policy —
+  /// relevant when the cluster runs under a fault plan).
+  mpi::CommConfig comm;
 };
 
 /// Default size sweep 4 KB … 16 MB (powers of two), as in Figure 5.

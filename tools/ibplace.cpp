@@ -13,16 +13,23 @@
 //   --patched=0|1                     driver hugepage passthrough (default 1)
 //   --rndv-read=0|1                   RDMA-read rendezvous (default 0)
 //   --iters=N  --scale=N
+//   --fault=SPEC                      inline fault plan (see fault.hpp)
+//   --fault-file=PATH                 fault plan from a file
+//   --recovery=failfast|repost        MPI policy on error completions
 //
-// Everything is deterministic; outputs are stable across runs.
+// Everything is deterministic; outputs are stable across runs — fault
+// plans included (the injector draws from its own seeded RNG streams).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "ibp/common/table.hpp"
+#include "ibp/fault/fault.hpp"
 #include "ibp/workloads/imb.hpp"
 #include "ibp/workloads/nas.hpp"
 
@@ -40,6 +47,9 @@ struct Options {
   bool rndv_read = false;
   int iters = 10;
   int scale = 1;
+  std::string fault;       // inline fault-plan spec
+  std::string fault_file;  // fault-plan file (appended to `fault`)
+  std::string recovery = "failfast";
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -52,7 +62,13 @@ struct Options {
                "  ibplace reg [--platform=P]\n"
                "options: --platform=opteron|xeon|systemp --nodes=N --rpn=R\n"
                "         --hugepages=0|1 --lazy=0|1 --patched=0|1\n"
-               "         --rndv-read=0|1 --iters=N --scale=N\n");
+               "         --rndv-read=0|1 --iters=N --scale=N\n"
+               "         --fault=SPEC --fault-file=PATH\n"
+               "         --recovery=failfast|repost\n"
+               "fault SPEC: ';'-separated directives, e.g.\n"
+               "  drop=0-1:0.01 | corrupt=*-*:0.001:50-200 |\n"
+               "  storm=1:100-400 | qpkill=0:2:250 | seed=7\n"
+               "  (times in us; '*' = any node / open-ended window)\n");
   std::exit(2);
 }
 
@@ -85,12 +101,20 @@ Options parse_options(int argc, char** argv, int first) {
       o.iters = std::atoi(v.c_str());
     } else if (parse_flag(argv[i], "--scale", &v)) {
       o.scale = std::atoi(v.c_str());
+    } else if (parse_flag(argv[i], "--fault", &v)) {
+      o.fault = v;
+    } else if (parse_flag(argv[i], "--fault-file", &v)) {
+      o.fault_file = v;
+    } else if (parse_flag(argv[i], "--recovery", &v)) {
+      o.recovery = v;
     } else {
       usage(("unknown option " + std::string(argv[i])).c_str());
     }
   }
   if (o.nodes < 1 || o.rpn < 1 || o.iters < 1 || o.scale < 1)
     usage("topology/iteration options must be positive");
+  if (o.recovery != "failfast" && o.recovery != "repost")
+    usage("--recovery must be failfast or repost");
   return o;
 }
 
@@ -102,7 +126,43 @@ core::ClusterConfig cluster_config(const Options& o) {
   cfg.hugepage_library = o.hugepages;
   cfg.lazy_deregistration = o.lazy;
   cfg.driver.hugepage_passthrough = o.patched;
+  std::string spec = o.fault;
+  if (!o.fault_file.empty()) {
+    std::ifstream in(o.fault_file);
+    if (!in) usage(("cannot open fault file " + o.fault_file).c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (!spec.empty()) spec += ';';
+    spec += ss.str();
+  }
+  if (!spec.empty()) cfg.fault = fault::parse_fault_plan(spec);
   return cfg;
+}
+
+/// One-line transport-reliability summary after a faulted run.
+void print_fault_summary(core::Cluster& cluster) {
+  fault::FaultInjector* inj = cluster.fault();
+  if (inj == nullptr) return;
+  std::uint64_t retrans = 0, rnr = 0, qperr = 0, storm = 0;
+  for (int n = 0; n < cluster.nodes(); ++n) {
+    const hca::AdapterStats& s = cluster.node(n).adapter.stats();
+    retrans += s.retransmits;
+    rnr += s.rnr_naks;
+    qperr += s.qp_errors;
+    storm += s.storm_att_misses;
+  }
+  const fault::FaultStats& fs = inj->stats();
+  std::printf("\nfault plan: %s\n", fault::describe(inj->plan()).c_str());
+  std::printf("faults: %llu/%llu packets dropped, %llu corrupted; "
+              "%llu retransmits, %llu RNR rounds, %llu QP errors, "
+              "%llu storm ATT misses\n",
+              static_cast<unsigned long long>(fs.packets_dropped),
+              static_cast<unsigned long long>(fs.packets_judged),
+              static_cast<unsigned long long>(fs.packets_corrupted),
+              static_cast<unsigned long long>(retrans),
+              static_cast<unsigned long long>(rnr),
+              static_cast<unsigned long long>(qperr),
+              static_cast<unsigned long long>(storm));
 }
 
 int cmd_info(const Options& o) {
@@ -130,6 +190,9 @@ int cmd_imb(const std::string& mode, const Options& o) {
   workloads::ImbConfig icfg;
   icfg.sizes = workloads::imb_default_sizes();
   icfg.iterations = opt.iters;
+  icfg.comm.recovery = opt.recovery == "repost"
+                           ? mpi::CommConfig::Recovery::Repost
+                           : mpi::CommConfig::Recovery::FailFast;
 
   std::vector<workloads::ImbPoint> pts;
   if (mode == "sendrecv") {
@@ -149,6 +212,7 @@ int cmd_imb(const std::string& mode, const Options& o) {
   for (const auto& p : pts)
     t.add_row(p.bytes, ps_to_us(p.avg_time), p.mbytes_per_sec);
   t.print();
+  print_fault_summary(cluster);
   return 0;
 }
 
