@@ -55,6 +55,32 @@ Run replay(hugepage::FitPolicy fit,
   return r;
 }
 
+/// Replay the trace through the full library with a placement policy
+/// deciding backing and chunking per allocation.
+TimePs replay_policy(const ibp::placement::PolicyInfo& info,
+                     const std::vector<workloads::TraceOp>& ops) {
+  mem::PhysicalMemory phys(1 * kGiB, 512, 7);
+  mem::HugeTlbFs fs(&phys, 512, 2);
+  mem::AddressSpace space(&phys, &fs);
+  placement::PlacementEngine engine = bench::make_bench_engine(info.name);
+  hugepage::Library lib(space, fs, {}, &engine);
+
+  std::vector<VirtAddr> slots(workloads::trace_slot_count());
+  TimePs cost = 0;
+  for (const auto& op : ops) {
+    if (op.kind == workloads::TraceOp::Kind::Malloc) {
+      const auto res = lib.malloc(op.size);
+      IBP_CHECK(res.addr != 0);
+      slots[op.slot] = res.addr;
+      cost += res.cost;
+    } else {
+      cost += lib.free(slots[op.slot]).cost;
+    }
+  }
+  lib.check_invariants();
+  return cost;
+}
+
 }  // namespace
 
 int main() {
@@ -84,5 +110,12 @@ int main() {
   std::printf("\n(lower mapped-hugepage count at equal peak = better "
               "locality: buffers share hugepages, the paper's advantage "
               "over libhugepagealloc)\n");
+
+  std::printf("\ntrace cost by placement policy (full library, policy "
+              "decides backing/chunking):\n\n");
+  bench::run_policy_sweep("trace cost [us]",
+                          [&](const placement::PolicyInfo& info) {
+                            return replay_policy(info, ops);
+                          });
   return 0;
 }

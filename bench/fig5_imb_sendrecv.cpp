@@ -10,7 +10,18 @@
 //   * with lazy deregistration, small pages and hugepages are nearly
 //     identical on this PCIe platform.
 
+// Optional arguments (absent: the four-configuration table below, byte-
+// identical across runs):
+//   --placement=POLICY  policy-comparison mode: run the sweep with the
+//                       named placement policy planning every buffer
+//                       (hugepage library on, lazy deregistration off —
+//                       the registration-sensitive configuration)
+//   --short             fewer sizes/iterations (CI smoke mode)
+//   --json=PATH         also write the measured points as JSON
+
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 #include "bench_common.hpp"
 #include "ibp/workloads/imb.hpp"
@@ -34,9 +45,80 @@ std::vector<workloads::ImbPoint> run_config(bool hugepages, bool lazy) {
   return workloads::run_sendrecv(cluster, icfg);
 }
 
+std::vector<workloads::ImbPoint> run_policy(const std::string& policy,
+                                            bool short_mode) {
+  core::ClusterConfig cfg;
+  cfg.platform = platform::opteron_pcie_infinihost();
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  // The registration-sensitive configuration: every rendezvous buffer
+  // pays registration unless the policy places it well.
+  cfg.hugepage_library = true;
+  cfg.lazy_deregistration = false;
+  cfg.hugepages_per_node = 512;
+  cfg.placement_policy = policy;
+  core::Cluster cluster(cfg);
+  workloads::ImbConfig icfg;
+  icfg.sizes = short_mode
+                   ? std::vector<std::uint64_t>{64 * kKiB, kMiB}
+                   : workloads::imb_default_sizes();
+  icfg.iterations = short_mode ? 3 : 10;
+  return workloads::run_sendrecv(cluster, icfg);
+}
+
+void write_json(const std::string& path, const std::string& placement,
+                const std::vector<workloads::ImbPoint>& pts) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"fig5_imb_sendrecv\",\n  \"placement\": \""
+      << placement << "\",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    out << "    {\"bytes\": " << pts[i].bytes << ", \"mbytes_per_sec\": "
+        << pts[i].mbytes_per_sec << "}" << (i + 1 < pts.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string placement, json_path;
+  bool short_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--placement=", 12) == 0) {
+      placement = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--short") == 0) {
+      short_mode = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr,
+                   "usage: fig5_imb_sendrecv [--placement=POLICY] [--short] "
+                   "[--json=PATH]\n");
+      return 2;
+    }
+  }
+
+  if (!placement.empty() || short_mode || !json_path.empty()) {
+    if (placement.empty()) placement = "paper-default";
+    if (placement::make_policy(placement) == nullptr) {
+      std::fprintf(stderr, "unknown placement policy '%s' (known: %s)\n",
+                   placement.c_str(),
+                   placement::known_policy_names().c_str());
+      return 2;
+    }
+    std::printf("FIG5 (policy mode): IMB SendRecv [MB/s], placement=%s, "
+                "hugepage library on, lazy dereg off%s\n\n",
+                placement.c_str(), short_mode ? ", short" : "");
+    const auto pts = run_policy(placement, short_mode);
+    TextTable t({"msg size", "MB/s"});
+    for (const auto& pt : pts)
+      t.add_row(bench::human_bytes(pt.bytes), pt.mbytes_per_sec);
+    t.print();
+    if (!json_path.empty()) write_json(json_path, placement, pts);
+    return 0;
+  }
+
   std::printf("FIG5: IMB SendRecv bandwidth [MB/s], platform=opteron "
               "(2 nodes x 1 rank)\n\n");
 

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ibp/common/rng.hpp"
@@ -26,6 +27,7 @@
 #include "ibp/hca/adapter.hpp"
 #include "ibp/hugepage/library.hpp"
 #include "ibp/mem/address_space.hpp"
+#include "ibp/placement/placement.hpp"
 #include "ibp/platform/platform.hpp"
 #include "ibp/regcache/regcache.hpp"
 #include "ibp/sim/engine.hpp"
@@ -46,6 +48,10 @@ struct ClusterConfig {
   bool hugepage_library = false;
   /// MPI-level lazy deregistration (pin-down cache).
   bool lazy_deregistration = true;
+  /// Placement policy (ibp::placement registry name) every rank plans
+  /// buffer placement with. "paper-default" reproduces the paper's
+  /// published strategy bit-exactly; see `ibplace --list-policies`.
+  std::string placement_policy = "paper-default";
   /// Bound on memory the pin-down cache may keep registered (0 =
   /// unlimited, the configuration the paper measured; a finite bound
   /// evicts LRU registrations and mitigates the §1 pinned-memory
@@ -95,11 +101,27 @@ struct RankState {
         space(&n.phys, &n.hugetlbfs),
         tlb(cfg.platform.tlb),
         memsys(cfg.platform.mem, &tlb),
-        lib(space, n.hugetlbfs, [&] {
-          hugepage::LibraryConfig lc = cfg.library;
-          lc.enabled = cfg.hugepage_library;
-          return lc;
+        placement([&] {
+          auto policy = placement::make_policy(cfg.placement_policy);
+          IBP_CHECK(policy != nullptr,
+                    "unknown placement policy '" << cfg.placement_policy
+                    << "' (known: " << placement::known_policy_names()
+                    << ")");
+          placement::PolicyContext ctx;
+          ctx.huge_threshold = cfg.library.threshold;
+          ctx.chunk = cfg.library.huge.chunk;
+          ctx.hugepages_enabled = cfg.hugepage_library;
+          ctx.lazy_dereg = cfg.lazy_deregistration;
+          return std::make_unique<placement::PlacementEngine>(
+              std::move(policy), ctx);
         }()),
+        lib(space, n.hugetlbfs,
+            [&] {
+              hugepage::LibraryConfig lc = cfg.library;
+              lc.enabled = cfg.hugepage_library;
+              return lc;
+            }(),
+            placement.get()),
         rng(cfg.seed * 0x9e3779b9ull + static_cast<std::uint64_t>(id) + 1) {}
 
   RankId id;
@@ -107,6 +129,9 @@ struct RankState {
   mem::AddressSpace space;
   cpu::Tlb tlb;
   cpu::MemorySystem memsys;
+  // The rank's placement engine; constructed before `lib`, which plans
+  // its chunking through it.
+  std::unique_ptr<placement::PlacementEngine> placement;
   hugepage::Library lib;
   Rng rng;
   hca::CompletionQueue send_cq;
@@ -134,6 +159,7 @@ class RankEnv {
   Cluster& cluster() { return *cluster_; }
   verbs::Context& verbs() { return vctx_; }
   regcache::RegCache& rcache() { return rcache_; }
+  placement::PlacementEngine& placement() { return *st_->placement; }
   mem::AddressSpace& space() { return st_->space; }
   hugepage::Library& lib() { return st_->lib; }
   cpu::MemorySystem& memsys() { return st_->memsys; }
@@ -142,11 +168,22 @@ class RankEnv {
   TimePs now() const { return sc_->now(); }
 
   /// Allocate through the (possibly preloaded) hugepage library, charging
-  /// allocator time.
-  VirtAddr alloc(std::uint64_t size) {
-    auto r = st_->lib.malloc(size);
+  /// allocator time. `role` tells the placement policy what the buffer is
+  /// for; under an eager-pin plan the block is registered here and now,
+  /// so no later transfer pays registration inline.
+  VirtAddr alloc(std::uint64_t size,
+                 placement::Role role = placement::Role::WorkloadHeap) {
+    auto r = st_->lib.malloc(size, role);
     sc_->advance(r.cost);
     IBP_CHECK(r.addr != 0, "allocation failed");
+    if (size > 0 &&
+        rcache_.strategy() == placement::RegStrategy::EagerPin &&
+        st_->lib.plan_for(size, role).registration ==
+            placement::RegStrategy::EagerPin) {
+      // Pre-pin: the registration stays cached (refs drop to zero), so
+      // transfers over this block always hit the pin-down cache.
+      rcache_.release(rcache_.acquire(r.addr, size));
+    }
     return r.addr;
   }
 

@@ -15,11 +15,18 @@
 // run without the preloaded library (everything goes to libc), which is
 // the paper's baseline configuration.
 
+// Placement decisions (backing tier, alignment, chunk granularity) are
+// delegated to ibp::placement: every allocation asks a policy for a
+// BufferPlan and routes accordingly. Without an injected engine the
+// library plans with a private PaperDefaultPolicy, which reproduces the
+// Figure 2 routing above bit-exactly.
+
 #include <cstdint>
 
 #include "ibp/common/types.hpp"
 #include "ibp/hugepage/heap.hpp"
 #include "ibp/hugepage/libc_heap.hpp"
+#include "ibp/placement/placement.hpp"
 
 namespace ibp::hugepage {
 
@@ -38,23 +45,44 @@ struct LibraryStats {
 
 class Library {
  public:
+  /// `engine` (optional) supplies placement plans; the library falls back
+  /// to a private PaperDefaultPolicy when none is injected. The hugepage
+  /// heap's chunk granularity is taken from the plan at construction.
   Library(mem::AddressSpace& space, mem::HugeTlbFs& fs,
-          LibraryConfig cfg = {})
+          LibraryConfig cfg = {},
+          placement::PlacementEngine* engine = nullptr)
       : cfg_(cfg),
-        huge_(space, fs, cfg.huge),
+        engine_(engine),
+        chunk_(plan_for(cfg.threshold, placement::Role::WorkloadHeap).chunk),
+        huge_(space, fs,
+              [&cfg, this] {
+                HugeHeapConfig h = cfg.huge;
+                h.chunk = chunk_;
+                return h;
+              }()),
         libc_(space, cfg.libc) {}
 
   /// malloc(): returns the block address and the virtual-time cost of the
-  /// allocator work (the caller advances its clock by it).
-  OpResult malloc(std::uint64_t size) {
-    if (!cfg_.enabled || size < cfg_.threshold) {
+  /// allocator work (the caller advances its clock by it). `role` lets
+  /// communication layers tell the policy what the buffer is for.
+  OpResult malloc(std::uint64_t size,
+                  placement::Role role = placement::Role::WorkloadHeap) {
+    const placement::BufferPlan plan = plan_for(size, role);
+    if (plan.backing == mem::PageKind::Small) {
       ++stats_.libc_allocs;
-      return libc_.allocate(size);
+      return plan.alignment > 0 ? libc_.allocate_aligned(size, plan.alignment)
+                                : libc_.allocate(size);
     }
     OpResult r = huge_.allocate(size);
     if (r.addr == 0) {
       // Figure 2: not enough hugepages — redirect the request to libc.
       ++stats_.fallback_allocs;
+      if (engine_) {
+        engine_->feed({.size = size,
+                       .backing = mem::PageKind::Huge,
+                       .cost = r.cost,
+                       .alloc_failed = true});
+      }
       OpResult f = libc_.allocate(size);
       f.cost += r.cost;
       return f;
@@ -68,13 +96,15 @@ class Library {
   /// offset; aligned starts hit the DMA fast path). Requests at or above
   /// the hugepage threshold are chunk-aligned (4 KB) by construction.
   OpResult memalign(std::uint64_t alignment, std::uint64_t size) {
-    if (!cfg_.enabled || size < cfg_.threshold) {
+    const placement::BufferPlan plan =
+        plan_for(size, placement::Role::WorkloadHeap);
+    if (plan.backing == mem::PageKind::Small) {
       ++stats_.libc_allocs;
-      return libc_.allocate_aligned(size, alignment);
+      return libc_.allocate_aligned(size, std::max(alignment, plan.alignment));
     }
-    // Hugepage blocks are 4 KB-chunk aligned, satisfying any smaller
+    // Hugepage blocks are chunk aligned, satisfying any smaller
     // alignment; larger requests fall back to the small-page path.
-    if (alignment <= cfg_.huge.chunk) return malloc(size);
+    if (alignment <= chunk_) return malloc(size);
     ++stats_.libc_allocs;
     return libc_.allocate_aligned(size, alignment);
   }
@@ -107,7 +137,7 @@ class Library {
     if (addr == 0) return malloc(new_size);
     const std::uint64_t old_size = block_size(addr);
     // In-place when the rounded footprint wouldn't change.
-    const std::uint64_t chunk = cfg_.huge.chunk;
+    const std::uint64_t chunk = chunk_;
     if (in_hugepages(addr) && new_size <= align_up(old_size, chunk) &&
         new_size >= old_size / 2) {
       return {addr, cfg_.huge.costs.op_base};
@@ -136,6 +166,20 @@ class Library {
   LibcHeap& libc_heap() { return libc_; }
   const LibraryConfig& config() const { return cfg_; }
 
+  /// Ask the active policy where `size` bytes in `role` should go. The
+  /// context carries this library's tunables so per-instance overrides
+  /// (tests construct libraries with custom thresholds) keep working.
+  placement::BufferPlan plan_for(std::uint64_t size, placement::Role role) {
+    placement::BufferRequest req{.size = size, .role = role};
+    placement::PolicyContext ctx;
+    if (engine_) ctx = engine_->context();
+    ctx.huge_threshold = cfg_.threshold;
+    ctx.chunk = cfg_.huge.chunk;
+    ctx.hugepages_enabled = cfg_.enabled;
+    if (engine_) return engine_->plan(req, ctx);
+    return placement::PaperDefaultPolicy{}.plan(req, ctx);
+  }
+
   void check_invariants() const {
     huge_.check_invariants();
     libc_.check_invariants();
@@ -143,6 +187,8 @@ class Library {
 
  private:
   LibraryConfig cfg_;
+  placement::PlacementEngine* engine_;
+  std::uint64_t chunk_;  // effective carve granularity, from the plan
   LibraryStats stats_;
   HugeHeap huge_;
   LibcHeap libc_;

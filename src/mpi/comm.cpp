@@ -38,9 +38,11 @@ Comm::Comm(core::RankEnv& env, CommConfig cfg) : env_(&env), cfg_(cfg) {
   }
 
   if (!ib_peers_.empty()) {
-    send_region_ = env_->alloc(cfg_.send_slots * cfg_.slot_bytes);
+    send_region_ = env_->alloc(cfg_.send_slots * cfg_.slot_bytes,
+                               placement::Role::RecvRing);
     recv_region_ =
-        env_->alloc(ib_peers_.size() * cfg_.recv_slots * cfg_.slot_bytes);
+        env_->alloc(ib_peers_.size() * cfg_.recv_slots * cfg_.slot_bytes,
+                    placement::Role::RecvRing);
     send_mr_ =
         env_->verbs().reg_mr(send_region_, cfg_.send_slots * cfg_.slot_bytes);
     recv_mr_ = env_->verbs().reg_mr(
@@ -109,6 +111,32 @@ TimePs Comm::flat_copy_cost(std::uint64_t len) const {
   const double bw =
       env_->cluster().config().platform.mem.stream_bw_bytes_per_ns;
   return static_cast<TimePs>(static_cast<double>(len) / bw * 1e3);
+}
+
+placement::BufferPlan Comm::plan_message(std::uint64_t len,
+                                         placement::Role role,
+                                         std::uint32_t pieces) const {
+  placement::PolicyContext ctx = env_->placement().context();
+  ctx.eager_threshold = cfg_.eager_threshold;
+  ctx.rndv_copy_max = cfg_.rndv_copy_max;
+  ctx.sge_gather_enabled = cfg_.sge_gather;
+  ctx.lazy_dereg = env_->rcache().lazy();
+  return env_->placement().plan(
+      {.size = len, .role = role, .pieces = pieces}, ctx);
+}
+
+verbs::Mr Comm::acquire_registration(VirtAddr addr, std::uint64_t len) {
+  const auto& cs = env_->rcache().stats();
+  const std::uint64_t misses_before = cs.misses;
+  const TimePs t0 = env_->now();
+  const verbs::Mr mr = env_->rcache().acquire(addr, len);
+  env_->placement().feed({.size = len,
+                          .backing = env_->lib().in_hugepages(addr)
+                                         ? mem::PageKind::Huge
+                                         : mem::PageKind::Small,
+                          .cost = env_->now() - t0,
+                          .cache_misses = cs.misses - misses_before});
+  return mr;
 }
 
 int Comm::take_send_slot() {
@@ -259,7 +287,11 @@ Req Comm::isend(VirtAddr buf, std::uint64_t len, int dst, int tag) {
     return r;
   }
 
-  if (len <= cfg_.eager_threshold) {
+  // The placement plan picks the protocol (PaperDefault reproduces the
+  // MVAPICH eager/rndv-copy/rndv-RDMA thresholds exactly).
+  const placement::BufferPlan plan =
+      plan_message(len, placement::Role::EagerSend);
+  if (plan.protocol == placement::Protocol::Eager) {
     hdr.kind = static_cast<std::uint32_t>(MsgKind::Eager);
     ++stats_.eager_sent;
     stats_.eager_bytes += len;
@@ -275,7 +307,7 @@ Req Comm::isend(VirtAddr buf, std::uint64_t len, int dst, int tag) {
   // Rendezvous. With the read protocol the RTS advertises the (already
   // registered) send buffer for the receiver to pull; otherwise the
   // receiver's CTS decides between the copy and RDMA-write paths.
-  if (len <= cfg_.rndv_copy_max) {
+  if (plan.protocol == placement::Protocol::RndvCopy) {
     ++stats_.rndv_copy_sent;
     stats_.rndv_copy_bytes += len;
   } else {
@@ -283,8 +315,8 @@ Req Comm::isend(VirtAddr buf, std::uint64_t len, int dst, int tag) {
     stats_.rndv_rdma_bytes += len;
   }
   hdr.kind = static_cast<std::uint32_t>(MsgKind::Rts);
-  if (cfg_.rndv_read && len > cfg_.rndv_copy_max) {
-    const verbs::Mr mr = env_->rcache().acquire(buf, len);
+  if (cfg_.rndv_read && plan.protocol == placement::Protocol::RndvRdma) {
+    const verbs::Mr mr = acquire_registration(buf, len);
     r->mr = mr;
     r->holds_mr = true;
     hdr.raddr = buf;
@@ -303,7 +335,10 @@ Req Comm::isend_gather(const std::vector<Seg>& segs, int dst, int tag) {
   IBP_CHECK(total <= cfg_.eager_threshold,
             "gathered sends use the eager path (total " << total << ")");
 
-  if (!cfg_.sge_gather || dst == rank() || same_node(dst)) {
+  const placement::BufferPlan plan = plan_message(
+      total, placement::Role::EagerSend,
+      static_cast<std::uint32_t>(segs.size()));
+  if (!plan.sge_gather || dst == rank() || same_node(dst)) {
     // Pack-and-send fallback: copy the pieces through a staging buffer.
     const VirtAddr stage = env_->alloc(std::max<std::uint64_t>(total, 64));
     pack(segs, stage);
@@ -426,8 +461,10 @@ void Comm::send_typed(VirtAddr base, const Datatype& type, int dst,
     return;
   }
   const auto segs = type_segments(base, type);
-  if (cfg_.sge_gather && type.size() <= cfg_.eager_threshold &&
-      dst != rank() && !same_node(dst)) {
+  const placement::BufferPlan plan = plan_message(
+      type.size(), placement::Role::EagerSend,
+      static_cast<std::uint32_t>(segs.size()));
+  if (plan.sge_gather && dst != rank() && !same_node(dst)) {
     // §7: the NIC walks the datatype via its scatter/gather list.
     wait(isend_gather(segs, dst, tag));
     return;
@@ -641,7 +678,7 @@ void Comm::handle_msg(const Header& hdr,
                        std::move(action));
       } else {
         // Large path: register the send buffer and RDMA-write the payload.
-        const verbs::Mr mr = env_->rcache().acquire(r->buf, r->len);
+        const verbs::Mr mr = acquire_registration(r->buf, r->len);
         hca::SendWr wr;
         wr.wr_id = next_wr_id_++;
         wr.opcode = hca::Opcode::RdmaWrite;
@@ -843,9 +880,11 @@ void Comm::complete_eager_recv(const Req& r, const Header& hdr,
 void Comm::start_rndv_recv(const Req& r, const Header& hdr) {
   IBP_CHECK(hdr.size <= r->len, "rendezvous message truncates buffer");
 
-  if (hdr.raddr != 0 && hdr.size > cfg_.rndv_copy_max) {
+  const placement::BufferPlan plan =
+      plan_message(hdr.size, placement::Role::Rendezvous);
+  if (hdr.raddr != 0 && plan.protocol == placement::Protocol::RndvRdma) {
     // Read protocol: pull the advertised sender buffer directly.
-    const verbs::Mr mr = env_->rcache().acquire(r->buf, hdr.size);
+    const verbs::Mr mr = acquire_registration(r->buf, hdr.size);
     r->mr = mr;
     r->holds_mr = true;
     r->actual_src = hdr.src;
@@ -878,8 +917,8 @@ void Comm::start_rndv_recv(const Req& r, const Header& hdr) {
   cts.tag = hdr.tag;
   cts.size = hdr.size;
   cts.req = hdr.req;
-  if (hdr.size > cfg_.rndv_copy_max) {
-    const verbs::Mr mr = env_->rcache().acquire(r->buf, hdr.size);
+  if (plan.protocol == placement::Protocol::RndvRdma) {
+    const verbs::Mr mr = acquire_registration(r->buf, hdr.size);
     cts.raddr = r->buf;
     cts.rkey = mr.rkey;
     r->mr = mr;

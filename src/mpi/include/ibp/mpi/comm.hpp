@@ -250,6 +250,17 @@ class Comm {
   /// MemorySystem::stream).
   TimePs flat_copy_cost(std::uint64_t len) const;
 
+  /// Ask the rank's placement engine how to move `len` bytes. The context
+  /// carries this Comm's tunables (tests override CommConfig thresholds),
+  /// so the plan's protocol/SGE decisions are made against them.
+  placement::BufferPlan plan_message(std::uint64_t len, placement::Role role,
+                                     std::uint32_t pieces = 1) const;
+
+  /// rcache().acquire plus an observation fed back to the placement
+  /// engine: registration-cache misses and virtual-time cost for this
+  /// buffer's backing tier.
+  verbs::Mr acquire_registration(VirtAddr addr, std::uint64_t len);
+
   std::uint64_t peer_index(int peer) const;  // dense index among IB peers
 
   template <typename T>

@@ -28,6 +28,7 @@
 
 #include "ibp/common/check.hpp"
 #include "ibp/common/types.hpp"
+#include "ibp/placement/placement.hpp"
 #include "ibp/verbs/verbs.hpp"
 
 namespace ibp::regcache {
@@ -44,10 +45,20 @@ struct CacheStats {
 
 class RegCache {
  public:
+  using RegStrategy = placement::RegStrategy;
+
   /// `max_pinned_bytes` == 0 means unlimited (the classic lazy cache).
+  RegCache(verbs::Context& vctx, RegStrategy strategy,
+           std::uint64_t max_pinned_bytes = 0)
+      : vctx_(&vctx), strategy_(strategy), capacity_(max_pinned_bytes) {}
+
+  /// Legacy two-state constructor: lazy pin-down cache vs the Figure 5
+  /// "deactivated" configuration.
   RegCache(verbs::Context& vctx, bool lazy,
            std::uint64_t max_pinned_bytes = 0)
-      : vctx_(&vctx), lazy_(lazy), capacity_(max_pinned_bytes) {}
+      : RegCache(vctx,
+                 lazy ? RegStrategy::LazyCache : RegStrategy::Deactivated,
+                 max_pinned_bytes) {}
 
   ~RegCache() {
     // Leave MRs registered; the owning simulation tears the world down
@@ -59,7 +70,7 @@ class RegCache {
   /// in-flight transfer can never lose its MR to capacity eviction.
   verbs::Mr acquire(VirtAddr addr, std::uint64_t len) {
     IBP_CHECK(len > 0, "acquire of empty range");
-    if (lazy_) {
+    if (caching()) {
       auto it = cache_.upper_bound(addr);
       if (it != cache_.begin()) {
         --it;
@@ -82,7 +93,7 @@ class RegCache {
     const VirtAddr hi =
         std::min(m->va_base + m->length, align_up(addr + len, psz));
 
-    if (lazy_ && capacity_ != 0) {
+    if (caching() && capacity_ != 0) {
       // Evict idle least-recently-used entries until the hull fits.
       // Reference-held entries are skipped — they belong to transfers
       // still in flight; if everything is busy the bound is exceeded
@@ -103,7 +114,7 @@ class RegCache {
     }
 
     verbs::Mr mr = vctx_->reg_mr(lo, hi - lo);
-    if (lazy_) {
+    if (caching()) {
       lru_.push_front(mr.addr);
       cache_.emplace(mr.addr, Entry{mr, lru_.begin(), 1});
       stats_.pinned_bytes += mr.length;
@@ -118,18 +129,26 @@ class RegCache {
   /// the region is deregistered immediately.
   void release(const verbs::Mr& mr) {
     ++stats_.releases;
-    if (!lazy_) {
-      vctx_->dereg_mr(mr);
+    auto it = cache_.find(mr.addr);
+    if (it == cache_.end()) {
+      // Never cached (deactivated-mode registration) or already dropped
+      // by invalidate/evict; deregister only in the former case.
+      if (!caching()) vctx_->dereg_mr(mr);
       return;
     }
-    auto it = cache_.find(mr.addr);
-    if (it != cache_.end() && it->second.refs > 0) --it->second.refs;
+    Entry& e = it->second;
+    if (e.refs > 0) --e.refs;
+    if (!caching() && e.refs == 0) {
+      // The strategy switched to Deactivated while this transfer was in
+      // flight: retire the cached registration now that it is idle.
+      evict(it->first);
+    }
   }
 
   /// Drop any cached registrations intersecting [addr, addr+len) — must be
   /// called before the memory is freed or unmapped.
   void invalidate(VirtAddr addr, std::uint64_t len) {
-    if (!lazy_) return;
+    if (cache_.empty()) return;
     auto it = cache_.lower_bound(addr);
     if (it != cache_.begin()) --it;
     while (it != cache_.end() && it->second.mr.addr < addr + len) {
@@ -154,7 +173,24 @@ class RegCache {
     lru_.clear();
   }
 
-  bool lazy() const { return lazy_; }
+  /// Switch registration strategies at run time (driven by a placement
+  /// plan). Moving to Deactivated retires every idle cached registration
+  /// immediately; reference-held entries are retired as their transfers
+  /// release them. The `max_pinned_bytes` bound keeps applying across
+  /// switches.
+  void set_strategy(RegStrategy strategy) {
+    strategy_ = strategy;
+    if (caching()) return;
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      VirtAddr key = it->first;
+      ++it;
+      if (cache_.at(key).refs == 0) evict(key);
+    }
+  }
+
+  RegStrategy strategy() const { return strategy_; }
+  /// True while registrations outlive their transfer (any caching mode).
+  bool lazy() const { return caching(); }
   std::uint64_t capacity() const { return capacity_; }
   const CacheStats& stats() const { return stats_; }
   std::size_t entries() const { return cache_.size(); }
@@ -176,8 +212,10 @@ class RegCache {
     cache_.erase(it);
   }
 
+  bool caching() const { return strategy_ != RegStrategy::Deactivated; }
+
   verbs::Context* vctx_;
-  bool lazy_;
+  RegStrategy strategy_;
   std::uint64_t capacity_;
   CacheStats stats_;
   std::map<VirtAddr, Entry> cache_;

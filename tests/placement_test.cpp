@@ -1,0 +1,381 @@
+#include "ibp/placement/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ibp/core/cluster.hpp"
+#include "ibp/hugepage/library.hpp"
+#include "ibp/mpi/comm.hpp"
+#include "ibp/workloads/imb.hpp"
+
+namespace ibp::placement {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(Registry, ListsAllPolicies) {
+  const auto& infos = registered_policies();
+  ASSERT_GE(infos.size(), 4u);
+  EXPECT_EQ(infos.front().name, "paper-default");
+  for (const PolicyInfo& info : infos) {
+    EXPECT_FALSE(info.description.empty());
+    auto policy = make_policy(info.name);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), info.name);
+    EXPECT_NE(known_policy_names().find(std::string(info.name)),
+              std::string::npos);
+  }
+}
+
+TEST(Registry, UnknownNameIsNull) {
+  EXPECT_EQ(make_policy("no-such-policy"), nullptr);
+  EXPECT_EQ(make_policy(""), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Golden equivalence: PaperDefault reproduces the pre-engine hard-coded
+// decisions — the hugepage library's 32 KB tier and 4 KB chunks, the MPI
+// eager/rndv-copy/rndv-RDMA thresholds, the SGE-gather condition, and
+// the lazy/deactivated registration split — for every size 1 B..16 MB.
+
+TEST(PaperDefault, GoldenEquivalenceSweep) {
+  PaperDefaultPolicy policy;
+  for (int lg = 0; lg <= 24; ++lg) {
+    for (std::uint64_t size : {std::uint64_t{1} << lg,
+                               (std::uint64_t{1} << lg) + 1,
+                               (std::uint64_t{1} << lg) - 1}) {
+      if (size == 0 || size > 16 * kMiB) continue;
+      for (bool huge_on : {false, true}) {
+        for (bool sge_on : {false, true}) {
+          for (bool lazy : {false, true}) {
+            PolicyContext ctx;
+            ctx.hugepages_enabled = huge_on;
+            ctx.sge_gather_enabled = sge_on;
+            ctx.lazy_dereg = lazy;
+            const BufferPlan p = policy.plan({.size = size}, ctx);
+
+            // hugepage::Library::malloc's exact routing condition.
+            const bool want_huge = huge_on && size >= 32 * kKiB;
+            EXPECT_EQ(p.backing, want_huge ? mem::PageKind::Huge
+                                           : mem::PageKind::Small)
+                << "size " << size;
+            EXPECT_EQ(p.chunk, 4 * kKiB);
+            EXPECT_EQ(p.alignment, 0u) << "paper-default adds no alignment";
+            EXPECT_EQ(p.offset, 0u);
+
+            // mpi::Comm::isend's exact protocol conditions.
+            if (size <= 8 * kKiB) {
+              EXPECT_EQ(p.protocol, Protocol::Eager) << "size " << size;
+            } else if (size <= 16 * kKiB) {
+              EXPECT_EQ(p.protocol, Protocol::RndvCopy) << "size " << size;
+            } else {
+              EXPECT_EQ(p.protocol, Protocol::RndvRdma) << "size " << size;
+            }
+
+            // Comm::send_typed's exact SGE-gather condition.
+            EXPECT_EQ(p.sge_gather, sge_on && size <= 8 * kKiB);
+
+            EXPECT_EQ(p.registration, lazy ? RegStrategy::LazyCache
+                                           : RegStrategy::Deactivated);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PaperDefault, HonoursConsumerOverriddenThresholds) {
+  // Tests construct Comms/Libraries with custom thresholds; the policy
+  // must decide against the context, not baked-in constants.
+  PaperDefaultPolicy policy;
+  PolicyContext ctx;
+  ctx.hugepages_enabled = true;
+  ctx.huge_threshold = 1 * kMiB;
+  ctx.eager_threshold = 256;
+  ctx.rndv_copy_max = 512;
+  ctx.chunk = 8 * kKiB;
+  EXPECT_EQ(policy.plan({.size = 512 * kKiB}, ctx).backing,
+            mem::PageKind::Small);
+  EXPECT_EQ(policy.plan({.size = 2 * kMiB}, ctx).backing,
+            mem::PageKind::Huge);
+  EXPECT_EQ(policy.plan({.size = 256}, ctx).protocol, Protocol::Eager);
+  EXPECT_EQ(policy.plan({.size = 400}, ctx).protocol, Protocol::RndvCopy);
+  EXPECT_EQ(policy.plan({.size = 600}, ctx).protocol, Protocol::RndvRdma);
+  EXPECT_EQ(policy.plan({.size = 64}, ctx).chunk, 8 * kKiB);
+}
+
+TEST(PaperDefault, LibraryRoutingMatchesPlans) {
+  // The library consulted through an engine must land every allocation
+  // on the tier the plan promised.
+  mem::PhysicalMemory phys(256 * kMiB, 64, 3);
+  mem::HugeTlbFs fs(&phys, 64, 2);
+  mem::AddressSpace space(&phys, &fs);
+  PolicyContext ctx;
+  ctx.hugepages_enabled = true;
+  PlacementEngine engine(std::make_unique<PaperDefaultPolicy>(), ctx);
+  hugepage::Library lib(space, fs, {}, &engine);
+
+  for (std::uint64_t size : {std::uint64_t{64}, 4 * kKiB, 31 * kKiB,
+                             32 * kKiB, 256 * kKiB, 4 * kMiB}) {
+    const BufferPlan p = lib.plan_for(size, Role::WorkloadHeap);
+    const auto r = lib.malloc(size);
+    ASSERT_NE(r.addr, 0u);
+    EXPECT_EQ(lib.in_hugepages(r.addr), p.backing == mem::PageKind::Huge)
+        << "size " << size;
+  }
+  EXPECT_GT(engine.stats().plans, 0u);
+  EXPECT_GT(engine.stats().huge_backed, 0u);
+  EXPECT_GT(engine.stats().small_backed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Non-default policies
+
+TEST(SmallPageBaseline, NeverUsesHugepages) {
+  SmallPageBaselinePolicy policy;
+  PolicyContext ctx;
+  ctx.hugepages_enabled = true;
+  for (std::uint64_t size : {4 * kKiB, 32 * kKiB, 16 * kMiB}) {
+    EXPECT_EQ(policy.plan({.size = size}, ctx).backing,
+              mem::PageKind::Small);
+  }
+}
+
+TEST(AlignFirst, AlignsSubPageBuffers) {
+  AlignFirstPolicy policy;
+  PolicyContext ctx;
+  ctx.hugepages_enabled = true;
+  const BufferPlan small = policy.plan({.size = 256}, ctx);
+  EXPECT_EQ(small.alignment, 64u);
+  EXPECT_EQ(small.offset, 64u);
+  // At or beyond a page the paper's default placement applies unchanged.
+  const BufferPlan big = policy.plan({.size = 64 * kKiB}, ctx);
+  EXPECT_EQ(big.alignment, 0u);
+  EXPECT_EQ(big.backing, mem::PageKind::Huge);
+}
+
+TEST(EagerPin, PinsCommunicationSizedBuffers) {
+  EagerPinPolicy policy;
+  PolicyContext ctx;
+  EXPECT_EQ(policy.plan({.size = 4 * kKiB}, ctx).registration,
+            RegStrategy::LazyCache);
+  EXPECT_EQ(policy.plan({.size = 64 * kKiB}, ctx).registration,
+            RegStrategy::EagerPin);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive: converges to hugepages for >= 32 KB buffers under a
+// synthetic stat feed, even from a pessimistic prior.
+
+TEST(Adaptive, ConvergesToHugepagesFromObservedStats) {
+  AdaptivePolicy policy;
+  PolicyContext ctx;
+  ctx.hugepages_enabled = true;
+  ctx.huge_threshold = 16 * kMiB;  // pessimistic prior: almost never huge
+
+  for (std::uint64_t size : {32 * kKiB, 256 * kKiB, 4 * kMiB}) {
+    EXPECT_EQ(policy.plan({.size = size}, ctx).backing,
+              mem::PageKind::Small)
+        << "prior should start on small pages for " << size;
+  }
+
+  // Synthetic feed shaped like CommStats/CacheStats deltas: hugepage
+  // transfers are cheap (few misses), small-page transfers pay full
+  // per-page registration.
+  for (int i = 0; i < 8; ++i) {
+    for (std::uint64_t size : {32 * kKiB, 256 * kKiB, 4 * kMiB}) {
+      policy.observe({.size = size,
+                      .backing = mem::PageKind::Small,
+                      .cost = size * 40,
+                      .cache_misses = size / kSmallPageSize});
+      policy.observe({.size = size,
+                      .backing = mem::PageKind::Huge,
+                      .cost = size * 2,
+                      .cache_misses = 1});
+    }
+  }
+
+  for (std::uint64_t size : {32 * kKiB, 256 * kKiB, 4 * kMiB}) {
+    EXPECT_EQ(policy.plan({.size = size}, ctx).backing, mem::PageKind::Huge)
+        << "observed stats must flip " << size << " to hugepages";
+    EXPECT_GT(policy.observed_cost(size, mem::PageKind::Small),
+              policy.observed_cost(size, mem::PageKind::Huge));
+  }
+
+  // Unobserved sizes keep the prior.
+  EXPECT_EQ(policy.plan({.size = 4 * kKiB}, ctx).backing,
+            mem::PageKind::Small);
+}
+
+TEST(Adaptive, RepeatedAllocFailuresFallBackToSmallPages) {
+  AdaptivePolicy policy;
+  PolicyContext ctx;
+  ctx.hugepages_enabled = true;
+  EXPECT_EQ(policy.plan({.size = 1 * kMiB}, ctx).backing,
+            mem::PageKind::Huge);
+  for (int i = 0; i < 3; ++i) {
+    policy.observe({.size = 1 * kMiB,
+                    .backing = mem::PageKind::Huge,
+                    .alloc_failed = true});
+  }
+  EXPECT_EQ(policy.plan({.size = 1 * kMiB}, ctx).backing,
+            mem::PageKind::Small)
+      << "an exhausted hugepage pool is not worth planning for";
+}
+
+// ---------------------------------------------------------------------------
+// Engine: counters and feedback plumbing.
+
+TEST(Engine, CountsDecisions) {
+  PolicyContext ctx;
+  ctx.hugepages_enabled = true;
+  PlacementEngine engine(std::make_unique<PaperDefaultPolicy>(), ctx);
+  engine.plan({.size = 1 * kKiB, .role = Role::EagerSend});
+  engine.plan({.size = 64 * kKiB, .role = Role::Rendezvous});
+  engine.plan({.size = 64 * kKiB, .role = Role::WorkloadHeap});
+  engine.feed({.size = 64 * kKiB, .backing = mem::PageKind::Huge});
+
+  const EngineStats& s = engine.stats();
+  EXPECT_EQ(s.plans, 3u);
+  EXPECT_EQ(s.by_role[static_cast<int>(Role::EagerSend)], 1u);
+  EXPECT_EQ(s.by_role[static_cast<int>(Role::Rendezvous)], 1u);
+  EXPECT_EQ(s.by_role[static_cast<int>(Role::WorkloadHeap)], 1u);
+  EXPECT_EQ(s.by_protocol[static_cast<int>(Protocol::Eager)], 1u);
+  EXPECT_EQ(s.by_protocol[static_cast<int>(Protocol::RndvRdma)], 2u);
+  EXPECT_EQ(s.huge_backed, 2u);
+  EXPECT_EQ(s.small_backed, 1u);
+  EXPECT_EQ(s.feedbacks, 1u);
+}
+
+TEST(Engine, TracerLogsPlanDecisions) {
+  sim::Tracer tracer;
+  TimePs now = 1234;
+  PlacementEngine engine(std::make_unique<PaperDefaultPolicy>(),
+                         PolicyContext{});
+  engine.set_tracer(&tracer, 0, [&now] { return now; });
+  engine.plan({.size = 2 * kKiB, .role = Role::EagerSend});
+  ASSERT_EQ(tracer.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// RegCache strategy switching honours max_pinned_bytes across changes.
+
+TEST(RegCacheStrategy, CapHoldsAcrossStrategySwitches) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.ranks_per_node = 1;
+  cfg.regcache_capacity_bytes = 256 * kKiB;
+  core::Cluster cluster(cfg);
+  cluster.run([](core::RankEnv& env) {
+    auto& m = env.space().map(4 * kMiB, mem::PageKind::Small);
+    regcache::RegCache& rc = env.rcache();
+    EXPECT_EQ(rc.strategy(), RegStrategy::LazyCache);
+    const std::uint64_t cap = rc.capacity();
+    ASSERT_EQ(cap, 256 * kKiB);
+
+    // Fill beyond the cap under LazyCache: LRU eviction keeps the bound.
+    for (int i = 0; i < 8; ++i) {
+      rc.release(rc.acquire(m.va_base + i * 128 * kKiB, 64 * kKiB));
+      EXPECT_LE(rc.stats().pinned_bytes, cap);
+    }
+    EXPECT_GT(rc.stats().evictions, 0u);
+
+    // Switch to EagerPin (still a caching mode): the bound keeps holding
+    // for new acquisitions.
+    rc.set_strategy(RegStrategy::EagerPin);
+    for (int i = 8; i < 16; ++i) {
+      rc.release(rc.acquire(m.va_base + i * 128 * kKiB, 64 * kKiB));
+      EXPECT_LE(rc.stats().pinned_bytes, cap);
+    }
+
+    // Switch to Deactivated: idle cached registrations are retired at
+    // once, so nothing stays pinned between transfers.
+    rc.set_strategy(RegStrategy::Deactivated);
+    EXPECT_EQ(rc.stats().pinned_bytes, 0u);
+    EXPECT_EQ(rc.entries(), 0u);
+    const verbs::Mr mr = rc.acquire(m.va_base, 64 * kKiB);
+    rc.release(mr);
+    EXPECT_EQ(rc.stats().pinned_bytes, 0u);
+
+    // And back to LazyCache: caching resumes, cap still honoured.
+    rc.set_strategy(RegStrategy::LazyCache);
+    for (int i = 0; i < 8; ++i) {
+      rc.release(rc.acquire(m.va_base + i * 128 * kKiB, 64 * kKiB));
+      EXPECT_LE(rc.stats().pinned_bytes, cap);
+    }
+    EXPECT_GT(rc.entries(), 0u);
+  });
+}
+
+TEST(RegCacheStrategy, SwitchUnderInFlightTransferRetiresOnRelease) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.ranks_per_node = 1;
+  core::Cluster cluster(cfg);
+  cluster.run([](core::RankEnv& env) {
+    auto& m = env.space().map(1 * kMiB, mem::PageKind::Small);
+    regcache::RegCache& rc = env.rcache();
+    const verbs::Mr held = rc.acquire(m.va_base, 64 * kKiB);  // in flight
+    rc.set_strategy(RegStrategy::Deactivated);
+    // The reference-held registration survives the switch ...
+    EXPECT_EQ(rc.entries(), 1u);
+    // ... and is retired the moment its transfer releases it.
+    rc.release(held);
+    EXPECT_EQ(rc.entries(), 0u);
+    EXPECT_EQ(rc.stats().pinned_bytes, 0u);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Cluster integration: policy selection by name, and the acceptance
+// ordering — Adaptive beats SmallPageBaseline for >= 64 KB messages in
+// the registration-sensitive IMB SendRecv configuration.
+
+TEST(Cluster, RejectsUnknownPolicyName) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.ranks_per_node = 1;
+  cfg.placement_policy = "definitely-not-a-policy";
+  EXPECT_THROW(core::Cluster cluster(cfg), SimError);
+}
+
+std::vector<workloads::ImbPoint> run_fig5_policy(const std::string& policy) {
+  core::ClusterConfig cfg;
+  cfg.platform = platform::opteron_pcie_infinihost();
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  cfg.hugepage_library = true;
+  cfg.lazy_deregistration = false;  // registration-sensitive configuration
+  cfg.hugepages_per_node = 512;
+  cfg.placement_policy = policy;
+  core::Cluster cluster(cfg);
+  workloads::ImbConfig icfg;
+  icfg.sizes = {64 * kKiB, 1 * kMiB, 4 * kMiB};
+  icfg.iterations = 3;
+  return workloads::run_sendrecv(cluster, icfg);
+}
+
+TEST(Cluster, AdaptiveBeatsSmallPageBaselineAt64KAndUp) {
+  const auto adaptive = run_fig5_policy("adaptive");
+  const auto baseline = run_fig5_policy("small-page-baseline");
+  ASSERT_EQ(adaptive.size(), baseline.size());
+  for (std::size_t i = 0; i < adaptive.size(); ++i) {
+    EXPECT_GT(adaptive[i].mbytes_per_sec, baseline[i].mbytes_per_sec)
+        << "size " << adaptive[i].bytes;
+  }
+}
+
+TEST(Cluster, PaperDefaultPolicyMatchesLegacyBehaviourBitExactly) {
+  // The whole refactor is behaviour-preserving: a paper-default run must
+  // produce the exact same bandwidth figures as the seed code did (the
+  // same simulation, decision for decision).
+  const auto a = run_fig5_policy("paper-default");
+  const auto b = run_fig5_policy("paper-default");
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].avg_time, b[i].avg_time) << "determinism violated";
+  }
+}
+
+}  // namespace
+}  // namespace ibp::placement

@@ -13,9 +13,12 @@
 //   --patched=0|1                     driver hugepage passthrough (default 1)
 //   --rndv-read=0|1                   RDMA-read rendezvous (default 0)
 //   --iters=N  --scale=N
+//   --placement=POLICY                placement policy (--list-policies)
 //   --fault=SPEC                      inline fault plan (see fault.hpp)
 //   --fault-file=PATH                 fault plan from a file
 //   --recovery=failfast|repost        MPI policy on error completions
+//
+//   ibplace --list-policies           registered placement policies
 //
 // Everything is deterministic; outputs are stable across runs — fault
 // plans included (the injector draws from its own seeded RNG streams).
@@ -30,6 +33,7 @@
 
 #include "ibp/common/table.hpp"
 #include "ibp/fault/fault.hpp"
+#include "ibp/placement/placement.hpp"
 #include "ibp/workloads/imb.hpp"
 #include "ibp/workloads/nas.hpp"
 
@@ -47,6 +51,7 @@ struct Options {
   bool rndv_read = false;
   int iters = 10;
   int scale = 1;
+  std::string placement = "paper-default";
   std::string fault;       // inline fault-plan spec
   std::string fault_file;  // fault-plan file (appended to `fault`)
   std::string recovery = "failfast";
@@ -60,9 +65,11 @@ struct Options {
                "  ibplace imb <sendrecv|pingpong|exchange> [--options]\n"
                "  ibplace nas <cg|ep|is|lu|mg|ft> [--options]\n"
                "  ibplace reg [--platform=P]\n"
+               "  ibplace --list-policies\n"
                "options: --platform=opteron|xeon|systemp --nodes=N --rpn=R\n"
                "         --hugepages=0|1 --lazy=0|1 --patched=0|1\n"
                "         --rndv-read=0|1 --iters=N --scale=N\n"
+               "         --placement=POLICY (see --list-policies)\n"
                "         --fault=SPEC --fault-file=PATH\n"
                "         --recovery=failfast|repost\n"
                "fault SPEC: ';'-separated directives, e.g.\n"
@@ -107,6 +114,8 @@ Options parse_options(int argc, char** argv, int first) {
       o.fault_file = v;
     } else if (parse_flag(argv[i], "--recovery", &v)) {
       o.recovery = v;
+    } else if (parse_flag(argv[i], "--placement", &v)) {
+      o.placement = v;
     } else {
       usage(("unknown option " + std::string(argv[i])).c_str());
     }
@@ -115,6 +124,10 @@ Options parse_options(int argc, char** argv, int first) {
     usage("topology/iteration options must be positive");
   if (o.recovery != "failfast" && o.recovery != "repost")
     usage("--recovery must be failfast or repost");
+  if (placement::make_policy(o.placement) == nullptr)
+    usage(("unknown placement policy '" + o.placement + "' (known: " +
+           placement::known_policy_names() + ")")
+              .c_str());
   return o;
 }
 
@@ -125,6 +138,7 @@ core::ClusterConfig cluster_config(const Options& o) {
   cfg.ranks_per_node = o.rpn;
   cfg.hugepage_library = o.hugepages;
   cfg.lazy_deregistration = o.lazy;
+  cfg.placement_policy = o.placement;
   cfg.driver.hugepage_passthrough = o.patched;
   std::string spec = o.fault;
   if (!o.fault_file.empty()) {
@@ -274,11 +288,22 @@ int cmd_reg(const Options& o) {
   return 0;
 }
 
+int cmd_list_policies() {
+  for (const placement::PolicyInfo& info :
+       placement::registered_policies()) {
+    std::printf("%-20s %.*s\n", std::string(info.name).c_str(),
+                static_cast<int>(info.description.size()),
+                info.description.data());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
+  if (cmd == "--list-policies") return cmd_list_policies();
   try {
     if (cmd == "info") return cmd_info(parse_options(argc, argv, 2));
     if (cmd == "reg") return cmd_reg(parse_options(argc, argv, 2));
