@@ -6,7 +6,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ibp/common/stats.hpp"
@@ -17,6 +19,7 @@
 #include "ibp/hca/types.hpp"
 #include "ibp/placement/placement.hpp"
 #include "ibp/platform/platform.hpp"
+#include "ibp/telemetry/sink.hpp"
 
 namespace ibp::bench {
 
@@ -137,6 +140,52 @@ inline void run_policy_sweep(
     t.add_row(std::string(info.name), ps_to_us(v), std::string(rel));
   }
   t.print();
+}
+
+/// One named bench phase and the metric movement it caused.
+struct PhaseDelta {
+  std::string name;
+  telemetry::MetricsDelta delta;
+};
+
+/// Phase-scoped metrics capture over a cluster's registry. Construct
+/// before the measured work, then call phase(name) at each boundary
+/// (e.g. from ImbConfig::phase_hook): the delta since the previous
+/// boundary — or construction — is recorded under that name. Used by
+/// benches to emit mpiP-style per-phase breakdowns in --json mode.
+class TelemetryScope {
+ public:
+  explicit TelemetryScope(const telemetry::MetricsRegistry& reg)
+      : reg_(&reg), last_(reg.snapshot()) {}
+
+  /// Close the running phase under `name` and start the next one.
+  void phase(std::string name) {
+    telemetry::MetricsSnapshot now = reg_->snapshot();
+    phases_.push_back({std::move(name), telemetry::diff(last_, now)});
+    last_ = std::move(now);
+  }
+
+  const std::vector<PhaseDelta>& phases() const { return phases_; }
+
+ private:
+  const telemetry::MetricsRegistry* reg_;
+  telemetry::MetricsSnapshot last_;
+  std::vector<PhaseDelta> phases_;
+};
+
+/// JSON object {"phase name": {"metric": {before, after, delta}}, ...}
+/// with continuation lines prefixed by `indent`.
+inline void write_phases_json(const std::vector<PhaseDelta>& phases,
+                              std::ostream& os, std::string_view indent) {
+  os << "{";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << indent << "  \""
+       << sim::Tracer::escaped(phases[i].name) << "\": ";
+    telemetry::write_delta_json(phases[i].delta, os,
+                                std::string(indent) + "  ");
+  }
+  if (!phases.empty()) os << "\n" << indent;
+  os << "}";
 }
 
 /// A standalone PlacementEngine for heap-level benches (no cluster): the

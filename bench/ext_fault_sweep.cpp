@@ -28,6 +28,7 @@ struct SweepPoint {
   std::vector<workloads::ImbPoint> pts;
   std::uint64_t retransmits = 0;
   std::uint64_t dropped = 0;
+  std::vector<bench::PhaseDelta> phases;  // per-size metric deltas
 };
 
 SweepPoint run(double drop, bool hugepages, const std::string& policy = "paper-default",
@@ -50,7 +51,12 @@ SweepPoint run(double drop, bool hugepages, const std::string& policy = "paper-d
   icfg.iterations = iters;
   icfg.warmup = 1;
   SweepPoint sp;
+  bench::TelemetryScope scope(cluster.metrics());
+  icfg.phase_hook = [&](std::size_t, std::uint64_t bytes) {
+    scope.phase(bench::human_bytes(bytes));
+  };
   sp.pts = workloads::run_sendrecv(cluster, icfg);
+  sp.phases = scope.phases();
   for (int n = 0; n < cluster.nodes(); ++n)
     sp.retransmits += cluster.node(n).adapter.stats().retransmits;
   if (cluster.fault() != nullptr)
@@ -68,8 +74,9 @@ void write_json(const std::string& path, const std::string& placement,
     out << "    {\"drop\": " << drops[i] << ", \"mbytes_per_sec_64k\": "
         << sps[i].pts[0].mbytes_per_sec << ", \"mbytes_per_sec_16m\": "
         << sps[i].pts[2].mbytes_per_sec << ", \"retransmits\": "
-        << sps[i].retransmits << "}" << (i + 1 < sps.size() ? "," : "")
-        << "\n";
+        << sps[i].retransmits << ",\n     \"phases\": ";
+    bench::write_phases_json(sps[i].phases, out, "     ");
+    out << "}" << (i + 1 < sps.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
 }

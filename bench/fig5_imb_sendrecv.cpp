@@ -45,8 +45,13 @@ std::vector<workloads::ImbPoint> run_config(bool hugepages, bool lazy) {
   return workloads::run_sendrecv(cluster, icfg);
 }
 
-std::vector<workloads::ImbPoint> run_policy(const std::string& policy,
-                                            bool short_mode) {
+struct PolicyRun {
+  std::vector<workloads::ImbPoint> pts;
+  std::vector<bench::PhaseDelta> phases;  // one per message size
+  telemetry::MetricsSnapshot metrics;     // final registry snapshot
+};
+
+PolicyRun run_policy(const std::string& policy, bool short_mode) {
   core::ClusterConfig cfg;
   cfg.platform = platform::opteron_pcie_infinihost();
   cfg.nodes = 2;
@@ -63,20 +68,40 @@ std::vector<workloads::ImbPoint> run_policy(const std::string& policy,
                    ? std::vector<std::uint64_t>{64 * kKiB, kMiB}
                    : workloads::imb_default_sizes();
   icfg.iterations = short_mode ? 3 : 10;
-  return workloads::run_sendrecv(cluster, icfg);
+
+  PolicyRun run;
+  // Per-size metric deltas, mpiP-style: the hook runs on rank 0 at each
+  // size boundary, where a registry snapshot is race-free.
+  bench::TelemetryScope scope(cluster.metrics());
+  icfg.phase_hook = [&](std::size_t, std::uint64_t bytes) {
+    scope.phase(bench::human_bytes(bytes));
+  };
+  run.pts = workloads::run_sendrecv(cluster, icfg);
+  run.phases = scope.phases();
+  run.metrics = cluster.metrics().snapshot();
+  return run;
 }
 
 void write_json(const std::string& path, const std::string& placement,
-                const std::vector<workloads::ImbPoint>& pts) {
+                const PolicyRun& run) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"fig5_imb_sendrecv\",\n  \"placement\": \""
       << placement << "\",\n  \"points\": [\n";
+  const auto& pts = run.pts;
   for (std::size_t i = 0; i < pts.size(); ++i) {
     out << "    {\"bytes\": " << pts[i].bytes << ", \"mbytes_per_sec\": "
         << pts[i].mbytes_per_sec << "}" << (i + 1 < pts.size() ? "," : "")
         << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n  \"phases\": ";
+  bench::write_phases_json(run.phases, out, "  ");
+  out << ",\n  \"metrics\": {";
+  for (std::size_t i = 0; i < run.metrics.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \""
+        << sim::Tracer::escaped(std::string(run.metrics.name(i)))
+        << "\": " << run.metrics.value(i);
+  }
+  out << (run.metrics.size() != 0 ? "\n  }" : "}") << "\n}\n";
 }
 
 }  // namespace
@@ -110,12 +135,12 @@ int main(int argc, char** argv) {
     std::printf("FIG5 (policy mode): IMB SendRecv [MB/s], placement=%s, "
                 "hugepage library on, lazy dereg off%s\n\n",
                 placement.c_str(), short_mode ? ", short" : "");
-    const auto pts = run_policy(placement, short_mode);
+    const PolicyRun run = run_policy(placement, short_mode);
     TextTable t({"msg size", "MB/s"});
-    for (const auto& pt : pts)
+    for (const auto& pt : run.pts)
       t.add_row(bench::human_bytes(pt.bytes), pt.mbytes_per_sec);
     t.print();
-    if (!json_path.empty()) write_json(json_path, placement, pts);
+    if (!json_path.empty()) write_json(json_path, placement, run);
     return 0;
   }
 

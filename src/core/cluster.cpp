@@ -20,6 +20,21 @@ RankEnv::RankEnv(Cluster& cluster, sim::Context& sc, RankState& st)
   if (sim::Tracer* t = cluster.tracer()) {
     st.placement->set_tracer(t, st.id, [this] { return sc_->now(); });
   }
+  // Pin-down cache counters: per-run probes (this env dies with the rank
+  // program; the handles latch the final values into the registry).
+  telemetry::MetricsRegistry& m = cluster.metrics();
+  const regcache::RegCache* rc = &rcache_;
+  auto probe = [&](std::string_view name, std::function<double()> fn) {
+    probes_.push_back(m.probe(name, std::move(fn)));
+  };
+  probe("regcache.hits", [rc] { return double(rc->stats().hits); });
+  probe("regcache.misses", [rc] { return double(rc->stats().misses); });
+  probe("regcache.releases", [rc] { return double(rc->stats().releases); });
+  probe("regcache.invalidations",
+        [rc] { return double(rc->stats().invalidations); });
+  probe("regcache.evictions", [rc] { return double(rc->stats().evictions); });
+  probe("regcache.pinned_bytes_peak",
+        [rc] { return double(rc->stats().pinned_bytes_peak); });
 }
 
 int RankEnv::nranks() const { return cluster_->nranks(); }
@@ -108,6 +123,126 @@ Cluster::Cluster(ClusterConfig cfg)
       }
     }
   }
+
+  register_probes();
+  if (sim::Tracer* t = tracer()) {
+    t->set_process_name("ibplace simulated cluster");
+    for (int r = 0; r < nranks; ++r)
+      t->set_thread_name(r, "rank " + std::to_string(r));
+  }
+  install_sampler();
+}
+
+void Cluster::register_probes() {
+  auto probe = [&](std::string_view name, std::function<double()> fn) {
+    probes_.push_back(metrics_.probe(name, std::move(fn)));
+  };
+
+  // Adapter counters, summed across the cluster's HCAs.
+  for (const auto& ndp : nodes_) {
+    const Node* nd = ndp.get();
+    const auto s = [nd]() -> const hca::AdapterStats& {
+      return nd->adapter.stats();
+    };
+    probe("hca.sends_posted", [s] { return double(s().sends_posted); });
+    probe("hca.recvs_posted", [s] { return double(s().recvs_posted); });
+    probe("hca.rdma_writes_posted",
+          [s] { return double(s().rdma_writes_posted); });
+    probe("hca.rdma_reads_posted",
+          [s] { return double(s().rdma_reads_posted); });
+    probe("hca.bytes_tx", [s] { return double(s().bytes_tx); });
+    probe("hca.att_hits", [s] { return double(s().att_hits); });
+    probe("hca.att_misses", [s] { return double(s().att_misses); });
+    probe("hca.mr_registered", [s] { return double(s().mr_registered); });
+    probe("hca.mr_deregistered", [s] { return double(s().mr_deregistered); });
+    probe("hca.pages_pinned", [s] { return double(s().pages_pinned); });
+    probe("hca.translations_shipped",
+          [s] { return double(s().translations_shipped); });
+    probe("hca.reg_time_us", [s] { return ps_to_us(s().reg_time_total); });
+    probe("hca.pkts_dropped", [s] { return double(s().pkts_dropped); });
+    probe("hca.retransmits", [s] { return double(s().retransmits); });
+    probe("hca.rnr_naks", [s] { return double(s().rnr_naks); });
+    probe("hca.qp_errors", [s] { return double(s().qp_errors); });
+  }
+
+  // Per-rank CPU, allocator and placement counters, summed across ranks.
+  for (const auto& rkp : ranks_) {
+    const RankState* rs = rkp.get();
+    probe("cpu.dtlb_hits", [rs] { return double(rs->tlb.stats().hits()); });
+    probe("cpu.dtlb_misses",
+          [rs] { return double(rs->tlb.stats().misses()); });
+    probe("cpu.dtlb_misses_small",
+          [rs] { return double(rs->tlb.stats().misses_small); });
+    probe("cpu.dtlb_misses_huge",
+          [rs] { return double(rs->tlb.stats().misses_huge); });
+    probe("cpu.stream_bytes",
+          [rs] { return double(rs->memsys.stats().stream_bytes); });
+    probe("cpu.random_accesses",
+          [rs] { return double(rs->memsys.stats().random_accesses); });
+    probe("cpu.prefetch_ramps",
+          [rs] { return double(rs->memsys.stats().prefetch_ramps); });
+
+    probe("hugepage.huge_allocs",
+          [rs] { return double(rs->lib.stats().huge_allocs); });
+    probe("hugepage.libc_allocs",
+          [rs] { return double(rs->lib.stats().libc_allocs); });
+    probe("hugepage.fallback_allocs",
+          [rs] { return double(rs->lib.stats().fallback_allocs); });
+    hugepage::Library* lib = &rkp->lib;
+    probe("hugepage.heap_bytes_mapped",
+          [lib] { return double(lib->huge_heap().stats().bytes_mapped); });
+    probe("hugepage.heap_bytes_live_peak",
+          [lib] { return double(lib->huge_heap().stats().bytes_live_peak); });
+
+    probe("placement.plan_decisions",
+          [rs] { return double(rs->placement->stats().plans); });
+    probe("placement.huge_backed",
+          [rs] { return double(rs->placement->stats().huge_backed); });
+    probe("placement.small_backed",
+          [rs] { return double(rs->placement->stats().small_backed); });
+    probe("placement.sge_plans",
+          [rs] { return double(rs->placement->stats().sge_plans); });
+    probe("placement.aligned_plans",
+          [rs] { return double(rs->placement->stats().aligned_plans); });
+    probe("placement.feedbacks",
+          [rs] { return double(rs->placement->stats().feedbacks); });
+  }
+
+  if (fault_ != nullptr) {
+    const fault::FaultInjector* fi = fault_.get();
+    probe("fault.packets_judged",
+          [fi] { return double(fi->stats().packets_judged); });
+    probe("fault.drops", [fi] { return double(fi->stats().packets_dropped); });
+    probe("fault.corrupts",
+          [fi] { return double(fi->stats().packets_corrupted); });
+    probe("fault.qp_errors_fired",
+          [fi] { return double(fi->stats().qp_errors_fired); });
+  }
+}
+
+void Cluster::install_sampler() {
+  if (!cfg_.telemetry.enabled || cfg_.telemetry.sampling_period == 0) return;
+  // Counter tracks: on each period boundary of the engine's virtual-time
+  // frontier, emit every selected metric whose value changed since its
+  // last sample (tracks begin at their first non-zero value).
+  auto last = std::make_shared<std::vector<double>>();
+  engine_.set_sampler(
+      cfg_.telemetry.sampling_period, [this, last](TimePs t) {
+        for (std::size_t i = 0; i < metrics_.size(); ++i) {
+          const std::string_view name = metrics_.name(i);
+          if (!cfg_.telemetry.categories.empty()) {
+            bool hit = false;
+            for (const std::string& prefix : cfg_.telemetry.categories)
+              hit |= name.substr(0, prefix.size()) == prefix;
+            if (!hit) continue;
+          }
+          if (i >= last->size()) last->resize(metrics_.size(), 0.0);
+          const double v = metrics_.value_at(i);
+          if (v == (*last)[i]) continue;
+          (*last)[i] = v;
+          tracer_.counter(std::string(name), t, v);
+        }
+      });
 }
 
 void Cluster::run(const std::function<void(RankEnv&)>& fn) {

@@ -32,6 +32,7 @@
 #include "ibp/regcache/regcache.hpp"
 #include "ibp/sim/engine.hpp"
 #include "ibp/sim/tracer.hpp"
+#include "ibp/telemetry/registry.hpp"
 #include "ibp/verbs/verbs.hpp"
 
 namespace ibp::core {
@@ -63,6 +64,13 @@ struct ClusterConfig {
   /// Record MPI-call and user spans into Cluster::tracer() (Chrome
   /// trace-event JSON via Tracer::write_json).
   bool enable_tracing = false;
+  /// Telemetry plane: with `telemetry.enabled` the cluster samples its
+  /// MetricsRegistry into tracer counter tracks on `sampling_period`
+  /// virtual-time cadence (categories filter by metric-name prefix) and
+  /// the tracer is available even without `enable_tracing`. Off (the
+  /// default), no sampling happens and runs are byte-identical to a
+  /// telemetry-free build; Cluster::metrics() stays usable either way.
+  telemetry::TelemetryConfig telemetry;
   /// Fat-tree style fabric: nodes are grouped into pods of this many
   /// nodes; cross-pod traffic shares `fabric_core_links` core links
   /// (oversubscription = pod uplink demand / core capacity). 0 disables
@@ -227,6 +235,9 @@ class RankEnv {
   RankState* st_;
   verbs::Context vctx_;
   regcache::RegCache rcache_;
+  // Declared after rcache_: released (final values latched into the
+  // cluster registry) before the cache they read goes away.
+  std::vector<telemetry::ProbeHandle> probes_;
 };
 
 class Cluster {
@@ -241,8 +252,16 @@ class Cluster {
   Node& node(NodeId n) { return *nodes_.at(static_cast<std::size_t>(n)); }
   sim::Engine& engine() { return engine_; }
 
-  /// Populated when config().enable_tracing; null otherwise.
-  sim::Tracer* tracer() { return cfg_.enable_tracing ? &tracer_ : nullptr; }
+  /// Populated when config().enable_tracing or config().telemetry.enabled
+  /// asks for it; null otherwise.
+  sim::Tracer* tracer() {
+    return cfg_.enable_tracing || cfg_.telemetry.enabled ? &tracer_
+                                                         : nullptr;
+  }
+
+  /// The cluster-wide metrics plane. Subsystems publish via probes (see
+  /// ibp/telemetry/registry.hpp); always live, costs nothing unless read.
+  telemetry::MetricsRegistry& metrics() { return metrics_; }
 
   /// The fault injector driving config().fault, or null for a healthy
   /// fabric. Shared by every adapter in the cluster.
@@ -256,7 +275,13 @@ class Cluster {
   TimePs rank_time(RankId r) const { return engine_.final_time(r); }
 
  private:
+  void register_probes();
+  void install_sampler();
+
   ClusterConfig cfg_;
+  // Declared before the subsystems that publish into it, so snapshots
+  // stay valid for the whole teardown.
+  telemetry::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<RankState>> ranks_;
   // Ordered-pair shm channels: shm_[from][to] for same-node pairs.
@@ -265,6 +290,9 @@ class Cluster {
   sim::Tracer tracer_;
   std::unique_ptr<hca::Fabric> fabric_;
   std::unique_ptr<fault::FaultInjector> fault_;
+  // Last member: released first, latching every live probe's final value
+  // while the subsystems it reads are still alive.
+  std::vector<telemetry::ProbeHandle> probes_;
 };
 
 inline void RankEnv::trace(const char* category, const char* name,

@@ -84,6 +84,47 @@ Comm::Comm(core::RankEnv& env, CommConfig cfg) : env_(&env), cfg_(cfg) {
     free_send_slots_[s] = static_cast<int>(s);
   send_seq_.assign(static_cast<std::size_t>(n), 0);
   expect_seq_.assign(static_cast<std::size_t>(n), 0);
+
+  register_metrics();
+}
+
+void Comm::register_metrics() {
+  telemetry::MetricsRegistry& m = env_->cluster().metrics();
+  auto probe = [&](std::string_view name, std::function<double()> fn) {
+    probes_.push_back(m.probe(name, std::move(fn)));
+  };
+  probe("mpi.eager_sent", [this] { return double(stats_.eager_sent); });
+  probe("mpi.eager_bytes", [this] { return double(stats_.eager_bytes); });
+  probe("mpi.rndv_copy_sent",
+        [this] { return double(stats_.rndv_copy_sent); });
+  probe("mpi.rndv_copy_bytes",
+        [this] { return double(stats_.rndv_copy_bytes); });
+  probe("mpi.rndv_rdma_sent",
+        [this] { return double(stats_.rndv_rdma_sent); });
+  probe("mpi.rndv_rdma_bytes",
+        [this] { return double(stats_.rndv_rdma_bytes); });
+  probe("mpi.rendezvous_bytes", [this] {
+    return double(stats_.rndv_copy_bytes + stats_.rndv_rdma_bytes);
+  });
+  probe("mpi.shm_sent", [this] { return double(stats_.shm_sent); });
+  probe("mpi.shm_bytes", [this] { return double(stats_.shm_bytes); });
+  probe("mpi.unexpected_arrivals",
+        [this] { return double(stats_.unexpected_arrivals); });
+  probe("mpi.gather_sends", [this] { return double(stats_.gather_sends); });
+  probe("mpi.sge_splits", [this] { return double(stats_.sge_splits); });
+  probe("mpi.ud_sent", [this] { return double(stats_.ud_sent); });
+  probe("mpi.reordered", [this] { return double(stats_.reordered); });
+  probe("mpi.recoveries", [this] { return double(stats_.recoveries); });
+  // stats() refreshes the QP-derived reliability fields on each read.
+  probe("mpi.retransmits", [this] { return double(stats().retransmits); });
+  probe("mpi.rnr_naks", [this] { return double(stats().rnr_naks); });
+}
+
+Comm::~Comm() {
+  telemetry::MetricsRegistry& m = env_->cluster().metrics();
+  for (const auto& [op, t] : prof_.by_op())
+    m.add(std::string("mpi.time_us.").append(op), ps_to_us(t));
+  m.add("mpi.time_us_total", ps_to_us(prof_.total()));
 }
 
 bool Comm::same_node(int peer) const {
@@ -161,6 +202,9 @@ void Comm::transport_send(int peer, const Header& hdr_in,
   IBP_CHECK(peer != rank(), "transport_send to self");
   Header hdr = hdr_in;
   hdr.seq = send_seq_[static_cast<std::size_t>(peer)]++;
+  if (sim::Tracer* tr = env_->cluster().tracer())
+    tr->flow_begin(rank(), "flow", "msg", env_->now(),
+                   flow_id(rank(), peer, hdr.seq));
   if (same_node(peer)) {
     std::vector<std::uint8_t> blob(kHeaderBytes + payload.size());
     store_header(blob.data(), hdr);
@@ -219,6 +263,9 @@ void Comm::transport_send_sges(int peer, const Header& hdr_in,
             "(gathered buffers must stay registered until the CQE)");
   Header hdr = hdr_in;
   hdr.seq = send_seq_[static_cast<std::size_t>(peer)]++;
+  if (sim::Tracer* tr = env_->cluster().tracer())
+    tr->flow_begin(rank(), "flow", "msg", env_->now(),
+                   flow_id(rank(), peer, hdr.seq));
   const int slot = take_send_slot();
   auto sp = env_->space().host_span(send_slot_va(slot), kHeaderBytes);
   store_header(sp.data(), hdr);
@@ -362,10 +409,34 @@ Req Comm::isend_gather(const std::vector<Seg>& segs, int dst, int tag) {
   hdr.size = total;
   hdr.req = r->id;
 
+  // Honour the plan's SGE budget (header SGE included): a gather with
+  // more pieces keeps the first max_sges - 2 direct and packs the tail
+  // into one staged segment, so the WR never exceeds the cap.
+  std::vector<Seg> pieces;
+  pieces.reserve(segs.size());
+  for (const Seg& s : segs)
+    if (s.len != 0) pieces.push_back(s);
+  VirtAddr stage = 0;
+  const std::size_t cap = std::max<std::uint32_t>(plan.max_sges, 2);
+  if (pieces.size() + 1 > cap) {
+    ++stats_.sge_splits;
+    const std::size_t keep = cap - 2;
+    std::uint64_t tail_bytes = 0;
+    for (std::size_t i = keep; i < pieces.size(); ++i)
+      tail_bytes += pieces[i].len;
+    stage = env_->alloc(std::max<std::uint64_t>(tail_bytes, 64));
+    const std::vector<Seg> tail(
+        pieces.begin() + static_cast<std::ptrdiff_t>(keep), pieces.end());
+    pack(tail, stage);
+    pieces.resize(keep);
+    pieces.push_back({stage, tail_bytes});
+  }
+
   SendAction action;
   action.req = r;  // gathered user buffers are reusable at the CQE
+  action.stage_buf = stage;
   ++stats_.gather_sends;
-  transport_send_sges(dst, hdr, segs, std::move(action));
+  transport_send_sges(dst, hdr, pieces, std::move(action));
   return r;
 }
 
@@ -606,6 +677,9 @@ void Comm::progress_once() {
 void Comm::ingest(const Header& hdr,
                   std::span<const std::uint8_t> payload) {
   const auto src = static_cast<std::size_t>(hdr.src);
+  if (sim::Tracer* tr = env_->cluster().tracer())
+    tr->flow_end(rank(), "flow", "msg", env_->now(),
+                 flow_id(hdr.src, rank(), hdr.seq));
   if (hdr.seq != expect_seq_[src]) {
     // Early arrival (a faster transport overtook an earlier message):
     // stash it until its predecessors are in.
@@ -777,6 +851,7 @@ void Comm::handle_send_cqe(const hca::Cqe& cqe) {
   }
 
   if (action.slot >= 0) release_send_slot(action.slot);
+  if (action.stage_buf != 0) env_->dealloc(action.stage_buf);
   if (action.read_fin) {
     // The pull finished: the payload is in place; tell the sender its
     // buffer is reusable and complete the receive.

@@ -87,6 +87,7 @@ struct CommStats {
   std::uint64_t shm_bytes = 0;
   std::uint64_t unexpected_arrivals = 0;
   std::uint64_t gather_sends = 0;
+  std::uint64_t sge_splits = 0;  // gathers split to honour plan.max_sges
   std::uint64_t ud_sent = 0;
   std::uint64_t reordered = 0;  // arrivals stashed for sequencing
   // Transport reliability (refreshed from the QP counters by stats()).
@@ -103,6 +104,10 @@ class Comm {
   /// start of the rank program (buffers are allocated and registered,
   /// receives preposted).
   explicit Comm(core::RankEnv& env, CommConfig cfg = {});
+
+  /// Flushes the profiler's per-op totals into the cluster metrics
+  /// registry (mpi.time_us.<op>) and latches the traffic-counter probes.
+  ~Comm();
 
   int rank() const { return env_->rank(); }
   int size() const { return env_->nranks(); }
@@ -204,6 +209,9 @@ class Comm {
     hca::SendWr wr;          // stored for Repost-policy replays
     std::int32_t dest = -1;  // peer the RC WR targeted (-1: not replayable)
     std::uint32_t attempts = 0;  // replays consumed so far
+    // Staging block holding the tail of a gather split by plan.max_sges;
+    // freed at the successful CQE (replays keep it intact).
+    VirtAddr stage_buf = 0;
   };
 
   // Transport helpers.
@@ -262,6 +270,17 @@ class Comm {
   verbs::Mr acquire_registration(VirtAddr addr, std::uint64_t len);
 
   std::uint64_t peer_index(int peer) const;  // dense index among IB peers
+
+  /// Flow-event plumbing: a deterministic id shared by the send-side "s"
+  /// and recv-side "f" records of one message (src, dst, seq).
+  std::uint64_t flow_id(int src, int dst, std::uint32_t seq) const {
+    return ((static_cast<std::uint64_t>(src) *
+                 static_cast<std::uint64_t>(size()) +
+             static_cast<std::uint64_t>(dst))
+            << 32) |
+           seq;
+  }
+  void register_metrics();
 
   template <typename T>
   static T apply_op(T a, T b, ReduceOp op) {
@@ -323,6 +342,10 @@ class Comm {
   std::vector<std::uint32_t> send_seq_;
   std::vector<std::uint32_t> expect_seq_;
   std::map<std::pair<int, std::uint32_t>, Unexpected> reorder_;
+
+  // Traffic-counter probes into the cluster metrics registry; released
+  // (final values latched) when this Comm dies.
+  std::vector<telemetry::ProbeHandle> probes_;
 };
 
 // ---------------------------------------------------------------------------

@@ -6,8 +6,10 @@
 // between communication and computation time").
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "ibp/common/types.hpp"
 
@@ -15,21 +17,33 @@ namespace ibp::mpi {
 
 class Profiler {
  public:
-  void add(const char* op, TimePs t) {
-    by_op_[op] += t;
+  /// Account `t` to `op`. Keys are interned: the map is keyed by
+  /// string_view into `owned_`, so the hot path (existing op) does a
+  /// pure view lookup and allocates nothing; a std::string is built only
+  /// the first time a new op name appears.
+  void add(std::string_view op, TimePs t) {
+    auto it = by_op_.find(op);
+    if (it == by_op_.end()) {
+      owned_.emplace_back(op);
+      it = by_op_.emplace(owned_.back(), TimePs{0}).first;
+    }
+    it->second += t;
     total_ += t;
   }
 
   TimePs total() const { return total_; }
-  const std::map<std::string, TimePs>& by_op() const { return by_op_; }
+  const std::map<std::string_view, TimePs>& by_op() const { return by_op_; }
 
   void reset() {
     by_op_.clear();
+    owned_.clear();
     total_ = 0;
   }
 
  private:
-  std::map<std::string, TimePs> by_op_;
+  // deque: growth never moves the strings the map's views point into.
+  std::deque<std::string> owned_;
+  std::map<std::string_view, TimePs> by_op_;
   TimePs total_ = 0;
 };
 

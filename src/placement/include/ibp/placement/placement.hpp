@@ -252,6 +252,10 @@ class PlacementEngine {
   /// Feed an observation to the policy (and count it).
   void feed(const Feedback& fb);
 
+  /// Replace the policy in place, keeping context, counters and every
+  /// outstanding pointer to the engine valid (e.g. hugepage::Library's).
+  void set_policy(std::unique_ptr<Policy> policy);
+
   const PolicyContext& context() const { return ctx_; }
   Policy& policy() { return *policy_; }
   const Policy& policy() const { return *policy_; }

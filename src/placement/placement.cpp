@@ -296,6 +296,11 @@ void PlacementEngine::feed(const Feedback& fb) {
   policy_->observe(fb);
 }
 
+void PlacementEngine::set_policy(std::unique_ptr<Policy> policy) {
+  IBP_CHECK(policy != nullptr, "PlacementEngine needs a policy");
+  policy_ = std::move(policy);
+}
+
 void PlacementEngine::set_tracer(sim::Tracer* tracer, RankId rank,
                                  std::function<TimePs()> clock) {
   tracer_ = tracer;

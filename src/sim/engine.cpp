@@ -146,6 +146,16 @@ void Engine::schedule_next(std::unique_lock<std::mutex>& lock) {
     return;
   }
 
+  // The chosen (time, rank) key is the global frontier: no unfinished
+  // rank can act earlier. Fire the sampler for every period boundary the
+  // frontier just crossed while no rank is active.
+  if (sampler_ && sample_period_ != 0) {
+    while (next_sample_ <= best_time) {
+      sampler_(next_sample_);
+      next_sample_ += sample_period_;
+    }
+  }
+
   auto& next = ranks_[static_cast<std::size_t>(best_rank)];
   if (best_blocked) {
     next.state = State::Runnable;

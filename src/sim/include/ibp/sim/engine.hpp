@@ -97,6 +97,19 @@ class Engine {
     return m;
   }
 
+  /// Install a virtual-time sampler: `fn(t)` fires whenever the global
+  /// time frontier (the smallest virtual time any unfinished rank can
+  /// still act at) crosses a multiple of `period`. The callback runs in
+  /// the scheduling gap — no rank is active — so it may safely read any
+  /// shared simulation state. Deterministic: the frontier sequence is a
+  /// pure function of the rank programs. Call before run(); a period of
+  /// 0 (or a null fn) disables sampling.
+  void set_sampler(TimePs period, std::function<void(TimePs)> fn) {
+    sample_period_ = period;
+    sampler_ = std::move(fn);
+    next_sample_ = 0;
+  }
+
  private:
   friend class Context;
 
@@ -128,6 +141,10 @@ class Engine {
   std::mutex mu_;
   std::exception_ptr error_;
   bool aborted_ = false;
+
+  TimePs sample_period_ = 0;
+  std::function<void(TimePs)> sampler_;
+  TimePs next_sample_ = 0;
 };
 
 inline int Context::nranks() const { return eng_->nranks(); }

@@ -2,12 +2,21 @@
 
 // Virtual-time event tracing in Chrome trace-event format.
 //
-// Records named spans per rank and serializes them as a JSON array loadable
-// by chrome://tracing / Perfetto ("X" complete events; timestamps in
-// microseconds of *virtual* time, one thread lane per rank). Because the
-// engine runs one rank at a time, no locking is needed.
+// Records the full Chrome trace model and serializes it as a JSON array
+// loadable by chrome://tracing / Perfetto (timestamps in microseconds of
+// *virtual* time, one thread lane per rank):
+//
+//   * "X" complete spans and "i" instant markers per rank lane;
+//   * "C" counter tracks (sampled from the telemetry MetricsRegistry on a
+//     virtual-time cadence by the sim engine);
+//   * "s"/"f" flow events linking a send span to its matching recv span
+//     across rank lanes (paired by category + name + id);
+//   * "M" metadata records naming the process and each rank's lane.
+//
+// Because the engine runs one rank at a time, no locking is needed.
 
 #include <cstdint>
+#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -18,11 +27,31 @@ namespace ibp::sim {
 
 class Tracer {
  public:
-  /// Record a completed span [start, start+duration) on `rank`'s lane.
+  enum class Kind { Span, Instant, Counter, FlowStart, FlowEnd };
+
+  struct Event {
+    Kind kind = Kind::Span;
+    RankId rank = 0;
+    std::string category;
+    std::string name;
+    TimePs start = 0;
+    TimePs duration = 0;      // Span only
+    double value = 0.0;       // Counter only
+    std::uint64_t flow_id = 0;  // FlowStart / FlowEnd only
+  };
+
+  /// Record a completed span [start, start+duration) on `rank`'s lane
+  /// (duration 0 records an instant marker).
   void add(RankId rank, std::string category, std::string name,
            TimePs start, TimePs duration) {
-    events_.push_back(Event{rank, std::move(category), std::move(name),
-                            start, duration});
+    Event e;
+    e.kind = duration == 0 ? Kind::Instant : Kind::Span;
+    e.rank = rank;
+    e.category = std::move(category);
+    e.name = std::move(name);
+    e.start = start;
+    e.duration = duration;
+    events_.push_back(std::move(e));
   }
 
   /// Record an instantaneous marker.
@@ -31,45 +60,141 @@ class Tracer {
     add(rank, std::move(category), std::move(name), at, 0);
   }
 
-  std::size_t size() const { return events_.size(); }
-  void clear() { events_.clear(); }
-
-  /// Chrome trace-event JSON (the "JSON array" flavour).
-  void write_json(std::ostream& os) const {
-    os << "[\n";
-    for (std::size_t i = 0; i < events_.size(); ++i) {
-      const Event& e = events_[i];
-      os << R"(  {"pid": 1, "tid": )" << e.rank << R"(, "ph": ")"
-         << (e.duration == 0 ? 'i' : 'X') << R"(", "cat": ")" << e.category
-         << R"(", "name": ")" << escaped(e.name) << R"(", "ts": )"
-         << ps_to_us(e.start);
-      if (e.duration != 0) os << R"(, "dur": )" << ps_to_us(e.duration);
-      if (e.duration == 0) os << R"(, "s": "t")";
-      os << "}" << (i + 1 < events_.size() ? "," : "") << "\n";
-    }
-    os << "]\n";
+  /// Record one sample of the counter track `name` at virtual time `at`.
+  void counter(std::string name, TimePs at, double value) {
+    Event e;
+    e.kind = Kind::Counter;
+    e.category = "telemetry";
+    e.name = std::move(name);
+    e.start = at;
+    e.value = value;
+    events_.push_back(std::move(e));
   }
 
- private:
-  struct Event {
-    RankId rank;
-    std::string category;
-    std::string name;
-    TimePs start;
-    TimePs duration;
-  };
+  /// Open flow `id` at `at` on `rank`'s lane. The flow renders as an
+  /// arrow to the matching flow_end with the same category, name and id.
+  void flow_begin(RankId rank, std::string category, std::string name,
+                  TimePs at, std::uint64_t id) {
+    Event e;
+    e.kind = Kind::FlowStart;
+    e.rank = rank;
+    e.category = std::move(category);
+    e.name = std::move(name);
+    e.start = at;
+    e.flow_id = id;
+    events_.push_back(std::move(e));
+  }
 
+  /// Close flow `id` at `at` on `rank`'s lane (binding point "enclosing
+  /// slice", so the arrow lands on the span containing `at`).
+  void flow_end(RankId rank, std::string category, std::string name,
+                TimePs at, std::uint64_t id) {
+    Event e;
+    e.kind = Kind::FlowEnd;
+    e.rank = rank;
+    e.category = std::move(category);
+    e.name = std::move(name);
+    e.start = at;
+    e.flow_id = id;
+    events_.push_back(std::move(e));
+  }
+
+  void set_process_name(std::string name) { process_name_ = std::move(name); }
+  void set_thread_name(RankId rank, std::string name) {
+    thread_names_[rank] = std::move(name);
+  }
+
+  std::size_t size() const { return events_.size(); }
+  const std::vector<Event>& events() const { return events_; }
+  void clear() {
+    events_.clear();
+    process_name_.clear();
+    thread_names_.clear();
+  }
+
+  /// Chrome trace-event JSON (the "JSON array" flavour). Metadata records
+  /// come first, then events in recording order.
+  void write_json(std::ostream& os) const {
+    os << "[\n";
+    bool any = false;
+    auto sep = [&] {
+      if (any) os << ",\n";
+      any = true;
+    };
+    if (!process_name_.empty()) {
+      sep();
+      os << R"(  {"pid": 1, "tid": 0, "ph": "M", "cat": "__metadata", )"
+         << R"("name": "process_name", "args": {"name": ")"
+         << escaped(process_name_) << R"("}})";
+    }
+    for (const auto& [rank, name] : thread_names_) {
+      sep();
+      os << R"(  {"pid": 1, "tid": )" << rank
+         << R"(, "ph": "M", "cat": "__metadata", "name": "thread_name", )"
+         << R"("args": {"name": ")" << escaped(name) << R"("}})";
+    }
+    for (const Event& e : events_) {
+      sep();
+      switch (e.kind) {
+        case Kind::Span:
+        case Kind::Instant:
+          os << R"(  {"pid": 1, "tid": )" << e.rank << R"(, "ph": ")"
+             << (e.kind == Kind::Instant ? 'i' : 'X') << R"(", "cat": ")"
+             << escaped(e.category) << R"(", "name": ")" << escaped(e.name)
+             << R"(", "ts": )" << ps_to_us(e.start);
+          if (e.kind == Kind::Span)
+            os << R"(, "dur": )" << ps_to_us(e.duration);
+          else
+            os << R"(, "s": "t")";
+          os << "}";
+          break;
+        case Kind::Counter:
+          os << R"(  {"pid": 1, "tid": 0, "ph": "C", "cat": ")"
+             << escaped(e.category) << R"(", "name": ")" << escaped(e.name)
+             << R"(", "ts": )" << ps_to_us(e.start)
+             << R"(, "args": {"value": )" << e.value << "}}";
+          break;
+        case Kind::FlowStart:
+        case Kind::FlowEnd:
+          os << R"(  {"pid": 1, "tid": )" << e.rank << R"(, "ph": ")"
+             << (e.kind == Kind::FlowStart ? 's' : 'f') << R"(", "cat": ")"
+             << escaped(e.category) << R"(", "name": ")" << escaped(e.name)
+             << R"(", "ts": )" << ps_to_us(e.start) << R"(, "id": )"
+             << e.flow_id;
+          if (e.kind == Kind::FlowEnd) os << R"(, "bp": "e")";
+          os << "}";
+          break;
+      }
+    }
+    os << (any ? "\n]\n" : "]\n");
+  }
+
+  /// JSON string escaping per RFC 8259: quote, backslash, and every
+  /// control character below 0x20 (as \u00XX — never silently dropped).
   static std::string escaped(const std::string& s) {
+    static const char* hex = "0123456789abcdef";
     std::string out;
     out.reserve(s.size());
     for (char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+      const auto u = static_cast<unsigned char>(c);
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (u < 0x20) {
+        out += "\\u00";
+        out.push_back(hex[u >> 4]);
+        out.push_back(hex[u & 0xf]);
+      } else {
+        out.push_back(c);
+      }
     }
     return out;
   }
 
+ private:
   std::vector<Event> events_;
+  std::string process_name_;
+  std::map<RankId, std::string> thread_names_;
 };
 
 }  // namespace ibp::sim

@@ -56,6 +56,7 @@ std::vector<ImbPoint> run_sendrecv(core::Cluster& cluster,
                       left, 0);
       comm.barrier();
       elapsed[si][static_cast<std::size_t>(env.rank())] = env.now() - t0;
+      if (cfg.phase_hook && env.rank() == 0) cfg.phase_hook(si, cfg.sizes[si]);
     }
     if (sbuf != 0) {
       env.dealloc(sbuf);
@@ -108,7 +109,10 @@ std::vector<ImbPoint> run_pingpong(core::Cluster& cluster,
       for (int w = 0; w < cfg.warmup; ++w) round();
       const TimePs t0 = env.now();
       for (int it = 0; it < cfg.iterations; ++it) round();
-      if (env.rank() == 0) elapsed[si] = env.now() - t0;
+      if (env.rank() == 0) {
+        elapsed[si] = env.now() - t0;
+        if (cfg.phase_hook) cfg.phase_hook(si, bytes);
+      }
     }
     if (buf != 0) env.dealloc(buf);
   });
@@ -167,6 +171,7 @@ std::vector<ImbPoint> run_exchange(core::Cluster& cluster,
       for (int it = 0; it < cfg.iterations; ++it) round();
       comm.barrier();
       elapsed[si][static_cast<std::size_t>(env.rank())] = env.now() - t0;
+      if (cfg.phase_hook && env.rank() == 0) cfg.phase_hook(si, bytes);
     }
     if (sbuf != 0) {
       env.dealloc(sbuf);

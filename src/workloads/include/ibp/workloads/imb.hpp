@@ -10,6 +10,8 @@
 // libc (small pages) or by the preloaded hugepage library.
 
 #include <cstdint>
+#include <functional>
+#include <string_view>
 #include <vector>
 
 #include "ibp/common/types.hpp"
@@ -34,6 +36,11 @@ struct ImbConfig {
   /// MPI layer configuration (protocol thresholds, recovery policy —
   /// relevant when the cluster runs under a fault plan).
   mpi::CommConfig comm;
+  /// Invoked by rank 0 after each size finishes (past the closing
+  /// barrier, before the next size's buffers are touched). Runs while
+  /// rank 0 is the scheduled rank, so it may safely read the cluster's
+  /// metrics registry — benches use it to snapshot per-phase deltas.
+  std::function<void(std::size_t size_index, std::uint64_t bytes)> phase_hook;
 };
 
 /// Default size sweep 4 KB … 16 MB (powers of two), as in Figure 5.

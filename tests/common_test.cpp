@@ -117,6 +117,48 @@ TEST(RunningStats, MergeMatchesSequential) {
   EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
 }
 
+TEST(RunningStats, MergeEmptyWithEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+}
+
+TEST(RunningStats, MergeEmptyWithNonEmpty) {
+  RunningStats empty, full;
+  full.add(3.0);
+  full.add(7.0);
+
+  RunningStats a = empty;
+  a.merge(full);  // empty ⊕ full adopts full verbatim
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 7.0);
+
+  full.merge(empty);  // full ⊕ empty is a no-op
+  EXPECT_EQ(full.count(), 2u);
+  EXPECT_DOUBLE_EQ(full.mean(), 5.0);
+  EXPECT_NEAR(full.variance(), 8.0, 1e-12);
+}
+
+TEST(RunningStats, MergeSingleSamples) {
+  RunningStats a, b;
+  a.add(2.0);
+  b.add(6.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_NEAR(a.variance(), 8.0, 1e-12);  // sample variance of {2, 6}
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 8.0);
+}
+
 TEST(SampleSet, Quantiles) {
   SampleSet s;
   for (int i = 100; i >= 1; --i) s.add(i);

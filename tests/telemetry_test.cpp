@@ -1,0 +1,279 @@
+#include "ibp/telemetry/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ibp/core/cluster.hpp"
+#include "ibp/fault/fault.hpp"
+#include "ibp/mpi/comm.hpp"
+#include "ibp/telemetry/sink.hpp"
+
+namespace ibp::telemetry {
+namespace {
+
+TEST(MetricsRegistry, CountersAndOneShotAdds) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("mpi.sends");
+  c.add();
+  c.add(2.5);
+  reg.add("mpi.sends", 1.0);   // resolves to the same slot
+  reg.add("hca.bytes", 42.0);  // creates a second slot
+  EXPECT_DOUBLE_EQ(reg.value("mpi.sends"), 4.5);
+  EXPECT_DOUBLE_EQ(reg.value("hca.bytes"), 42.0);
+  EXPECT_DOUBLE_EQ(reg.value("unknown.metric"), 0.0);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsRegistry, ProbesSumAndLatchOnRelease) {
+  MetricsRegistry reg;
+  double a = 10.0, b = 5.0;
+  ProbeHandle ha = reg.probe("regcache.hits", [&] { return a; });
+  {
+    ProbeHandle hb = reg.probe("regcache.hits", [&] { return b; });
+    EXPECT_DOUBLE_EQ(reg.value("regcache.hits"), 15.0);
+    b = 7.0;
+    EXPECT_DOUBLE_EQ(reg.value("regcache.hits"), 17.0);
+  }  // hb released: its final 7.0 is latched into the slot base
+  b = 1000.0;  // dead probe must not be read again
+  EXPECT_DOUBLE_EQ(reg.value("regcache.hits"), 17.0);
+  a = 12.0;  // live probe still tracks its source
+  EXPECT_DOUBLE_EQ(reg.value("regcache.hits"), 19.0);
+  ha.release();
+  EXPECT_DOUBLE_EQ(reg.value("regcache.hits"), 19.0);
+}
+
+TEST(MetricsRegistry, SnapshotAndDiff) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("a.x");
+  reg.add("a.y", 1.0);
+  c.add(3.0);
+
+  const MetricsSnapshot before = reg.snapshot();
+  EXPECT_DOUBLE_EQ(before.value_of("a.x"), 3.0);
+  EXPECT_DOUBLE_EQ(before.value_of("a.y"), 1.0);
+  EXPECT_DOUBLE_EQ(before.value_of("nope"), 0.0);
+
+  c.add(2.0);
+  reg.add("a.z", 9.0);  // new metric after the first snapshot
+  const MetricsSnapshot after = reg.snapshot();
+
+  const MetricsDelta d = diff(before, after);
+  ASSERT_EQ(d.entries.size(), 2u);  // a.y unchanged, so absent
+  EXPECT_DOUBLE_EQ(d.delta_of("a.x"), 2.0);
+  EXPECT_DOUBLE_EQ(d.delta_of("a.z"), 9.0);
+  EXPECT_DOUBLE_EQ(d.delta_of("a.y"), 0.0);
+
+  // A snapshot outlives the registry that produced it.
+  auto* heap_reg = new MetricsRegistry;
+  heap_reg->add("gone.metric", 4.0);
+  const MetricsSnapshot survivor = heap_reg->snapshot();
+  delete heap_reg;
+  EXPECT_DOUBLE_EQ(survivor.value_of("gone.metric"), 4.0);
+}
+
+TEST(MetricsRegistry, SinksSerializeSnapshotAndDelta) {
+  MetricsRegistry reg;
+  reg.add("mpi.sends", 3.0);
+  reg.add("hca.bytes", 100.0);
+  const MetricsSnapshot before = reg.snapshot();
+  reg.add("mpi.sends", 2.0);
+  const MetricsSnapshot after = reg.snapshot();
+
+  RunTelemetry run;
+  run.metrics = &after;
+  run.metrics_filter = "mpi.";
+  std::ostringstream js;
+  MetricsJsonSink().write(run, js);
+  EXPECT_EQ(js.str(), "{\n  \"mpi.sends\": 5\n}\n");
+
+  std::ostringstream ds;
+  write_delta_json(diff(before, after), ds);
+  EXPECT_EQ(ds.str(),
+            "{\n  \"mpi.sends\": {\"before\": 3, \"after\": 5, "
+            "\"delta\": 2}\n}");
+}
+
+core::ClusterConfig telemetry_cluster(int nodes, int rpn) {
+  core::ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.ranks_per_node = rpn;
+  cfg.hugepage_library = true;
+  cfg.hugepages_per_node = 128;
+  cfg.telemetry.enabled = true;
+  return cfg;
+}
+
+void sendrecv_workload(core::RankEnv& env, int iters,
+                       std::uint64_t bytes,
+                       mpi::CommConfig ccfg = {}) {
+  mpi::Comm comm(env, ccfg);
+  const int other = 1 - env.rank();
+  const VirtAddr sbuf = env.alloc(bytes);
+  const VirtAddr rbuf = env.alloc(bytes);
+  env.touch_stream(sbuf, bytes);
+  for (int it = 0; it < iters; ++it)
+    comm.sendrecv(sbuf, bytes, other, it, rbuf, bytes, other, it);
+  comm.barrier();
+}
+
+TEST(Telemetry, SixSubsystemsLiveAfterSendrecv) {
+  core::Cluster cluster(telemetry_cluster(2, 1));
+  cluster.run([](core::RankEnv& env) {
+    sendrecv_workload(env, 4, 256 * kKiB);
+  });
+  const MetricsSnapshot snap = cluster.metrics().snapshot();
+  std::map<std::string, double> live;  // prefix -> sum of non-zero values
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    const std::string_view n = snap.name(i);
+    live[std::string(n.substr(0, n.find('.')))] += snap.value(i);
+  }
+  for (const char* sub :
+       {"mpi", "hca", "regcache", "hugepage", "placement", "cpu"})
+    EXPECT_GT(live[sub], 0.0) << "no live metrics under " << sub << ".";
+  // A few paper-central metrics must be individually live.
+  EXPECT_GT(snap.value_of("mpi.rendezvous_bytes"), 0.0);
+  EXPECT_GT(snap.value_of("hca.bytes_tx"), 0.0);
+  EXPECT_GT(snap.value_of("placement.plan_decisions"), 0.0);
+}
+
+TEST(Telemetry, CounterTracksSampleDeterministically) {
+  auto run_once = [] {
+    core::Cluster cluster(telemetry_cluster(2, 1));
+    cluster.run([](core::RankEnv& env) {
+      sendrecv_workload(env, 6, 128 * kKiB);
+    });
+    std::ostringstream os;
+    for (const auto& e : cluster.tracer()->events()) {
+      if (e.kind != sim::Tracer::Kind::Counter) continue;
+      os << e.name << '@' << e.start << '=' << e.value << '\n';
+    }
+    return os.str();
+  };
+  const std::string first = run_once();
+  EXPECT_FALSE(first.empty()) << "sampler produced no counter samples";
+  EXPECT_EQ(first, run_once());
+}
+
+TEST(Telemetry, SamplingCategoriesFilterCounterTracks) {
+  core::ClusterConfig cfg = telemetry_cluster(2, 1);
+  cfg.telemetry.categories = {"mpi."};
+  core::Cluster cluster(cfg);
+  cluster.run([](core::RankEnv& env) {
+    sendrecv_workload(env, 4, 128 * kKiB);
+  });
+  std::size_t counters = 0;
+  for (const auto& e : cluster.tracer()->events()) {
+    if (e.kind != sim::Tracer::Kind::Counter) continue;
+    ++counters;
+    EXPECT_EQ(e.name.substr(0, 4), "mpi.") << e.name;
+  }
+  EXPECT_GT(counters, 0u);
+}
+
+TEST(Telemetry, FlowEventsPairOneToOneAcrossRetransmits) {
+  core::ClusterConfig cfg = telemetry_cluster(2, 1);
+  cfg.fault = fault::parse_fault_plan("drop=0-1:0.01;drop=1-0:0.01");
+  core::Cluster cluster(cfg);
+  std::vector<std::uint64_t> retransmits(2, 0);
+  cluster.run([&](core::RankEnv& env) {
+    mpi::CommConfig ccfg;
+    ccfg.recovery = mpi::CommConfig::Recovery::Repost;
+    mpi::Comm comm(env, ccfg);
+    const int other = 1 - env.rank();
+    const VirtAddr sbuf = env.alloc(64 * kKiB);
+    const VirtAddr rbuf = env.alloc(64 * kKiB);
+    for (int it = 0; it < 10; ++it)
+      comm.sendrecv(sbuf, 64 * kKiB, other, it, rbuf, 64 * kKiB, other, it);
+    retransmits[static_cast<std::size_t>(env.rank())] =
+        comm.stats().retransmits;
+  });
+  // The lossy link must actually have exercised the retransmit path.
+  EXPECT_GT(retransmits[0] + retransmits[1], 0u);
+
+  // Every flow id opens exactly once ("s") and closes exactly once ("f"):
+  // a retransmitted packet re-sends the wire data but must not re-open
+  // the flow, and a dropped packet's delivery only ever ingests once.
+  std::map<std::uint64_t, int> opens, closes;
+  for (const auto& e : cluster.tracer()->events()) {
+    if (e.kind == sim::Tracer::Kind::FlowStart) ++opens[e.flow_id];
+    if (e.kind == sim::Tracer::Kind::FlowEnd) ++closes[e.flow_id];
+  }
+  EXPECT_GT(opens.size(), 0u);
+  EXPECT_EQ(opens.size(), closes.size());
+  for (const auto& [id, n] : opens) {
+    EXPECT_EQ(n, 1) << "flow " << id << " opened " << n << " times";
+    EXPECT_EQ(closes[id], 1) << "flow " << id << " closed "
+                             << closes[id] << " times";
+  }
+}
+
+/// PaperDefault with a tiny SGE budget: forces isend_gather to split.
+class TinySgePolicy : public placement::PaperDefaultPolicy {
+ public:
+  std::string_view name() const override { return "tiny-sge-test"; }
+  placement::BufferPlan plan(
+      const placement::BufferRequest& req,
+      const placement::PolicyContext& ctx) const override {
+    placement::BufferPlan p = PaperDefaultPolicy::plan(req, ctx);
+    p.max_sges = 3;  // header + two data SGEs per work request
+    return p;
+  }
+};
+
+TEST(Telemetry, GatherSplitsHonourPlanSgeCapAndCount) {
+  core::Cluster cluster(telemetry_cluster(2, 1));
+  std::uint64_t splits = 0;
+  cluster.run([&](core::RankEnv& env) {
+    env.placement().set_policy(std::make_unique<TinySgePolicy>());
+    mpi::CommConfig ccfg;
+    ccfg.sge_gather = true;
+    mpi::Comm comm(env, ccfg);
+    if (env.rank() == 0) {
+      // Five pieces + header = 6 SGEs > cap 3: the tail must be staged.
+      const VirtAddr b = env.alloc(4096);
+      auto s = env.space().host_span(b, 4096);
+      for (int i = 0; i < 4096; ++i)
+        s[i] = static_cast<std::uint8_t>(i * 11);
+      std::vector<mpi::Seg> segs;
+      for (int i = 0; i < 5; ++i)
+        segs.push_back({b + static_cast<std::uint64_t>(i) * 500, 500});
+      comm.wait(comm.isend_gather(segs, 1, 7));
+      splits = comm.stats().sge_splits;
+    } else {
+      const VirtAddr buf = env.alloc(4096);
+      const mpi::RecvStatus st = comm.recv(buf, 2500, 0, 7);
+      EXPECT_EQ(st.len, 2500u);
+      // Payload must survive the split: the gathered pieces arrive in
+      // order, bytewise identical to the source region's pieces.
+      auto r = env.space().host_span(buf, 2500);
+      for (int piece = 0; piece < 5; ++piece)
+        for (int i = 0; i < 500; ++i)
+          ASSERT_EQ(r[piece * 500 + i],
+                    static_cast<std::uint8_t>((piece * 500 + i) * 11))
+              << "piece " << piece << " offset " << i;
+    }
+    comm.barrier();
+  });
+  EXPECT_EQ(splits, 1u);
+  EXPECT_DOUBLE_EQ(cluster.metrics().value("mpi.sge_splits"), 1.0);
+}
+
+TEST(Telemetry, DisabledTelemetryKeepsTracerOff) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  core::Cluster cluster(cfg);
+  cluster.run([](core::RankEnv& env) {
+    sendrecv_workload(env, 1, 4 * kKiB);
+  });
+  EXPECT_EQ(cluster.tracer(), nullptr);
+  // The metrics plane itself stays usable (probes latch at teardown).
+  EXPECT_GT(cluster.metrics().value("hca.sends_posted"), 0.0);
+}
+
+}  // namespace
+}  // namespace ibp::telemetry

@@ -27,6 +27,52 @@ TEST(Tracer, WritesChromeTraceJson) {
   EXPECT_EQ(out.find("},\n]"), std::string::npos);
 }
 
+// Golden output: control characters must come out as \u00XX per RFC 8259,
+// quotes and backslashes as two-character escapes — byte-for-byte.
+TEST(Tracer, EscapesControlCharactersExactly) {
+  EXPECT_EQ(sim::Tracer::escaped("plain"), "plain");
+  EXPECT_EQ(sim::Tracer::escaped("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(sim::Tracer::escaped(std::string("\x00\x01", 2)),
+            "\\u0000\\u0001");
+  EXPECT_EQ(sim::Tracer::escaped("tab\there\nand\rthere\x1f!"),
+            "tab\\u0009here\\u000aand\\u000dthere\\u001f!");
+
+  sim::Tracer t;
+  t.mark(0, "app", "weird\nname\x02", us(1));
+  std::ostringstream os;
+  t.write_json(os);
+  EXPECT_EQ(os.str(),
+            "[\n"
+            "  {\"pid\": 1, \"tid\": 0, \"ph\": \"i\", \"cat\": \"app\", "
+            "\"name\": \"weird\\u000aname\\u0002\", \"ts\": 1, "
+            "\"s\": \"t\"}\n"
+            "]\n");
+}
+
+TEST(Tracer, WritesCounterFlowAndMetadataRecords) {
+  sim::Tracer t;
+  t.set_process_name("proc");
+  t.set_thread_name(0, "rank 0");
+  t.counter("mpi.bytes", us(2), 42.5);
+  t.flow_begin(0, "flow", "msg", us(3), 7);
+  t.flow_end(1, "flow", "msg", us(4), 7);
+  std::ostringstream os;
+  t.write_json(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find(R"("ph": "M", "cat": "__metadata", "name": "process_name", "args": {"name": "proc"})"),
+            std::string::npos);
+  EXPECT_NE(out.find(R"("name": "thread_name", "args": {"name": "rank 0"})"),
+            std::string::npos);
+  EXPECT_NE(out.find(R"("ph": "C", "cat": "telemetry", "name": "mpi.bytes", "ts": 2, "args": {"value": 42.5})"),
+            std::string::npos);
+  EXPECT_NE(out.find(R"("ph": "s", "cat": "flow", "name": "msg", "ts": 3, "id": 7})"),
+            std::string::npos);
+  EXPECT_NE(out.find(R"("ph": "f", "cat": "flow", "name": "msg", "ts": 4, "id": 7, "bp": "e"})"),
+            std::string::npos);
+  // Metadata records precede ordinary events.
+  EXPECT_LT(out.find(R"("ph": "M")"), out.find(R"("ph": "C")"));
+}
+
 TEST(Tracer, RecordsMpiSpansWhenEnabled) {
   core::ClusterConfig cfg;
   cfg.nodes = 2;

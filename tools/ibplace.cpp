@@ -17,6 +17,11 @@
 //   --fault=SPEC                      inline fault plan (see fault.hpp)
 //   --fault-file=PATH                 fault plan from a file
 //   --recovery=failfast|repost        MPI policy on error completions
+//   --metrics-out=PATH                final metrics snapshot as JSON
+//   --trace-out=PATH                  Chrome trace JSON (spans, counter
+//                                     tracks, flow events)
+//   --metrics-filter=PREFIX           restrict --metrics-out to a
+//                                     namespace prefix (e.g. mpi.)
 //
 //   ibplace --list-policies           registered placement policies
 //
@@ -34,6 +39,7 @@
 #include "ibp/common/table.hpp"
 #include "ibp/fault/fault.hpp"
 #include "ibp/placement/placement.hpp"
+#include "ibp/telemetry/sink.hpp"
 #include "ibp/workloads/imb.hpp"
 #include "ibp/workloads/nas.hpp"
 
@@ -55,6 +61,9 @@ struct Options {
   std::string fault;       // inline fault-plan spec
   std::string fault_file;  // fault-plan file (appended to `fault`)
   std::string recovery = "failfast";
+  std::string metrics_out;     // final metrics snapshot (JSON)
+  std::string trace_out;       // Chrome trace JSON
+  std::string metrics_filter;  // metric-name prefix for --metrics-out
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -72,6 +81,8 @@ struct Options {
                "         --placement=POLICY (see --list-policies)\n"
                "         --fault=SPEC --fault-file=PATH\n"
                "         --recovery=failfast|repost\n"
+               "         --metrics-out=PATH --trace-out=PATH\n"
+               "         --metrics-filter=PREFIX\n"
                "fault SPEC: ';'-separated directives, e.g.\n"
                "  drop=0-1:0.01 | corrupt=*-*:0.001:50-200 |\n"
                "  storm=1:100-400 | qpkill=0:2:250 | seed=7\n"
@@ -116,6 +127,12 @@ Options parse_options(int argc, char** argv, int first) {
       o.recovery = v;
     } else if (parse_flag(argv[i], "--placement", &v)) {
       o.placement = v;
+    } else if (parse_flag(argv[i], "--metrics-out", &v)) {
+      o.metrics_out = v;
+    } else if (parse_flag(argv[i], "--trace-out", &v)) {
+      o.trace_out = v;
+    } else if (parse_flag(argv[i], "--metrics-filter", &v)) {
+      o.metrics_filter = v;
     } else {
       usage(("unknown option " + std::string(argv[i])).c_str());
     }
@@ -150,7 +167,29 @@ core::ClusterConfig cluster_config(const Options& o) {
     spec += ss.str();
   }
   if (!spec.empty()) cfg.fault = fault::parse_fault_plan(spec);
+  if (!o.metrics_out.empty() || !o.trace_out.empty())
+    cfg.telemetry.enabled = true;
   return cfg;
+}
+
+/// Write --metrics-out / --trace-out files for a finished run.
+void write_telemetry_outputs(core::Cluster& cluster, const Options& o) {
+  if (o.metrics_out.empty() && o.trace_out.empty()) return;
+  const telemetry::MetricsSnapshot snap = cluster.metrics().snapshot();
+  telemetry::RunTelemetry run;
+  run.tracer = cluster.tracer();
+  run.metrics = &snap;
+  run.metrics_filter = o.metrics_filter;
+  if (!o.metrics_out.empty()) {
+    std::ofstream out(o.metrics_out);
+    if (!out) usage(("cannot open " + o.metrics_out).c_str());
+    telemetry::MetricsJsonSink().write(run, out);
+  }
+  if (!o.trace_out.empty()) {
+    std::ofstream out(o.trace_out);
+    if (!out) usage(("cannot open " + o.trace_out).c_str());
+    telemetry::ChromeTraceJsonSink().write(run, out);
+  }
 }
 
 /// One-line transport-reliability summary after a faulted run.
@@ -227,6 +266,7 @@ int cmd_imb(const std::string& mode, const Options& o) {
     t.add_row(p.bytes, ps_to_us(p.avg_time), p.mbytes_per_sec);
   t.print();
   print_fault_summary(cluster);
+  write_telemetry_outputs(cluster, opt);
   return 0;
 }
 
