@@ -16,6 +16,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ibp/common/rng.hpp"
@@ -53,6 +54,11 @@ struct ClusterConfig {
   /// buffer placement with. "paper-default" reproduces the paper's
   /// published strategy bit-exactly; see `ibplace --list-policies`.
   std::string placement_policy = "paper-default";
+  /// Per-role policy overrides: (role name, policy name) pairs installed
+  /// on every rank's engine, e.g. {"rpc-ring", "paper-default"} while
+  /// `placement_policy` is "adaptive". Roles not listed use
+  /// `placement_policy`. Role names: see placement::role_name.
+  std::vector<std::pair<std::string, std::string>> placement_role_policies;
   /// Bound on memory the pin-down cache may keep registered (0 =
   /// unlimited, the configuration the paper measured; a finite bound
   /// evicts LRU registrations and mitigates the §1 pinned-memory
@@ -120,8 +126,21 @@ struct RankState {
           ctx.chunk = cfg.library.huge.chunk;
           ctx.hugepages_enabled = cfg.hugepage_library;
           ctx.lazy_dereg = cfg.lazy_deregistration;
-          return std::make_unique<placement::PlacementEngine>(
+          auto engine = std::make_unique<placement::PlacementEngine>(
               std::move(policy), ctx);
+          for (const auto& [role_name, policy_name] :
+               cfg.placement_role_policies) {
+            const auto role = placement::role_from_name(role_name);
+            IBP_CHECK(role.has_value(),
+                      "unknown placement role '" << role_name << "'");
+            auto override_policy = placement::make_policy(policy_name);
+            IBP_CHECK(override_policy != nullptr,
+                      "unknown placement policy '" << policy_name
+                      << "' for role '" << role_name << "' (known: "
+                      << placement::known_policy_names() << ")");
+            engine->set_role_policy(*role, std::move(override_policy));
+          }
+          return engine;
         }()),
         lib(space, n.hugetlbfs,
             [&] {

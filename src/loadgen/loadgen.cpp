@@ -1,0 +1,171 @@
+#include "ibp/loadgen/loadgen.hpp"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ibp/common/check.hpp"
+#include "ibp/common/rng.hpp"
+#include "ibp/core/cluster.hpp"
+
+namespace ibp::loadgen {
+
+namespace {
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= 0x100000001b3ull;
+  }
+}
+
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+
+std::vector<std::uint8_t> make_payload(const Workload& w,
+                                       std::uint64_t seed) {
+  std::vector<std::uint8_t> p(w.request_bytes);
+  for (std::size_t i = 0; i < p.size(); ++i)
+    p[i] = static_cast<std::uint8_t>(seed * 131 + i * 7 + 1);
+  return p;
+}
+
+void record(GenResult& res, const rpc::Completion& c) {
+  fnv_mix(res.trace_hash, c.id);
+  fnv_mix(res.trace_hash, static_cast<std::uint64_t>(c.status));
+  fnv_mix(res.trace_hash, static_cast<std::uint64_t>(c.latency));
+  if (c.status == rpc::Status::Ok) {
+    ++res.ok;
+    res.latency_ns.add(static_cast<std::uint64_t>(c.latency / 1000));
+  } else {
+    ++res.shed;
+  }
+}
+
+}  // namespace
+
+GenResult run_open_loop(rpc::RpcClient& client, const Workload& w,
+                        const OpenLoopConfig& cfg) {
+  IBP_CHECK(cfg.rate_rps > 0.0, "open loop needs a positive rate");
+  if (cfg.warmup > 0) {
+    OpenLoopConfig wcfg = cfg;
+    wcfg.requests = cfg.warmup;
+    wcfg.warmup = 0;
+    (void)run_open_loop(client, w, wcfg);  // drains before returning
+  }
+  core::RankEnv& env = client.comm().env();
+  sim::Context& sc = env.sim();
+  Rng rng(cfg.seed);
+  GenResult res;
+  res.trace_hash = kFnvBasis;
+  const std::vector<std::uint8_t> payload = make_payload(w, cfg.seed);
+
+  const TimePs start = env.now();
+  // Arrival schedule marches forward in virtual time independent of
+  // completions; when the client rank is behind (an earlier submit or
+  // poll blocked it), sleep_until is a no-op and the backlog drains at
+  // full speed — open-loop semantics, no coordinated omission.
+  double next = static_cast<double>(start);
+  for (std::uint64_t i = 0; i < cfg.requests; ++i) {
+    sc.sleep_until(static_cast<TimePs>(next));
+    const rpc::Class cls = rng.next_double() < w.bulk_fraction
+                               ? rpc::Class::Bulk
+                               : rpc::Class::Latency;
+    const std::uint32_t tenant =
+        w.tenants > 1 ? static_cast<std::uint32_t>(rng.next_below(w.tenants))
+                      : 0;
+    ++res.issued;
+    if (client.submit(payload, w.response_bytes, cls, tenant) == 0)
+      ++res.rejected;
+    client.poll();
+    for (const rpc::Completion& c : client.take_completions())
+      record(res, c);
+    const double u = rng.next_double();
+    next += -std::log1p(-u) / cfg.rate_rps * 1e12;  // Poisson interarrival
+  }
+  client.drain();
+  for (const rpc::Completion& c : client.take_completions()) record(res, c);
+  res.span = env.now() - start;
+  return res;
+}
+
+GenResult run_closed_loop(rpc::RpcClient& client, const Workload& w,
+                          const ClosedLoopConfig& cfg) {
+  IBP_CHECK(cfg.workers > 0, "closed loop needs at least one worker");
+  if (cfg.warmup > 0) {
+    ClosedLoopConfig wcfg = cfg;
+    wcfg.requests = cfg.warmup;
+    wcfg.warmup = 0;
+    (void)run_closed_loop(client, w, wcfg);  // drains before returning
+  }
+  core::RankEnv& env = client.comm().env();
+  sim::Context& sc = env.sim();
+  Rng rng(cfg.seed);
+  GenResult res;
+  res.trace_hash = kFnvBasis;
+  const std::vector<std::uint8_t> payload = make_payload(w, cfg.seed);
+
+  std::vector<std::uint64_t> budget(cfg.workers,
+                                    cfg.requests / cfg.workers);
+  for (std::uint64_t i = 0; i < cfg.requests % cfg.workers; ++i)
+    ++budget[i];
+
+  const TimePs start = env.now();
+  // Workers are state machines sharing the one client rank: ready set
+  // ordered by (wake time, worker), outstanding ids mapped back to the
+  // worker that issued them.
+  std::set<std::pair<TimePs, std::uint32_t>> ready;
+  std::map<std::uint64_t, std::uint32_t> owner;
+  for (std::uint32_t wk = 0; wk < cfg.workers; ++wk)
+    if (budget[wk] > 0) ready.insert({start, wk});
+
+  const auto submit_one = [&](std::uint32_t wk) {
+    const rpc::Class cls = rng.next_double() < w.bulk_fraction
+                               ? rpc::Class::Bulk
+                               : rpc::Class::Latency;
+    const std::uint32_t tenant =
+        w.tenants > 1 ? static_cast<std::uint32_t>(rng.next_below(w.tenants))
+                      : 0;
+    ++res.issued;
+    --budget[wk];
+    const std::uint64_t id = client.submit(payload, w.response_bytes, cls,
+                                           tenant);
+    if (id == 0) {
+      // Local queue full: the worker backs off one flush window and
+      // retries (closed-loop workers never abandon their budget).
+      ++res.rejected;
+      ++budget[wk];
+      ready.insert({env.now() + client.config().flush_timeout, wk});
+    } else {
+      owner.emplace(id, wk);
+    }
+  };
+
+  while (!ready.empty() || !owner.empty()) {
+    // Launch every worker whose wake time has arrived.
+    while (!ready.empty() && ready.begin()->first <= env.now()) {
+      const std::uint32_t wk = ready.begin()->second;
+      ready.erase(ready.begin());
+      submit_one(wk);
+    }
+    if (owner.empty()) {
+      if (ready.empty()) break;
+      sc.sleep_until(ready.begin()->first);
+      continue;
+    }
+    client.wait_some();
+    for (const rpc::Completion& c : client.take_completions()) {
+      record(res, c);
+      const auto it = owner.find(c.id);
+      IBP_CHECK(it != owner.end(), "completion for unknown worker");
+      const std::uint32_t wk = it->second;
+      owner.erase(it);
+      if (budget[wk] > 0) ready.insert({env.now() + cfg.think, wk});
+    }
+  }
+  client.drain();
+  res.span = env.now() - start;
+  return res;
+}
+
+}  // namespace ibp::loadgen

@@ -55,7 +55,8 @@ void AddressSpace::unmap(VirtAddr va_base) {
   IBP_CHECK(it != mappings_.end(), "unmap of unknown mapping " << va_base);
   Mapping& m = *it->second;
   for (std::uint32_t p : m.pins)
-    IBP_CHECK(p == 0, "unmap of a pinned mapping");
+    IBP_CHECK(p == 0, "unmap of a pinned mapping va=" << va_base
+        << " len=" << (m.npages() * m.page_size()));
   if (m.kind == PageKind::Huge) {
     hugetlbfs_->release(m.frames);
   } else {

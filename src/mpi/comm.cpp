@@ -166,7 +166,8 @@ placement::BufferPlan Comm::plan_message(std::uint64_t len,
       {.size = len, .role = role, .pieces = pieces}, ctx);
 }
 
-verbs::Mr Comm::acquire_registration(VirtAddr addr, std::uint64_t len) {
+verbs::Mr Comm::acquire_registration(VirtAddr addr, std::uint64_t len,
+                                     placement::Role role) {
   const auto& cs = env_->rcache().stats();
   const std::uint64_t misses_before = cs.misses;
   const TimePs t0 = env_->now();
@@ -176,7 +177,8 @@ verbs::Mr Comm::acquire_registration(VirtAddr addr, std::uint64_t len) {
                                          ? mem::PageKind::Huge
                                          : mem::PageKind::Small,
                           .cost = env_->now() - t0,
-                          .cache_misses = cs.misses - misses_before});
+                          .cache_misses = cs.misses - misses_before,
+                          .role = role});
   return mr;
 }
 
@@ -278,7 +280,11 @@ void Comm::transport_send_sges(int peer, const Header& hdr_in,
                      send_mr_.lkey});
   for (const Seg& s : segs) {
     if (s.len == 0) continue;
-    const verbs::Mr mr = env_->rcache().acquire(s.addr, s.len);
+    // Per-segment registrations feed the placement engine (role
+    // eager-send), so adaptive policies see the gather path's true
+    // registration profile, not just the rendezvous path's.
+    const verbs::Mr mr =
+        acquire_registration(s.addr, s.len, placement::Role::EagerSend);
     wr.sges.push_back(
         {s.addr, static_cast<std::uint32_t>(s.len), mr.lkey});
   }
@@ -385,11 +391,27 @@ Req Comm::isend_gather(const std::vector<Seg>& segs, int dst, int tag) {
   const placement::BufferPlan plan = plan_message(
       total, placement::Role::EagerSend,
       static_cast<std::uint32_t>(segs.size()));
+  // Sender-occupancy observation for the SGE-vs-pack decision: virtual
+  // time from here to the WR being posted (pack copies + bounce copy, or
+  // per-segment registrations + SGE posting).
+  const TimePs op_t0 = env_->now();
+  const auto feed_gather_cost = [&](bool gathered) {
+    if (segs.size() < 2) return;  // contiguous; nothing to learn
+    env_->placement().feed({.size = total,
+                            .backing = env_->lib().in_hugepages(segs[0].addr)
+                                           ? mem::PageKind::Huge
+                                           : mem::PageKind::Small,
+                            .cost = env_->now() - op_t0,
+                            .role = placement::Role::EagerSend,
+                            .pieces = static_cast<std::uint32_t>(segs.size()),
+                            .gathered = gathered});
+  };
   if (!plan.sge_gather || dst == rank() || same_node(dst)) {
     // Pack-and-send fallback: copy the pieces through a staging buffer.
     const VirtAddr stage = env_->alloc(std::max<std::uint64_t>(total, 64));
     pack(segs, stage);
     Req r = isend(stage, total, dst, tag);
+    feed_gather_cost(false);
     wait(r);  // staging buffer is freed below, so finish the handoff
     env_->dealloc(stage);
     return r;
@@ -437,6 +459,7 @@ Req Comm::isend_gather(const std::vector<Seg>& segs, int dst, int tag) {
   action.stage_buf = stage;
   ++stats_.gather_sends;
   transport_send_sges(dst, hdr, pieces, std::move(action));
+  feed_gather_cost(true);
   return r;
 }
 

@@ -266,8 +266,11 @@ class Comm {
 
   /// rcache().acquire plus an observation fed back to the placement
   /// engine: registration-cache misses and virtual-time cost for this
-  /// buffer's backing tier.
-  verbs::Mr acquire_registration(VirtAddr addr, std::uint64_t len);
+  /// buffer's backing tier. `role` labels the observation so per-role
+  /// override policies receive their own feedback.
+  verbs::Mr acquire_registration(
+      VirtAddr addr, std::uint64_t len,
+      placement::Role role = placement::Role::Rendezvous);
 
   std::uint64_t peer_index(int peer) const;  // dense index among IB peers
 

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -46,8 +47,10 @@ enum class Role : std::uint8_t {
   Rendezvous,    // large-transfer user buffer (RDMA source/target)
   RecvRing,      // preposted bounce/recv-ring slabs
   WorkloadHeap,  // ordinary application allocation
+  RpcRing,       // RPC request/response staging rings (ibp::rpc)
+  RpcResponse,   // RPC response payload buffers (eager or rendezvous)
 };
-inline constexpr int kRoleCount = 4;
+inline constexpr int kRoleCount = 6;
 
 /// How a buffer's memory registration is managed.
 enum class RegStrategy : std::uint8_t {
@@ -63,6 +66,9 @@ inline constexpr int kProtocolCount = 3;
 const char* role_name(Role r);
 const char* reg_strategy_name(RegStrategy s);
 const char* protocol_name(Protocol p);
+
+/// Inverse of role_name (for config parsing); nullopt for unknown names.
+std::optional<Role> role_from_name(std::string_view name);
 
 /// One buffer/message the consumer layers are about to place.
 struct BufferRequest {
@@ -116,6 +122,16 @@ struct Feedback {
   TimePs cost = 0;                           // observed placement cost
   std::uint64_t cache_misses = 0;            // registration-cache misses
   bool alloc_failed = false;                 // hugepage pool exhausted
+  /// Which role the observed buffer served (routes the observation to
+  /// that role's override policy when one is installed).
+  Role role = Role::WorkloadHeap;
+  /// Non-contiguous ops: number of pieces the operation moved (1 =
+  /// contiguous) and whether the NIC gathered them via one SGE-list WR
+  /// (true) or the CPU packed them through a staging buffer (false).
+  /// Lets adaptive policies learn the SGE-vs-pack decision, not just the
+  /// backing page size.
+  std::uint32_t pieces = 1;
+  bool gathered = false;
 };
 
 /// Pluggable placement policy.
@@ -189,6 +205,11 @@ class AdaptivePolicy : public Policy {
   /// Observed mean cost-per-byte for one (size-bucket, backing), or -1.
   double observed_cost(std::uint64_t size, mem::PageKind backing) const;
 
+  /// Observed mean cost-per-byte for non-contiguous ops moved via NIC
+  /// gather (`gathered` true) or CPU pack (`false`) in `size`'s bucket,
+  /// or -1 with no observations.
+  double observed_gather_cost(std::uint64_t size, bool gathered) const;
+
  private:
   struct Bucket {
     double small_cost = 0;  // EWMA cost per byte on small pages
@@ -196,10 +217,34 @@ class AdaptivePolicy : public Policy {
     std::uint32_t small_n = 0;
     std::uint32_t huge_n = 0;
     std::uint32_t huge_failures = 0;  // pool-exhausted allocations
+    // SGE-vs-pack learning (fed by the mpi gather path, §7).
+    double gather_cost = 0;  // EWMA cost per byte, NIC SGE gather
+    double pack_cost = 0;    // EWMA cost per byte, CPU pack-and-send
+    std::uint32_t gather_n = 0;
+    std::uint32_t pack_n = 0;
   };
   static constexpr int kBuckets = 41;  // log2 size buckets, 1 B .. 1 TB
   static int bucket_of(std::uint64_t size);
   Bucket buckets_[kBuckets];
+};
+
+/// Diagnostic policy for calibrating a new platform configuration: walks
+/// the Figure 4 intra-page offsets (0, 8, ..., 256 — the paper's sweep)
+/// deterministically, one offset per successive plan, so a fixed request
+/// stream probes every offset in order. Not part of the bench sweep
+/// registry; resolve it by name ("offset-sweep").
+class OffsetSweepPolicy : public PaperDefaultPolicy {
+ public:
+  std::string_view name() const override { return "offset-sweep"; }
+  std::string_view description() const override;
+  BufferPlan plan(const BufferRequest& req,
+                  const PolicyContext& ctx) const override;
+
+  /// The deterministic offset sequence the policy cycles through.
+  static const std::vector<std::uint64_t>& offsets();
+
+ private:
+  mutable std::size_t next_ = 0;  // cycles through offsets()
 };
 
 // ---------------------------------------------------------------------------
@@ -211,10 +256,17 @@ struct PolicyInfo {
   std::unique_ptr<Policy> (*make)();
 };
 
-/// All built-in policies, in registration order.
+/// All built-in policies, in registration order. Benches sweep exactly
+/// this list; diagnostic policies live in diagnostic_policies() so adding
+/// one never perturbs existing sweep outputs.
 const std::vector<PolicyInfo>& registered_policies();
 
-/// Instantiate a policy by registry name; nullptr for an unknown name.
+/// Diagnostic/calibration policies (resolvable by make_policy but kept
+/// out of the bench sweeps): currently `offset-sweep`.
+const std::vector<PolicyInfo>& diagnostic_policies();
+
+/// Instantiate a policy by registry or diagnostic name; nullptr for an
+/// unknown name.
 std::unique_ptr<Policy> make_policy(std::string_view name);
 
 /// Comma-separated registry names (for error messages / usage text).
@@ -249,12 +301,22 @@ class PlacementEngine {
   /// its own protocol thresholds).
   BufferPlan plan(const BufferRequest& req, const PolicyContext& ctx);
 
-  /// Feed an observation to the policy (and count it).
+  /// Feed an observation to the policy deciding `fb.role` (and count it).
   void feed(const Feedback& fb);
 
-  /// Replace the policy in place, keeping context, counters and every
-  /// outstanding pointer to the engine valid (e.g. hugepage::Library's).
+  /// Replace the default policy in place, keeping context, counters and
+  /// every outstanding pointer to the engine valid (e.g.
+  /// hugepage::Library's). Role overrides are unaffected.
   void set_policy(std::unique_ptr<Policy> policy);
+
+  /// Install (or, with nullptr, clear) a per-role policy override: plans
+  /// and feedback for `role` route to it instead of the default policy,
+  /// so e.g. the RPC ring can use `paper-default` while the workload heap
+  /// learns with `adaptive`.
+  void set_role_policy(Role role, std::unique_ptr<Policy> policy);
+
+  /// The policy currently deciding `role` (an override or the default).
+  Policy& policy_for(Role role);
 
   const PolicyContext& context() const { return ctx_; }
   Policy& policy() { return *policy_; }
@@ -268,6 +330,7 @@ class PlacementEngine {
 
  private:
   std::unique_ptr<Policy> policy_;
+  std::unique_ptr<Policy> role_policies_[kRoleCount];  // nullptr = default
   PolicyContext ctx_;
   EngineStats stats_;
   sim::Tracer* tracer_ = nullptr;

@@ -20,8 +20,18 @@ const char* role_name(Role r) {
     case Role::Rendezvous: return "rendezvous";
     case Role::RecvRing: return "recv-ring";
     case Role::WorkloadHeap: return "workload-heap";
+    case Role::RpcRing: return "rpc-ring";
+    case Role::RpcResponse: return "rpc-response";
   }
   return "?";
+}
+
+std::optional<Role> role_from_name(std::string_view name) {
+  for (int i = 0; i < kRoleCount; ++i) {
+    const Role r = static_cast<Role>(i);
+    if (name == role_name(r)) return r;
+  }
+  return std::nullopt;
 }
 
 const char* reg_strategy_name(RegStrategy s) {
@@ -147,6 +157,18 @@ BufferPlan AdaptivePolicy::plan(const BufferRequest& req,
                                 const PolicyContext& ctx) const {
   PaperDefaultPolicy base;
   BufferPlan p = base.plan(req, ctx);
+
+  // SGE-vs-pack: once both movement styles of a non-contiguous size have
+  // accumulated several observations, pick the cheaper per byte instead
+  // of the prior's blanket "gather whatever fits eager". Gathering stays
+  // gated on the feature being available at all.
+  if (ctx.sge_gather_enabled && req.pieces > 1) {
+    const Bucket& gb = buckets_[bucket_of(req.size)];
+    if (gb.gather_n >= 4 && gb.pack_n >= 4)
+      p.sge_gather = gb.gather_cost <= gb.pack_cost &&
+                     req.size <= ctx.eager_threshold;
+  }
+
   if (!ctx.hugepages_enabled) return p;  // no hugepage tier to choose
 
   const Bucket& b = buckets_[bucket_of(req.size)];
@@ -190,6 +212,22 @@ void AdaptivePolicy::observe(const Feedback& fb) {
        static_cast<double>(fb.cache_misses) * 1000.0) /
       bytes;
   constexpr double kAlpha = 0.25;  // EWMA smoothing
+  if (fb.pieces > 1) {
+    // Non-contiguous movement observation: learn the SGE-vs-pack cost
+    // (fed by mpi::Comm's gather path) instead of the backing cost.
+    if (fb.gathered) {
+      b.gather_cost = b.gather_n == 0
+                          ? per_byte
+                          : b.gather_cost + kAlpha * (per_byte - b.gather_cost);
+      ++b.gather_n;
+    } else {
+      b.pack_cost = b.pack_n == 0
+                        ? per_byte
+                        : b.pack_cost + kAlpha * (per_byte - b.pack_cost);
+      ++b.pack_n;
+    }
+    return;
+  }
   if (fb.backing == mem::PageKind::Huge) {
     b.huge_cost = b.huge_n == 0
                       ? per_byte
@@ -210,6 +248,43 @@ double AdaptivePolicy::observed_cost(std::uint64_t size,
     return b.huge_n ? b.huge_cost : -1.0;
   }
   return b.small_n ? b.small_cost : -1.0;
+}
+
+double AdaptivePolicy::observed_gather_cost(std::uint64_t size,
+                                            bool gathered) const {
+  const Bucket& b = buckets_[bucket_of(size)];
+  if (gathered) return b.gather_n ? b.gather_cost : -1.0;
+  return b.pack_n ? b.pack_cost : -1.0;
+}
+
+// ---------------------------------------------------------------------------
+// OffsetSweep (diagnostic)
+
+std::string_view OffsetSweepPolicy::description() const {
+  return "diagnostic: walks the Fig. 4 intra-page offsets (0..256 step 8) "
+         "deterministically, for calibrating new platform configs";
+}
+
+const std::vector<std::uint64_t>& OffsetSweepPolicy::offsets() {
+  static const std::vector<std::uint64_t> kOffsets = [] {
+    std::vector<std::uint64_t> v;
+    for (std::uint64_t off = 0; off <= 256; off += 8) v.push_back(off);
+    return v;
+  }();
+  return kOffsets;
+}
+
+BufferPlan OffsetSweepPolicy::plan(const BufferRequest& req,
+                                   const PolicyContext& ctx) const {
+  BufferPlan p = PaperDefaultPolicy::plan(req, ctx);
+  // Only sub-page WR buffers have a meaningful intra-page offset; larger
+  // requests keep the paper-default plan so the sweep never perturbs the
+  // bulk placement under test.
+  if (req.size < kSmallPageSize) {
+    p.offset = offsets()[next_ % offsets().size()];
+    ++next_;
+  }
+  return p;
 }
 
 // ---------------------------------------------------------------------------
@@ -242,8 +317,22 @@ const std::vector<PolicyInfo>& registered_policies() {
   return kPolicies;
 }
 
+const std::vector<PolicyInfo>& diagnostic_policies() {
+  static const std::vector<PolicyInfo> kPolicies = [] {
+    std::vector<PolicyInfo> v;
+    OffsetSweepPolicy probe;
+    v.push_back({probe.name(), probe.description(),
+                 &make_impl<OffsetSweepPolicy>});
+    return v;
+  }();
+  return kPolicies;
+}
+
 std::unique_ptr<Policy> make_policy(std::string_view name) {
   for (const PolicyInfo& info : registered_policies()) {
+    if (info.name == name) return info.make();
+  }
+  for (const PolicyInfo& info : diagnostic_policies()) {
     if (info.name == name) return info.make();
   }
   return nullptr;
@@ -252,6 +341,10 @@ std::unique_ptr<Policy> make_policy(std::string_view name) {
 std::string known_policy_names() {
   std::string out;
   for (const PolicyInfo& info : registered_policies()) {
+    if (!out.empty()) out += ", ";
+    out += info.name;
+  }
+  for (const PolicyInfo& info : diagnostic_policies()) {
     if (!out.empty()) out += ", ";
     out += info.name;
   }
@@ -269,7 +362,8 @@ PlacementEngine::PlacementEngine(std::unique_ptr<Policy> policy,
 
 BufferPlan PlacementEngine::plan(const BufferRequest& req,
                                  const PolicyContext& ctx) {
-  BufferPlan p = policy_->plan(req, ctx);
+  Policy& pol = policy_for(req.role);
+  BufferPlan p = pol.plan(req, ctx);
   ++stats_.plans;
   ++stats_.by_role[static_cast<int>(req.role)];
   ++stats_.by_protocol[static_cast<int>(p.protocol)];
@@ -282,7 +376,7 @@ BufferPlan PlacementEngine::plan(const BufferRequest& req,
   if (p.alignment > 0) ++stats_.aligned_plans;
   if (tracer_ && clock_) {
     std::ostringstream name;
-    name << policy_->name() << ' ' << role_name(req.role) << ' ' << req.size
+    name << pol.name() << ' ' << role_name(req.role) << ' ' << req.size
          << "B -> " << backing_name(p.backing) << '/'
          << protocol_name(p.protocol) << '/'
          << reg_strategy_name(p.registration);
@@ -293,12 +387,22 @@ BufferPlan PlacementEngine::plan(const BufferRequest& req,
 
 void PlacementEngine::feed(const Feedback& fb) {
   ++stats_.feedbacks;
-  policy_->observe(fb);
+  policy_for(fb.role).observe(fb);
 }
 
 void PlacementEngine::set_policy(std::unique_ptr<Policy> policy) {
   IBP_CHECK(policy != nullptr, "PlacementEngine needs a policy");
   policy_ = std::move(policy);
+}
+
+void PlacementEngine::set_role_policy(Role role,
+                                      std::unique_ptr<Policy> policy) {
+  role_policies_[static_cast<int>(role)] = std::move(policy);
+}
+
+Policy& PlacementEngine::policy_for(Role role) {
+  Policy* p = role_policies_[static_cast<int>(role)].get();
+  return p != nullptr ? *p : *policy_;
 }
 
 void PlacementEngine::set_tracer(sim::Tracer* tracer, RankId rank,

@@ -115,8 +115,26 @@ class RegCache {
 
     verbs::Mr mr = vctx_->reg_mr(lo, hi - lo);
     if (caching()) {
-      lru_.push_front(mr.addr);
-      cache_.emplace(mr.addr, Entry{mr, lru_.begin(), 1});
+      auto [it2, inserted] = cache_.emplace(mr.addr, Entry{mr, {}, 1, {}});
+      if (inserted) {
+        lru_.push_front(mr.addr);
+        it2->second.lru_pos = lru_.begin();
+      } else {
+        // A narrower registration already starts at this page-aligned
+        // hull base (the covering check above missed because it does
+        // not reach addr+len). Keep the wider MR as the entry's face;
+        // the superseded one may still back in-flight transfers, so it
+        // is retired — deregistered with the entry, not before.
+        Entry& e = it2->second;
+        ++e.refs;
+        if (mr.length >= e.mr.length) {
+          e.retired.push_back(e.mr);
+          e.mr = mr;
+        } else {
+          e.retired.push_back(mr);
+        }
+        lru_.splice(lru_.begin(), lru_, e.lru_pos);
+      }
       stats_.pinned_bytes += mr.length;
       stats_.pinned_bytes_peak =
           std::max(stats_.pinned_bytes_peak, stats_.pinned_bytes);
@@ -157,6 +175,7 @@ class RegCache {
         stats_.pinned_bytes -= mr.length;
         ++stats_.invalidations;
         lru_.erase(it->second.lru_pos);
+        drop_retired(it->second);
         vctx_->dereg_mr(mr);
         it = cache_.erase(it);
       } else {
@@ -167,7 +186,10 @@ class RegCache {
 
   /// Deregister everything (test teardown / accounting).
   void flush() {
-    for (auto& [a, e] : cache_) vctx_->dereg_mr(e.mr);
+    for (auto& [a, e] : cache_) {
+      drop_retired(e);
+      vctx_->dereg_mr(e.mr);
+    }
     stats_.pinned_bytes = 0;
     cache_.clear();
     lru_.clear();
@@ -200,7 +222,18 @@ class RegCache {
     verbs::Mr mr;
     std::list<VirtAddr>::iterator lru_pos;
     std::uint32_t refs = 0;  // in-flight transfers using this MR
+    // Same-hull registrations this entry superseded; they may back
+    // transfers still in flight, so they deregister with the entry.
+    std::vector<verbs::Mr> retired;
   };
+
+  void drop_retired(Entry& e) {
+    for (const verbs::Mr& r : e.retired) {
+      stats_.pinned_bytes -= r.length;
+      vctx_->dereg_mr(r);
+    }
+    e.retired.clear();
+  }
 
   void evict(VirtAddr key) {
     auto it = cache_.find(key);
@@ -208,6 +241,7 @@ class RegCache {
     stats_.pinned_bytes -= it->second.mr.length;
     ++stats_.evictions;
     lru_.erase(it->second.lru_pos);
+    drop_retired(it->second);
     vctx_->dereg_mr(it->second.mr);
     cache_.erase(it);
   }

@@ -1,0 +1,335 @@
+#pragma once
+
+// ibp_rpc — a request/response serving layer over the simulated MPI
+// transport, exercising the paper's data-placement machinery on a
+// datacenter-style workload instead of HPC collectives:
+//
+//   * requests are framed with a fixed 24-byte wire header and carried
+//     over the eager path; queued small requests coalesce into one
+//     gather work request whose SGE budget comes from the rank's
+//     placement engine (BufferPlan::max_sges) — the §7 scatter/gather
+//     feature applied to RPC batching,
+//   * request and response slot rings are placed via the engine under
+//     the dedicated roles Role::RpcRing / Role::RpcResponse, so per-role
+//     policy overrides (ClusterConfig::placement_role_policies) steer
+//     serving buffers independently of the workload heap,
+//   * flow control is credit-based (a client bounds its un-responded
+//     requests), admission control sheds load at the server with an
+//     explicit Overloaded status instead of queueing without bound, and
+//     accepted requests drain through per-tenant two-class priority
+//     queues (latency-sensitive ahead of bulk, tenants round-robin),
+//   * responses that fit a slot ride the batched eager path; larger
+//     ones take the rendezvous path on a per-request tag, exactly the
+//     split the paper measures registration costs on.
+//
+// Everything runs in virtual time on one simulated rank per endpoint:
+// RpcServer::serve() is the server rank's program; RpcClient is polled
+// from the client rank's program (see ibp::loadgen for generators).
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ibp/common/stats.hpp"
+#include "ibp/common/types.hpp"
+#include "ibp/mpi/comm.hpp"
+#include "ibp/telemetry/registry.hpp"
+
+namespace ibp::rpc {
+
+/// Request priority class. Latency-sensitive requests flush ahead of
+/// bulk at the client and are served ahead of bulk at the server.
+enum class Class : std::uint8_t { Latency = 0, Bulk = 1 };
+
+/// Response status.
+enum class Status : std::uint8_t {
+  Ok = 0,
+  /// Admission control shed the request: the server's accepted-request
+  /// queue was at RpcConfig::server_queue_cap, so instead of queueing
+  /// without bound it answered immediately with this status.
+  Overloaded = 1,
+};
+
+/// On-the-wire record header (request and response direction). A batch
+/// is the concatenation of (WireHeader, payload) records.
+struct WireHeader {
+  std::uint64_t id = 0;            // client-assigned, echoed by responses
+  std::uint32_t payload = 0;       // payload bytes following this header
+  std::uint32_t response_cap = 0;  // request: response bytes the client
+                                   // expects; large response: actual size
+  std::uint32_t tenant = 0;
+  std::uint8_t cls = 0;     // Class
+  std::uint8_t status = 0;  // Status (response direction)
+  std::uint16_t flags = 0;
+};
+static_assert(sizeof(WireHeader) == 24, "wire header is 24 bytes");
+
+inline constexpr std::uint16_t kFlagClose = 1;  // client is done; no reply
+inline constexpr std::uint16_t kFlagLarge = 2;  // response body follows on
+                                                // its own tag (rendezvous)
+
+inline constexpr int kReqTag = 0x21000000;
+inline constexpr int kRspTag = 0x22000000;
+/// Tag a large (rendezvous) response body travels on.
+inline constexpr int large_tag(std::uint64_t id) {
+  return 0x23000000 | static_cast<int>(id & 0xFFFFF);
+}
+
+struct RpcConfig {
+  /// Coalesce queued requests into one gather WR. Off, every request is
+  /// its own message (one header SGE + one payload SGE per WR).
+  bool batching = true;
+  std::uint32_t max_batch_requests = 16;
+  /// Wire bytes (headers included) that force a flush. Must fit the
+  /// eager path; the placement plan's max_sges further splits the WR.
+  std::uint64_t max_batch_bytes = 4 * kKiB;
+  /// Virtual-time age of the oldest queued request that forces a flush
+  /// on the next poll, so a trickle of requests is not held hostage by
+  /// the count/bytes thresholds.
+  TimePs flush_timeout = us(5);
+  /// Credit-based flow control: a client keeps at most this many
+  /// un-responded requests on the wire; flushes wait for credits.
+  std::uint32_t credits = 64;
+  /// Client-side bound on queued-but-unsent requests. submit() beyond
+  /// it rejects locally (ClientStats::rejected) — open-loop generators
+  /// observe backpressure instead of buffering without bound.
+  std::uint32_t client_queue_cap = 256;
+  /// Server admission bound on accepted-but-unserved requests. Beyond
+  /// it, requests are shed with Status::Overloaded.
+  std::uint32_t server_queue_cap = 128;
+  /// Per-request payload bound (slot capacity). Responses above it take
+  /// the large path (rendezvous on a per-request tag).
+  std::uint32_t max_payload = 2 * kKiB;
+  /// Application service time: base + per-byte over the request payload.
+  TimePs service_base = us(2);
+  std::uint64_t service_per_byte_ps = 250;  // 250 ps/B = 4 GB/s
+};
+
+/// One completed request, as observed by the client.
+struct Completion {
+  std::uint64_t id = 0;
+  Status status = Status::Ok;
+  TimePs latency = 0;  // submit() to response parse, virtual time
+  std::vector<std::uint8_t> payload;  // response bytes (empty when shed)
+};
+
+struct ClientStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;  // local queue full at submit()
+  std::uint64_t batches = 0;
+  std::uint64_t batched_requests = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;  // completions with Status::Overloaded
+  std::uint64_t large_responses = 0;
+  std::uint64_t credit_stalls = 0;  // flushes deferred for want of credits
+};
+
+struct ServerStats {
+  std::uint64_t batches_in = 0;
+  std::uint64_t requests_in = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t served = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t resp_batches = 0;
+  std::uint64_t large_responses = 0;
+  std::uint64_t queue_peak = 0;
+  std::uint64_t closes = 0;
+};
+
+/// What the server hands the application handler.
+struct RequestView {
+  std::uint32_t tenant = 0;
+  Class cls = Class::Latency;
+  const std::uint8_t* payload = nullptr;
+  std::uint32_t payload_len = 0;
+  std::uint32_t response_cap = 0;
+};
+
+/// Application handler: fill `out` (capacity `out_cap` = max(response_cap,
+/// payload_len, 1)) and return the response length (<= out_cap). The
+/// default handler echoes the payload, padded/truncated to response_cap
+/// when the request asks for a specific response size.
+using Handler = std::function<std::uint32_t(const RequestView&,
+                                            std::uint8_t* out,
+                                            std::uint32_t out_cap)>;
+
+class RpcClient {
+ public:
+  RpcClient(mpi::Comm& comm, int server, RpcConfig cfg = {});
+  ~RpcClient();
+
+  /// Enqueue one request. Returns the request id, or 0 when the client
+  /// queue is full (request rejected, counted in stats().rejected).
+  /// `payload` may be empty; `response_cap` asks the server for a
+  /// response of that size (0 = echo-sized).
+  std::uint64_t submit(std::span<const std::uint8_t> payload,
+                       std::uint32_t response_cap = 0,
+                       Class cls = Class::Latency, std::uint32_t tenant = 0);
+
+  /// Non-blocking progress: reclaim send slots, flush on thresholds or
+  /// the flush_timeout deadline, ingest arrived response batches.
+  void poll();
+
+  bool completed(std::uint64_t id) const { return done_.count(id) != 0; }
+
+  /// Block (in virtual time) until `id` completes; returns its record.
+  const Completion& wait(std::uint64_t id);
+
+  /// Block until at least one completion newer than the last
+  /// take_completions() call exists (requires work outstanding).
+  void wait_some();
+
+  /// Completions (in completion order) since the previous call.
+  std::vector<Completion> take_completions();
+
+  /// Flush everything and wait for every outstanding response.
+  void drain();
+
+  /// drain(), then tell the server this client is finished. The client
+  /// is unusable afterwards.
+  void close();
+
+  std::uint64_t outstanding() const {
+    return inflight_.size() + queued_[0].size() + queued_[1].size();
+  }
+  const ClientStats& stats() const { return stats_; }
+  /// Latency of Ok completions, nanosecond units.
+  const LogHistogram& latency() const { return lat_; }
+  const RpcConfig& config() const { return cfg_; }
+  mpi::Comm& comm() const { return *comm_; }
+
+ private:
+  struct Pending {
+    std::uint64_t id = 0;
+    std::uint32_t slot = 0;
+    std::uint64_t wire = 0;  // header + payload bytes
+    TimePs t = 0;            // submit time (latency zero point)
+  };
+  struct SentBatch {
+    mpi::Req req;
+    std::vector<std::uint32_t> slots;
+  };
+
+  VirtAddr slot_va(std::uint32_t slot) const;
+  void reclaim_batches();
+  /// Flush queued requests while thresholds (or `force`) say so and
+  /// credits allow. Latency-class requests flush ahead of bulk.
+  void maybe_flush(bool force);
+  void ensure_rsp_posted();
+  /// Ingest one arrived response batch; returns false if none arrived.
+  bool try_ingest(bool blocking);
+  void parse_responses(std::uint64_t len);
+  void register_metrics();
+
+  mpi::Comm* comm_;
+  int server_;
+  RpcConfig cfg_;
+  std::uint64_t slot_bytes_ = 0;
+  std::uint32_t nslots_ = 0;
+  VirtAddr ring_ = 0;    // request slot ring (Role::RpcRing)
+  VirtAddr rspbuf_ = 0;  // response-batch landing buffer
+  std::uint64_t rsp_cap_ = 0;
+  std::vector<std::uint32_t> free_slots_;
+  std::deque<Pending> queued_[2];  // unsent, by class
+  std::uint64_t queued_bytes_ = 0;
+  std::map<std::uint64_t, TimePs> inflight_;  // id -> submit time
+  std::vector<SentBatch> sent_;
+  mpi::Req rsp_req_;  // posted iff inflight work may still answer
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Completion> done_;
+  std::deque<const Completion*> fresh_;  // completion order, not yet taken
+  ClientStats stats_;
+  LogHistogram lat_;
+  std::vector<telemetry::ProbeHandle> probes_;
+  bool closed_ = false;
+};
+
+class RpcServer {
+ public:
+  /// `clients` are the ranks that will connect; serve() runs until each
+  /// of them sent its close record and every response drained.
+  RpcServer(mpi::Comm& comm, std::vector<int> clients, RpcConfig cfg = {},
+            Handler handler = {});
+  ~RpcServer();
+
+  void serve();
+
+  const ServerStats& stats() const { return stats_; }
+  const RpcConfig& config() const { return cfg_; }
+
+ private:
+  struct Item {
+    std::uint32_t client = 0;  // index into clients_
+    std::uint64_t id = 0;
+    std::uint32_t tenant = 0;
+    Class cls = Class::Latency;
+    std::uint32_t response_cap = 0;
+    std::vector<std::uint8_t> payload;
+  };
+  struct RspRec {
+    std::uint32_t slot = 0;
+    std::uint64_t wire = 0;
+  };
+  struct SentBatch {
+    mpi::Req req;
+    std::vector<std::uint32_t> slots;
+  };
+  struct LargeSend {
+    mpi::Req req;
+    VirtAddr buf = 0;
+  };
+
+  VirtAddr rsp_slot_va(std::uint32_t slot) const;
+  VirtAddr recv_va(std::uint32_t client) const;
+  void post_recv(std::uint32_t client);
+  /// Non-blocking: ingest every arrived request batch.
+  void ingest();
+  void parse_batch(std::uint32_t client, std::uint64_t len);
+  void shed(std::uint32_t client, const WireHeader& hdr);
+  std::uint64_t queued_total() const;
+  /// Serve the highest-priority queued request (per-tenant round-robin
+  /// inside a class, Latency class first).
+  void serve_one();
+  bool pop_next(Item& out);
+  void enqueue_response(std::uint32_t client, const WireHeader& hdr,
+                        const std::uint8_t* payload);
+  std::uint32_t take_rsp_slot();
+  void flush_client(std::uint32_t client, bool force);
+  void flush_all(bool force);
+  void reclaim_sent(bool block);
+  void register_metrics();
+
+  mpi::Comm* comm_;
+  std::vector<int> clients_;
+  RpcConfig cfg_;
+  Handler handler_;
+  std::uint64_t slot_bytes_ = 0;
+  std::uint64_t recv_cap_ = 0;
+  std::uint32_t n_rsp_slots_ = 0;
+  VirtAddr recv_region_ = 0;  // one landing slot per client (Role::RpcRing)
+  VirtAddr rsp_ring_ = 0;     // response slot ring (Role::RpcRing)
+  std::vector<std::uint32_t> free_rsp_slots_;
+  std::vector<mpi::Req> rreqs_;     // per client; null once closed
+  std::vector<bool> open_;
+  std::uint32_t open_clients_ = 0;
+  // Two-class priority queues, per tenant, served round-robin.
+  std::map<std::uint32_t, std::deque<Item>> queues_[2];
+  std::uint32_t rr_cursor_[2] = {0, 0};
+  std::uint64_t queued_ = 0;  // accepted, unserved
+  std::vector<std::deque<RspRec>> pending_rsp_;  // per client
+  std::vector<std::uint64_t> pending_rsp_bytes_;
+  std::vector<SentBatch> sent_;
+  std::vector<LargeSend> large_;
+  std::vector<std::uint8_t> scratch_;  // handler output staging
+  ServerStats stats_;
+  std::vector<telemetry::ProbeHandle> probes_;
+};
+
+}  // namespace ibp::rpc

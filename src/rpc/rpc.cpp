@@ -1,0 +1,672 @@
+#include "ibp/rpc/rpc.hpp"
+
+#include <algorithm>
+
+#include "ibp/common/check.hpp"
+#include "ibp/core/cluster.hpp"
+
+namespace ibp::rpc {
+
+namespace {
+
+void store_header(core::RankEnv& env, VirtAddr va, const WireHeader& h) {
+  std::memcpy(env.host_ptr<std::uint8_t>(va, sizeof(WireHeader)), &h,
+              sizeof(WireHeader));
+}
+
+WireHeader load_header(core::RankEnv& env, VirtAddr va) {
+  WireHeader h;
+  std::memcpy(&h, env.host_ptr<std::uint8_t>(va, sizeof(WireHeader)),
+              sizeof(WireHeader));
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RpcClient
+
+RpcClient::RpcClient(mpi::Comm& comm, int server, RpcConfig cfg)
+    : comm_(&comm), server_(server), cfg_(cfg) {
+  slot_bytes_ = sizeof(WireHeader) + cfg_.max_payload;
+  IBP_CHECK(cfg_.max_batch_bytes >= slot_bytes_,
+            "max_batch_bytes must hold one full request record");
+  IBP_CHECK(cfg_.max_batch_bytes <= comm.config().eager_threshold,
+            "request batches must fit the eager path");
+  IBP_CHECK(cfg_.credits > 0 && cfg_.max_batch_requests > 0,
+            "degenerate rpc config");
+  nslots_ = cfg_.client_queue_cap + cfg_.credits + 4;
+  core::RankEnv& env = comm_->env();
+  ring_ = env.alloc(static_cast<std::uint64_t>(nslots_) * slot_bytes_,
+                    placement::Role::RpcRing);
+  rsp_cap_ = std::max<std::uint64_t>(cfg_.max_batch_bytes, slot_bytes_);
+  rspbuf_ = env.alloc(rsp_cap_, placement::Role::RpcRing);
+  free_slots_.reserve(nslots_);
+  for (std::uint32_t s = nslots_; s > 0; --s) free_slots_.push_back(s - 1);
+  register_metrics();
+}
+
+RpcClient::~RpcClient() {
+  for (auto& p : probes_) p.release();
+  core::RankEnv& env = comm_->env();
+  env.dealloc(rspbuf_);
+  env.dealloc(ring_);
+}
+
+VirtAddr RpcClient::slot_va(std::uint32_t slot) const {
+  return ring_ + static_cast<std::uint64_t>(slot) * slot_bytes_;
+}
+
+std::uint64_t RpcClient::submit(std::span<const std::uint8_t> payload,
+                                std::uint32_t response_cap, Class cls,
+                                std::uint32_t tenant) {
+  IBP_CHECK(!closed_, "submit on closed rpc client");
+  IBP_CHECK(payload.size() <= cfg_.max_payload,
+            "request payload exceeds RpcConfig::max_payload");
+  reclaim_batches();
+  const std::uint64_t depth = queued_[0].size() + queued_[1].size();
+  if (depth >= cfg_.client_queue_cap || free_slots_.empty()) {
+    ++stats_.rejected;
+    return 0;
+  }
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+
+  core::RankEnv& env = comm_->env();
+  WireHeader h;
+  h.id = next_id_++;
+  h.payload = static_cast<std::uint32_t>(payload.size());
+  h.response_cap = response_cap;
+  h.tenant = tenant;
+  h.cls = static_cast<std::uint8_t>(cls);
+  const VirtAddr va = slot_va(slot);
+  store_header(env, va, h);
+  if (!payload.empty())
+    std::memcpy(env.host_ptr<std::uint8_t>(va + sizeof(WireHeader),
+                                           payload.size()),
+                payload.data(), payload.size());
+  const std::uint64_t wire = sizeof(WireHeader) + payload.size();
+  env.touch_stream(va, wire);  // the application writes the request
+
+  queued_[h.cls].push_back({h.id, slot, wire, env.now()});
+  queued_bytes_ += wire;
+  ++stats_.submitted;
+  maybe_flush(false);
+  return h.id;
+}
+
+void RpcClient::reclaim_batches() {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < sent_.size(); ++i) {
+    if (comm_->test(sent_[i].req)) {
+      for (std::uint32_t s : sent_[i].slots) free_slots_.push_back(s);
+    } else {
+      if (kept != i) sent_[kept] = std::move(sent_[i]);
+      ++kept;
+    }
+  }
+  sent_.resize(kept);
+}
+
+void RpcClient::maybe_flush(bool force) {
+  core::RankEnv& env = comm_->env();
+  const std::uint32_t nmax = cfg_.batching ? cfg_.max_batch_requests : 1;
+  for (;;) {
+    const std::uint64_t nq = queued_[0].size() + queued_[1].size();
+    if (nq == 0) return;
+    TimePs oldest = ~TimePs{0};
+    for (const auto& q : queued_)
+      if (!q.empty()) oldest = std::min(oldest, q.front().t);
+    const bool due = force || !cfg_.batching ||
+                     nq >= cfg_.max_batch_requests ||
+                     queued_bytes_ >= cfg_.max_batch_bytes ||
+                     env.now() >= oldest + cfg_.flush_timeout;
+    if (!due) return;
+    if (inflight_.size() >= cfg_.credits) {
+      ++stats_.credit_stalls;
+      return;  // responses must free credits first
+    }
+    const std::uint64_t room = cfg_.credits - inflight_.size();
+
+    std::vector<mpi::Seg> segs;
+    std::vector<std::uint32_t> slots;
+    std::uint64_t bytes = 0;
+    while (segs.size() < nmax && segs.size() < room) {
+      std::deque<Pending>* q = !queued_[0].empty()   ? &queued_[0]
+                               : !queued_[1].empty() ? &queued_[1]
+                                                     : nullptr;
+      if (q == nullptr) break;
+      const Pending& p = q->front();
+      if (!segs.empty() && bytes + p.wire > cfg_.max_batch_bytes) break;
+      segs.push_back({slot_va(p.slot), p.wire});
+      slots.push_back(p.slot);
+      bytes += p.wire;
+      inflight_.emplace(p.id, p.t);
+      queued_bytes_ -= p.wire;
+      q->pop_front();
+    }
+    if (segs.empty()) return;
+    SentBatch b;
+    b.req = comm_->isend_gather(segs, server_, kReqTag);
+    b.slots = std::move(slots);
+    sent_.push_back(std::move(b));
+    ++stats_.batches;
+    stats_.batched_requests += segs.size();
+    ensure_rsp_posted();
+  }
+}
+
+void RpcClient::ensure_rsp_posted() {
+  if (rsp_req_ == nullptr && !inflight_.empty())
+    rsp_req_ = comm_->irecv(rspbuf_, rsp_cap_, server_, kRspTag);
+}
+
+bool RpcClient::try_ingest(bool blocking) {
+  ensure_rsp_posted();
+  if (rsp_req_ == nullptr) return false;
+  if (blocking) {
+    comm_->wait(rsp_req_);
+  } else if (!comm_->test(rsp_req_)) {
+    return false;
+  }
+  const std::uint64_t len = rsp_req_->received;
+  rsp_req_.reset();
+  parse_responses(len);
+  ensure_rsp_posted();
+  return true;
+}
+
+void RpcClient::parse_responses(std::uint64_t len) {
+  core::RankEnv& env = comm_->env();
+  std::uint64_t off = 0;
+  while (off < len) {
+    const WireHeader h = load_header(env, rspbuf_ + off);
+    const VirtAddr body = rspbuf_ + off + sizeof(WireHeader);
+    off += sizeof(WireHeader) + h.payload;
+    IBP_CHECK(off <= len, "malformed response batch");
+
+    auto it = inflight_.find(h.id);
+    IBP_CHECK(it != inflight_.end(), "response for unknown request id");
+    const TimePs t0 = it->second;
+    inflight_.erase(it);
+    Completion c;
+    c.id = h.id;
+    c.status = static_cast<Status>(h.status);
+    c.latency = env.now() - t0;
+
+    if ((h.flags & kFlagLarge) != 0) {
+      // Body travels out-of-band on its own tag; sized above the slot
+      // cap it takes the rendezvous path on a Role::RpcResponse buffer.
+      const std::uint64_t blen = h.response_cap;
+      const VirtAddr buf = env.alloc(std::max<std::uint64_t>(blen, 64),
+                                     placement::Role::RpcResponse);
+      comm_->recv(buf, blen, server_, large_tag(h.id));
+      c.payload.resize(blen);
+      std::memcpy(c.payload.data(), env.host_ptr<std::uint8_t>(buf, blen),
+                  blen);
+      env.touch_stream(buf, blen);  // the application reads the response
+      env.dealloc(buf);
+      c.latency = env.now() - t0;  // body transfer counts toward latency
+      ++stats_.large_responses;
+    } else if (h.payload != 0) {
+      const auto* p = env.host_ptr<std::uint8_t>(body, h.payload);
+      c.payload.assign(p, p + h.payload);
+    }
+
+    if (c.status == Status::Ok) {
+      lat_.add(static_cast<std::uint64_t>(c.latency / 1000));  // ps -> ns
+    } else {
+      ++stats_.shed;
+    }
+    ++stats_.completed;
+    auto [pos, fresh] = done_.emplace(h.id, std::move(c));
+    IBP_CHECK(fresh, "duplicate response id");
+    fresh_.push_back(&pos->second);
+  }
+}
+
+void RpcClient::poll() {
+  if (closed_) return;
+  reclaim_batches();
+  maybe_flush(false);
+  while (try_ingest(false)) {
+  }
+}
+
+const Completion& RpcClient::wait(std::uint64_t id) {
+  while (!completed(id)) {
+    reclaim_batches();
+    maybe_flush(true);
+    IBP_CHECK(!inflight_.empty(), "waiting on an id that was never submitted");
+    try_ingest(true);
+  }
+  return done_.at(id);
+}
+
+void RpcClient::wait_some() {
+  IBP_CHECK(outstanding() > 0, "wait_some with nothing outstanding");
+  while (fresh_.empty()) {
+    reclaim_batches();
+    maybe_flush(true);
+    try_ingest(true);
+  }
+}
+
+std::vector<Completion> RpcClient::take_completions() {
+  std::vector<Completion> out;
+  out.reserve(fresh_.size());
+  for (const Completion* c : fresh_) out.push_back(*c);
+  fresh_.clear();
+  return out;
+}
+
+void RpcClient::drain() {
+  while (!queued_[0].empty() || !queued_[1].empty() || !inflight_.empty()) {
+    reclaim_batches();
+    maybe_flush(true);
+    if (!inflight_.empty()) try_ingest(true);
+  }
+  for (auto& b : sent_) {
+    comm_->wait(b.req);
+    for (std::uint32_t s : b.slots) free_slots_.push_back(s);
+  }
+  sent_.clear();
+}
+
+void RpcClient::close() {
+  if (closed_) return;
+  drain();
+  core::RankEnv& env = comm_->env();
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  WireHeader h;
+  h.flags = kFlagClose;
+  store_header(env, slot_va(slot), h);
+  comm_->wait(comm_->isend_gather({{slot_va(slot), sizeof(WireHeader)}},
+                                  server_, kReqTag));
+  free_slots_.push_back(slot);
+  closed_ = true;
+}
+
+void RpcClient::register_metrics() {
+  auto& m = comm_->env().cluster().metrics();
+  probes_.push_back(
+      m.probe("rpc.requests", [this] { return double(stats_.submitted); }));
+  probes_.push_back(
+      m.probe("rpc.rejected", [this] { return double(stats_.rejected); }));
+  probes_.push_back(
+      m.probe("rpc.batches", [this] { return double(stats_.batches); }));
+  probes_.push_back(m.probe("rpc.batched_requests", [this] {
+    return double(stats_.batched_requests);
+  }));
+  probes_.push_back(
+      m.probe("rpc.completed", [this] { return double(stats_.completed); }));
+  probes_.push_back(m.probe("rpc.credit_stalls", [this] {
+    return double(stats_.credit_stalls);
+  }));
+  // Percentiles are per-rank metrics (summing percentiles across ranks
+  // would be meaningless), hence the rank-qualified names.
+  const std::string pre = "rpc.r" + std::to_string(comm_->rank()) + ".";
+  probes_.push_back(
+      m.probe(pre + "p50_us", [this] { return lat_.p50() / 1000.0; }));
+  probes_.push_back(
+      m.probe(pre + "p95_us", [this] { return lat_.p95() / 1000.0; }));
+  probes_.push_back(
+      m.probe(pre + "p99_us", [this] { return lat_.p99() / 1000.0; }));
+  probes_.push_back(
+      m.probe(pre + "samples", [this] { return double(lat_.count()); }));
+}
+
+// ---------------------------------------------------------------------------
+// RpcServer
+
+RpcServer::RpcServer(mpi::Comm& comm, std::vector<int> clients, RpcConfig cfg,
+                     Handler handler)
+    : comm_(&comm),
+      clients_(std::move(clients)),
+      cfg_(cfg),
+      handler_(std::move(handler)) {
+  IBP_CHECK(!clients_.empty(), "rpc server needs at least one client");
+  slot_bytes_ = sizeof(WireHeader) + cfg_.max_payload;
+  recv_cap_ = std::max<std::uint64_t>(cfg_.max_batch_bytes, slot_bytes_);
+  IBP_CHECK(recv_cap_ <= comm.config().eager_threshold,
+            "rpc batches must fit the eager path");
+  if (!handler_) {
+    handler_ = [](const RequestView& rq, std::uint8_t* out,
+                  std::uint32_t cap) {
+      // Echo, padded or truncated to the size the request asked for.
+      const std::uint32_t want =
+          rq.response_cap != 0 ? rq.response_cap : rq.payload_len;
+      const std::uint32_t n = std::min(want, cap);
+      const std::uint32_t c = std::min(rq.payload_len, n);
+      std::memcpy(out, rq.payload, c);
+      std::memset(out + c, 0, n - c);
+      return n;
+    };
+  }
+  core::RankEnv& env = comm_->env();
+  recv_region_ =
+      env.alloc(recv_cap_ * clients_.size(), placement::Role::RpcRing);
+  n_rsp_slots_ = cfg_.server_queue_cap + 2 * cfg_.max_batch_requests + 8;
+  rsp_ring_ = env.alloc(static_cast<std::uint64_t>(n_rsp_slots_) * slot_bytes_,
+                        placement::Role::RpcRing);
+  free_rsp_slots_.reserve(n_rsp_slots_);
+  for (std::uint32_t s = n_rsp_slots_; s > 0; --s)
+    free_rsp_slots_.push_back(s - 1);
+  rreqs_.resize(clients_.size());
+  open_.assign(clients_.size(), true);
+  open_clients_ = static_cast<std::uint32_t>(clients_.size());
+  pending_rsp_.resize(clients_.size());
+  pending_rsp_bytes_.assign(clients_.size(), 0);
+  for (std::uint32_t i = 0; i < clients_.size(); ++i) post_recv(i);
+  register_metrics();
+}
+
+RpcServer::~RpcServer() {
+  for (auto& p : probes_) p.release();
+  core::RankEnv& env = comm_->env();
+  env.dealloc(rsp_ring_);
+  env.dealloc(recv_region_);
+}
+
+VirtAddr RpcServer::rsp_slot_va(std::uint32_t slot) const {
+  return rsp_ring_ + static_cast<std::uint64_t>(slot) * slot_bytes_;
+}
+
+VirtAddr RpcServer::recv_va(std::uint32_t client) const {
+  return recv_region_ + static_cast<std::uint64_t>(client) * recv_cap_;
+}
+
+void RpcServer::post_recv(std::uint32_t client) {
+  rreqs_[client] =
+      comm_->irecv(recv_va(client), recv_cap_, clients_[client], kReqTag);
+}
+
+void RpcServer::ingest() {
+  for (std::uint32_t i = 0; i < clients_.size(); ++i) {
+    while (rreqs_[i] != nullptr && comm_->test(rreqs_[i])) {
+      const std::uint64_t len = rreqs_[i]->received;
+      rreqs_[i].reset();
+      parse_batch(i, len);
+    }
+  }
+}
+
+void RpcServer::parse_batch(std::uint32_t client, std::uint64_t len) {
+  core::RankEnv& env = comm_->env();
+  ++stats_.batches_in;
+  std::uint64_t off = 0;
+  while (off < len) {
+    const WireHeader h = load_header(env, recv_va(client) + off);
+    const VirtAddr body = recv_va(client) + off + sizeof(WireHeader);
+    off += sizeof(WireHeader) + h.payload;
+    IBP_CHECK(off <= len, "malformed request batch");
+
+    if ((h.flags & kFlagClose) != 0) {
+      IBP_CHECK(open_[client], "double close from client");
+      open_[client] = false;
+      --open_clients_;
+      ++stats_.closes;
+      continue;
+    }
+    ++stats_.requests_in;
+    stats_.bytes_in += sizeof(WireHeader) + h.payload;
+    if (queued_ >= cfg_.server_queue_cap) {
+      shed(client, h);
+      continue;
+    }
+    Item it;
+    it.client = client;
+    it.id = h.id;
+    it.tenant = h.tenant;
+    it.cls = static_cast<Class>(h.cls);
+    it.response_cap = h.response_cap;
+    if (h.payload != 0) {
+      const auto* p = env.host_ptr<std::uint8_t>(body, h.payload);
+      it.payload.assign(p, p + h.payload);
+    }
+    queues_[h.cls & 1][h.tenant].push_back(std::move(it));
+    ++queued_;
+    ++stats_.accepted;
+    stats_.queue_peak = std::max(stats_.queue_peak, queued_);
+  }
+  if (open_[client]) post_recv(client);
+}
+
+void RpcServer::shed(std::uint32_t client, const WireHeader& hdr) {
+  ++stats_.shed;
+  WireHeader rsp;
+  rsp.id = hdr.id;
+  rsp.tenant = hdr.tenant;
+  rsp.cls = hdr.cls;
+  rsp.status = static_cast<std::uint8_t>(Status::Overloaded);
+  enqueue_response(client, rsp, nullptr);
+}
+
+std::uint64_t RpcServer::queued_total() const { return queued_; }
+
+bool RpcServer::pop_next(Item& out) {
+  for (int cls = 0; cls < 2; ++cls) {
+    auto& qs = queues_[cls];
+    if (qs.empty()) continue;
+    // Round-robin over tenants: first tenant at or after the cursor,
+    // wrapping to the smallest.
+    auto it = qs.lower_bound(rr_cursor_[cls]);
+    if (it == qs.end()) it = qs.begin();
+    out = std::move(it->second.front());
+    it->second.pop_front();
+    rr_cursor_[cls] = it->first + 1;
+    if (it->second.empty()) qs.erase(it);
+    --queued_;
+    return true;
+  }
+  return false;
+}
+
+void RpcServer::serve_one() {
+  Item it;
+  if (!pop_next(it)) return;
+  core::RankEnv& env = comm_->env();
+  env.sim().advance(cfg_.service_base +
+                    static_cast<TimePs>(it.payload.size()) *
+                        cfg_.service_per_byte_ps);
+  RequestView view;
+  view.tenant = it.tenant;
+  view.cls = it.cls;
+  view.payload = it.payload.data();
+  view.payload_len = static_cast<std::uint32_t>(it.payload.size());
+  view.response_cap = it.response_cap;
+  const std::uint32_t cap = std::max<std::uint32_t>(
+      {it.response_cap, view.payload_len, 1});
+  if (scratch_.size() < cap) scratch_.resize(cap);
+  const std::uint32_t rlen = handler_(view, scratch_.data(), cap);
+  IBP_CHECK(rlen <= cap, "handler overflowed its response buffer");
+  ++stats_.served;
+
+  WireHeader rsp;
+  rsp.id = it.id;
+  rsp.tenant = it.tenant;
+  rsp.cls = static_cast<std::uint8_t>(it.cls);
+  rsp.status = static_cast<std::uint8_t>(Status::Ok);
+  if (rlen <= cfg_.max_payload) {
+    rsp.payload = rlen;
+    enqueue_response(it.client, rsp, scratch_.data());
+  } else {
+    // Body goes out-of-band: the in-batch record only announces it, the
+    // payload takes the eager/rendezvous split on its own tag from a
+    // Role::RpcResponse buffer (the path the paper prices registration
+    // on when it exceeds the rendezvous threshold).
+    rsp.response_cap = rlen;
+    rsp.flags = kFlagLarge;
+    enqueue_response(it.client, rsp, nullptr);
+    const VirtAddr buf =
+        env.alloc(std::max<std::uint64_t>(rlen, 64),
+                  placement::Role::RpcResponse);
+    std::memcpy(env.host_ptr<std::uint8_t>(buf, rlen), scratch_.data(), rlen);
+    env.touch_stream(buf, rlen);  // the application writes the response
+    LargeSend ls;
+    ls.req = comm_->isend(buf, rlen, clients_[it.client], large_tag(it.id));
+    ls.buf = buf;
+    large_.push_back(std::move(ls));
+    ++stats_.large_responses;
+  }
+}
+
+std::uint32_t RpcServer::take_rsp_slot() {
+  if (free_rsp_slots_.empty()) reclaim_sent(false);
+  while (free_rsp_slots_.empty()) {
+    flush_all(true);
+    reclaim_sent(true);
+  }
+  const std::uint32_t s = free_rsp_slots_.back();
+  free_rsp_slots_.pop_back();
+  return s;
+}
+
+void RpcServer::enqueue_response(std::uint32_t client, const WireHeader& hdr,
+                                 const std::uint8_t* payload) {
+  core::RankEnv& env = comm_->env();
+  const std::uint32_t slot = take_rsp_slot();
+  const VirtAddr va = rsp_slot_va(slot);
+  store_header(env, va, hdr);
+  if (hdr.payload != 0) {
+    IBP_CHECK(payload != nullptr, "response record without body");
+    std::memcpy(env.host_ptr<std::uint8_t>(va + sizeof(WireHeader),
+                                           hdr.payload),
+                payload, hdr.payload);
+  }
+  const std::uint64_t wire = sizeof(WireHeader) + hdr.payload;
+  env.touch_stream(va, wire);
+  pending_rsp_[client].push_back({slot, wire});
+  pending_rsp_bytes_[client] += wire;
+  ++stats_.responses;
+  flush_client(client, false);
+}
+
+void RpcServer::flush_client(std::uint32_t client, bool force) {
+  const std::uint32_t nmax = cfg_.batching ? cfg_.max_batch_requests : 1;
+  auto& pend = pending_rsp_[client];
+  for (;;) {
+    if (pend.empty()) return;
+    const bool due = force || !cfg_.batching || pend.size() >= nmax ||
+                     pending_rsp_bytes_[client] >= cfg_.max_batch_bytes;
+    if (!due) return;
+    std::vector<mpi::Seg> segs;
+    std::vector<std::uint32_t> slots;
+    std::uint64_t bytes = 0;
+    while (!pend.empty() && segs.size() < nmax) {
+      const RspRec& r = pend.front();
+      if (!segs.empty() && bytes + r.wire > cfg_.max_batch_bytes) break;
+      segs.push_back({rsp_slot_va(r.slot), r.wire});
+      slots.push_back(r.slot);
+      bytes += r.wire;
+      pending_rsp_bytes_[client] -= r.wire;
+      pend.pop_front();
+    }
+    SentBatch b;
+    b.req = comm_->isend_gather(segs, clients_[client], kRspTag);
+    b.slots = std::move(slots);
+    sent_.push_back(std::move(b));
+    ++stats_.resp_batches;
+  }
+}
+
+void RpcServer::flush_all(bool force) {
+  for (std::uint32_t i = 0; i < clients_.size(); ++i)
+    flush_client(i, force);
+}
+
+void RpcServer::reclaim_sent(bool block) {
+  if (block && !sent_.empty()) comm_->wait(sent_.front().req);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < sent_.size(); ++i) {
+    if (comm_->test(sent_[i].req)) {
+      for (std::uint32_t s : sent_[i].slots) free_rsp_slots_.push_back(s);
+    } else {
+      if (kept != i) sent_[kept] = std::move(sent_[i]);
+      ++kept;
+    }
+  }
+  sent_.resize(kept);
+  std::size_t lkept = 0;
+  for (std::size_t i = 0; i < large_.size(); ++i) {
+    if (comm_->test(large_[i].req)) {
+      comm_->env().dealloc(large_[i].buf);
+    } else {
+      if (lkept != i) large_[lkept] = std::move(large_[i]);
+      ++lkept;
+    }
+  }
+  large_.resize(lkept);
+}
+
+void RpcServer::serve() {
+  while (open_clients_ > 0 || queued_ > 0) {
+    ingest();
+    if (queued_ == 0) {
+      // Quiesce: nothing to serve — push out every pending response
+      // before blocking, or the clients those responses unblock could
+      // never send the next request.
+      flush_all(true);
+      reclaim_sent(false);
+      if (open_clients_ == 0) break;
+      // Block for the next message from any still-open client.
+      std::vector<mpi::Req> live;
+      std::vector<std::uint32_t> who;
+      for (std::uint32_t i = 0; i < clients_.size(); ++i) {
+        if (rreqs_[i] != nullptr) {
+          live.push_back(rreqs_[i]);
+          who.push_back(i);
+        }
+      }
+      IBP_CHECK(!live.empty(), "open clients but no posted receives");
+      const std::size_t idx = comm_->waitany(live);
+      const std::uint32_t client = who[idx];
+      const std::uint64_t len = rreqs_[client]->received;
+      rreqs_[client].reset();
+      parse_batch(client, len);
+      continue;
+    }
+    serve_one();
+  }
+  flush_all(true);
+  for (auto& b : sent_) {
+    comm_->wait(b.req);
+    for (std::uint32_t s : b.slots) free_rsp_slots_.push_back(s);
+  }
+  sent_.clear();
+  for (auto& l : large_) {
+    comm_->wait(l.req);
+    comm_->env().dealloc(l.buf);
+  }
+  large_.clear();
+}
+
+void RpcServer::register_metrics() {
+  auto& m = comm_->env().cluster().metrics();
+  probes_.push_back(
+      m.probe("rpc.batches_in", [this] { return double(stats_.batches_in); }));
+  probes_.push_back(m.probe("rpc.requests_in", [this] {
+    return double(stats_.requests_in);
+  }));
+  probes_.push_back(
+      m.probe("rpc.accepted", [this] { return double(stats_.accepted); }));
+  probes_.push_back(
+      m.probe("rpc.shed", [this] { return double(stats_.shed); }));
+  probes_.push_back(
+      m.probe("rpc.served", [this] { return double(stats_.served); }));
+  probes_.push_back(
+      m.probe("rpc.responses", [this] { return double(stats_.responses); }));
+  probes_.push_back(m.probe("rpc.resp_batches", [this] {
+    return double(stats_.resp_batches);
+  }));
+  probes_.push_back(m.probe("rpc.large_responses", [this] {
+    return double(stats_.large_responses);
+  }));
+  probes_.push_back(
+      m.probe("rpc.queue_peak", [this] { return double(stats_.queue_peak); }));
+  probes_.push_back(
+      m.probe("rpc.closes", [this] { return double(stats_.closes); }));
+}
+
+}  // namespace ibp::rpc

@@ -214,5 +214,70 @@ TEST(TextTable, RowWidthMismatchThrows) {
   EXPECT_THROW(t.add_row("only one"), SimError);
 }
 
+
+// ---------------------------------------------------------------------------
+// LogHistogram: the serving-layer latency accumulator.
+
+TEST(LogHistogram, EmptyReportsZero) {
+  LogHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(LogHistogram, SmallValuesAreExact) {
+  LogHistogram h;
+  for (std::uint64_t v = 0; v < 8; ++v) h.add(v);
+  // Values below 2^3 land in unit buckets, so every quantile is exact.
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 7.0);
+  EXPECT_EQ(h.p50(), 3.0);
+}
+
+TEST(LogHistogram, QuantileErrorBoundedByEighth) {
+  // One sub-bucket spans 1/8 of its octave, so the reported upper bound
+  // exceeds the true value by at most 12.5 %.
+  for (std::uint64_t v = 9; v < (1ull << 40); v = v * 3 + 7) {
+    LogHistogram h;
+    h.add(v);
+    const double q = h.quantile(1.0);
+    EXPECT_GE(q, static_cast<double>(v));
+    EXPECT_LE(q, static_cast<double>(v) * 1.125 + 1.0) << "value " << v;
+  }
+}
+
+TEST(LogHistogram, GoldenPercentilesUniform1To1000) {
+  LogHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v);
+  EXPECT_EQ(h.count(), 1000u);
+  // Nearest-rank p50 is sample 500 (bucket [480, 511]); p99 is sample
+  // 990 (bucket [960, 1023]). quantile() reports bucket upper bounds.
+  EXPECT_EQ(h.p50(), 511.0);
+  EXPECT_EQ(h.p99(), 1023.0);
+  EXPECT_EQ(h.stats().mean(), 500.5);
+}
+
+TEST(LogHistogram, MergeMatchesCombinedStream) {
+  LogHistogram evens, odds, both;
+  for (std::uint64_t v = 1; v <= 2000; ++v) {
+    (v % 2 == 0 ? evens : odds).add(v);
+    both.add(v);
+  }
+  evens.merge(odds);
+  EXPECT_EQ(evens.count(), both.count());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0})
+    EXPECT_EQ(evens.quantile(q), both.quantile(q)) << "q=" << q;
+  EXPECT_EQ(evens.stats().sum(), both.stats().sum());
+}
+
+TEST(LogHistogram, BucketRoundTrip) {
+  for (std::uint64_t v : {0ull, 1ull, 7ull, 8ull, 9ull, 255ull, 256ull,
+                          4095ull, 1ull << 20, (1ull << 63) + 5}) {
+    const int b = LogHistogram::bucket_of(v);
+    EXPECT_GE(LogHistogram::bucket_upper(b), v);
+    EXPECT_EQ(LogHistogram::bucket_of(LogHistogram::bucket_upper(b)), b);
+  }
+}
+
 }  // namespace
 }  // namespace ibp

@@ -377,5 +377,71 @@ TEST(Cluster, PaperDefaultPolicyMatchesLegacyBehaviourBitExactly) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Roles, per-role overrides, and the offset-sweep diagnostic
+
+TEST(Roles, NamesRoundTrip) {
+  const Role all[] = {Role::EagerSend,    Role::Rendezvous,
+                      Role::RecvRing,    Role::WorkloadHeap,
+                      Role::RpcRing,     Role::RpcResponse};
+  static_assert(sizeof(all) / sizeof(all[0]) == kRoleCount);
+  for (Role r : all) {
+    const auto back = role_from_name(role_name(r));
+    ASSERT_TRUE(back.has_value()) << role_name(r);
+    EXPECT_EQ(*back, r);
+  }
+  EXPECT_EQ(role_from_name("rpc-ring"), Role::RpcRing);
+  EXPECT_EQ(role_from_name("rpc-response"), Role::RpcResponse);
+  EXPECT_FALSE(role_from_name("no-such-role").has_value());
+  EXPECT_FALSE(role_from_name("").has_value());
+}
+
+TEST(Engine, RoleOverrideRoutesPlansAndLeavesOthersAlone) {
+  PolicyContext ctx;
+  ctx.hugepages_enabled = true;
+  PlacementEngine engine(make_policy("paper-default"), ctx);
+  engine.set_role_policy(Role::RpcRing, make_policy("small-page-baseline"));
+  EXPECT_EQ(engine.policy_for(Role::RpcRing).name(), "small-page-baseline");
+  EXPECT_EQ(engine.policy_for(Role::WorkloadHeap).name(), "paper-default");
+
+  BufferRequest req;
+  req.size = 1 * kMiB;  // far above the 32 KB huge-tier threshold
+  req.role = Role::RpcRing;
+  EXPECT_EQ(engine.plan(req).backing, mem::PageKind::Small)
+      << "the override must decide the rpc-ring role";
+  req.role = Role::WorkloadHeap;
+  EXPECT_EQ(engine.plan(req).backing, mem::PageKind::Huge)
+      << "other roles must keep the default policy";
+
+  engine.set_role_policy(Role::RpcRing, nullptr);  // clear
+  req.role = Role::RpcRing;
+  EXPECT_EQ(engine.plan(req).backing, mem::PageKind::Huge);
+}
+
+TEST(OffsetSweep, WalksTheFigure4OffsetsForSubPageRequests) {
+  auto policy = make_policy("offset-sweep");
+  ASSERT_NE(policy, nullptr);
+  PolicyContext ctx;
+  BufferRequest req;
+  req.size = 512;
+  req.role = Role::EagerSend;
+  const auto& offs = OffsetSweepPolicy::offsets();
+  ASSERT_EQ(offs.size(), 33u);  // 0, 8, ..., 256
+  for (std::size_t i = 0; i < 2 * offs.size(); ++i)
+    EXPECT_EQ(policy->plan(req, ctx).offset, offs[i % offs.size()]) << i;
+  // Page-sized and larger requests keep the paper-default plan.
+  req.size = 4 * kKiB;
+  EXPECT_EQ(policy->plan(req, ctx).offset, 0u);
+}
+
+TEST(OffsetSweep, IsDiagnosticNotPartOfTheBenchRegistry) {
+  for (const PolicyInfo& info : registered_policies())
+    EXPECT_NE(info.name, "offset-sweep");
+  bool found = false;
+  for (const PolicyInfo& info : diagnostic_policies())
+    if (info.name == "offset-sweep") found = true;
+  EXPECT_TRUE(found);
+}
+
 }  // namespace
 }  // namespace ibp::placement

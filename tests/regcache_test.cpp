@@ -232,5 +232,27 @@ TEST(RegCacheCapacity, EndToEndTransfersUnderTightBound) {
   });
 }
 
+TEST(RegCache, SameBaseWiderHullRetiresNarrowerRegistration) {
+  // Two acquires whose page-aligned hulls start at the same base but span
+  // a different number of pages collide on the cache key; the wider
+  // registration must supersede (not orphan) the narrower one, and both
+  // must unwind cleanly on invalidate.
+  with_env(true, [](core::RankEnv& env) {
+    auto& m = env.space().map(1 * kMiB, mem::PageKind::Small);
+    RegCache& rc = env.rcache();
+    const verbs::Mr narrow = rc.acquire(m.va_base + 64, 128);   // 1 page
+    const verbs::Mr wide = rc.acquire(m.va_base + 64, 8 * kKiB);  // 3 pages
+    EXPECT_EQ(rc.entries(), 1u);
+    EXPECT_EQ(rc.stats().misses, 2u);
+    rc.release(narrow);
+    rc.release(wide);
+    rc.invalidate(m.va_base, m.npages() * m.page_size());
+    EXPECT_EQ(rc.entries(), 0u);
+    EXPECT_EQ(rc.stats().pinned_bytes, 0u);
+    EXPECT_EQ(env.space().pinned_pages(), 0u)
+        << "a retired registration leaked its pin";
+  });
+}
+
 }  // namespace
 }  // namespace ibp::regcache

@@ -1,0 +1,311 @@
+#include "ibp/rpc/rpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ibp/core/cluster.hpp"
+#include "ibp/loadgen/loadgen.hpp"
+#include "ibp/mpi/comm.hpp"
+
+namespace ibp::rpc {
+namespace {
+
+/// Two ranks on two nodes: rank 0 serves, rank 1 runs `client_fn`.
+void with_rpc(const RpcConfig& rc,
+              const std::function<void(RpcClient&)>& client_fn,
+              ServerStats* server_out = nullptr, Handler handler = {}) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  core::Cluster cluster(cfg);
+  cluster.run([&](core::RankEnv& env) {
+    mpi::CommConfig mc;
+    mc.sge_gather = true;
+    mpi::Comm comm(env, mc);
+    if (env.rank() == 0) {
+      RpcServer server(comm, {1}, rc, handler);
+      server.serve();
+      if (server_out != nullptr) *server_out = server.stats();
+      return;
+    }
+    RpcClient client(comm, 0, rc);
+    client_fn(client);
+    client.close();
+  });
+}
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> v) {
+  std::vector<std::uint8_t> out;
+  for (int x : v) out.push_back(static_cast<std::uint8_t>(x));
+  return out;
+}
+
+TEST(Rpc, EchoRoundtrip) {
+  with_rpc({}, [](RpcClient& c) {
+    const auto msg = bytes({1, 2, 3, 4, 5});
+    const std::uint64_t id = c.submit(msg);
+    ASSERT_NE(id, 0u);
+    const Completion& done = c.wait(id);
+    EXPECT_EQ(done.status, Status::Ok);
+    EXPECT_EQ(done.payload, msg);
+    EXPECT_GT(done.latency, 0);
+  });
+}
+
+TEST(Rpc, BatchingCoalescesRequestsIntoFewWrs) {
+  RpcConfig rc;
+  rc.max_batch_requests = 16;
+  ClientStats stats;
+  with_rpc(rc, [&](RpcClient& c) {
+    const auto msg = bytes({7});
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 48; ++i) ids.push_back(c.submit(msg));
+    for (std::uint64_t id : ids) c.wait(id);
+    stats = c.stats();
+  });
+  EXPECT_EQ(stats.batched_requests, 48u);
+  EXPECT_LE(stats.batches, 6u) << "48 queued requests should ride few WRs";
+}
+
+TEST(Rpc, UnbatchedSendsOneRequestPerWr) {
+  RpcConfig rc;
+  rc.batching = false;
+  ClientStats stats;
+  with_rpc(rc, [&](RpcClient& c) {
+    const auto msg = bytes({7});
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 16; ++i) ids.push_back(c.submit(msg));
+    for (std::uint64_t id : ids) c.wait(id);
+    stats = c.stats();
+  });
+  EXPECT_EQ(stats.batches, 16u);
+}
+
+TEST(Rpc, CreditsBoundInflightRequests) {
+  RpcConfig rc;
+  rc.credits = 8;
+  rc.client_queue_cap = 128;
+  rc.service_base = us(20);  // slow server: the burst outruns credits
+  ClientStats stats;
+  with_rpc(rc, [&](RpcClient& c) {
+    const auto msg = bytes({1});
+    for (int i = 0; i < 64; ++i) ASSERT_NE(c.submit(msg), 0u);
+    c.drain();
+    stats = c.stats();
+  });
+  EXPECT_GT(stats.credit_stalls, 0u)
+      << "a 64-deep burst against 8 credits must stall flushes";
+  EXPECT_EQ(stats.completed, 64u);
+}
+
+TEST(Rpc, AdmissionControlShedsBeyondQueueCap) {
+  RpcConfig rc;
+  rc.server_queue_cap = 4;
+  rc.service_base = us(50);  // requests pile up faster than they drain
+  ServerStats server;
+  ClientStats stats;
+  std::uint64_t shed_completions = 0;
+  with_rpc(
+      rc,
+      [&](RpcClient& c) {
+        const auto msg = bytes({9});
+        std::vector<std::uint64_t> ids;
+        for (int i = 0; i < 32; ++i) ids.push_back(c.submit(msg));
+        for (std::uint64_t id : ids) {
+          if (c.wait(id).status == Status::Overloaded) ++shed_completions;
+        }
+        stats = c.stats();
+      },
+      &server);
+  EXPECT_GT(server.shed, 0u);
+  EXPECT_EQ(server.shed, shed_completions);
+  EXPECT_EQ(stats.shed, shed_completions);
+  EXPECT_EQ(server.requests_in, server.accepted + server.shed);
+}
+
+TEST(Rpc, LatencyClassServedBeforeBulk) {
+  RpcConfig rc;
+  rc.max_batch_requests = 16;
+  std::vector<Class> order;
+  Handler handler = [&order](const RequestView& rq, std::uint8_t* out,
+                             std::uint32_t cap) {
+    order.push_back(rq.cls);
+    const std::uint32_t n = std::min(rq.payload_len, cap);
+    std::memcpy(out, rq.payload, n);
+    return n;
+  };
+  with_rpc(
+      rc,
+      [&](RpcClient& c) {
+        const auto msg = bytes({3});
+        // One batch carrying bulk first; the server must still serve the
+        // latency class ahead of it once the batch is queued.
+        std::vector<std::uint64_t> ids;
+        for (int i = 0; i < 8; ++i)
+          ids.push_back(c.submit(msg, 0, Class::Bulk));
+        for (int i = 0; i < 8; ++i)
+          ids.push_back(c.submit(msg, 0, Class::Latency));
+        for (std::uint64_t id : ids) c.wait(id);
+      },
+      nullptr, handler);
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], Class::Latency)
+        << "position " << i << " served before all latency drained";
+}
+
+TEST(Rpc, TenantsRoundRobinWithinClass) {
+  RpcConfig rc;
+  rc.max_batch_requests = 16;
+  std::vector<std::uint32_t> order;
+  Handler handler = [&order](const RequestView& rq, std::uint8_t* out,
+                             std::uint32_t cap) {
+    order.push_back(rq.tenant);
+    const std::uint32_t n = std::min(rq.payload_len, cap);
+    std::memcpy(out, rq.payload, n);
+    return n;
+  };
+  with_rpc(
+      rc,
+      [&](RpcClient& c) {
+        const auto msg = bytes({3});
+        std::vector<std::uint64_t> ids;
+        // Tenant 0 floods; tenant 1 trickles — one arrival batch.
+        for (int i = 0; i < 12; ++i)
+          ids.push_back(c.submit(msg, 0, Class::Latency, 0));
+        for (int i = 0; i < 4; ++i)
+          ids.push_back(c.submit(msg, 0, Class::Latency, 1));
+        for (std::uint64_t id : ids) c.wait(id);
+      },
+      nullptr, handler);
+  ASSERT_EQ(order.size(), 16u);
+  // While both tenants are queued the service order alternates, so the
+  // trickling tenant's 4 requests all complete within the first 8 slots.
+  std::uint32_t tenant1_in_first8 = 0;
+  for (int i = 0; i < 8; ++i)
+    if (order[static_cast<std::size_t>(i)] == 1) ++tenant1_in_first8;
+  EXPECT_EQ(tenant1_in_first8, 4u)
+      << "round-robin must not let the flooding tenant starve the other";
+}
+
+TEST(Rpc, LargeResponseTakesRendezvousPath) {
+  ServerStats server;
+  ClientStats stats;
+  with_rpc(
+      {},
+      [&](RpcClient& c) {
+        const auto msg = bytes({0x5a});
+        const std::uint64_t id = c.submit(msg, 64 * 1024);
+        const Completion& done = c.wait(id);
+        EXPECT_EQ(done.status, Status::Ok);
+        ASSERT_EQ(done.payload.size(), 64u * 1024u);
+        EXPECT_EQ(done.payload[0], 0x5a);  // echo then zero padding
+        EXPECT_EQ(done.payload[1], 0);
+        stats = c.stats();
+      },
+      &server);
+  EXPECT_EQ(server.large_responses, 1u);
+  EXPECT_EQ(stats.large_responses, 1u);
+}
+
+TEST(Rpc, ClientQueueCapRejectsLocally) {
+  RpcConfig rc;
+  rc.client_queue_cap = 4;
+  rc.credits = 2;
+  rc.service_base = us(50);
+  ClientStats stats;
+  with_rpc(rc, [&](RpcClient& c) {
+    const auto msg = bytes({1});
+    std::uint64_t rejected = 0;
+    for (int i = 0; i < 32; ++i)
+      if (c.submit(msg) == 0) ++rejected;
+    EXPECT_GT(rejected, 0u);
+    c.drain();
+    stats = c.stats();
+  });
+  EXPECT_EQ(stats.rejected + stats.completed, 32u);
+}
+
+// ---------------------------------------------------------------------------
+// Load generators
+
+loadgen::GenResult open_loop_result(std::uint64_t seed) {
+  loadgen::GenResult gen;
+  with_rpc({}, [&](RpcClient& c) {
+    loadgen::Workload w;
+    w.request_bytes = 64;
+    w.tenants = 2;
+    w.bulk_fraction = 0.25;
+    loadgen::OpenLoopConfig oc;
+    oc.rate_rps = 400e3;
+    oc.requests = 300;
+    oc.warmup = 50;
+    oc.seed = seed;
+    gen = loadgen::run_open_loop(c, w, oc);
+  });
+  return gen;
+}
+
+TEST(Loadgen, OpenLoopReplayIsDeterministic) {
+  const loadgen::GenResult a = open_loop_result(21);
+  const loadgen::GenResult b = open_loop_result(21);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.span, b.span);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.latency_ns.p99(), b.latency_ns.p99());
+}
+
+TEST(Loadgen, DifferentSeedsDiverge) {
+  const loadgen::GenResult a = open_loop_result(21);
+  const loadgen::GenResult b = open_loop_result(22);
+  EXPECT_NE(a.trace_hash, b.trace_hash);
+}
+
+TEST(Loadgen, ClosedLoopCompletesEveryBudgetedRequest) {
+  loadgen::GenResult gen;
+  with_rpc({}, [&](RpcClient& c) {
+    loadgen::Workload w;
+    w.request_bytes = 128;
+    loadgen::ClosedLoopConfig cc;
+    cc.workers = 4;
+    cc.requests = 200;
+    cc.seed = 5;
+    gen = loadgen::run_closed_loop(c, w, cc);
+  });
+  EXPECT_EQ(gen.ok + gen.shed, 200u)
+      << "closed-loop workers retry rejects until the budget completes";
+}
+
+TEST(Loadgen, OverloadP99StaysBoundedUnderShedding) {
+  const auto run = [](std::uint32_t workers) {
+    RpcConfig rc;
+    rc.max_payload = 256;
+    rc.server_queue_cap = 8;
+    loadgen::GenResult gen;
+    with_rpc(rc, [&](RpcClient& c) {
+      loadgen::Workload w;
+      w.request_bytes = 128;
+      loadgen::ClosedLoopConfig cc;
+      cc.workers = workers;
+      cc.requests = 400;
+      cc.warmup = 100;
+      cc.seed = 11;
+      gen = loadgen::run_closed_loop(c, w, cc);
+    });
+    return gen;
+  };
+  const loadgen::GenResult uncont = run(2);
+  const loadgen::GenResult overload = run(32);
+  EXPECT_GT(overload.shed, 0u) << "16x workers must trip admission control";
+  ASSERT_GT(uncont.latency_ns.p99(), 0.0);
+  // Without shedding the accepted p99 would scale with the worker ratio
+  // (16x); with it the queue is capped at 8, so the p99 stays within a
+  // small multiple (8x allows for histogram bucket granularity — the
+  // tuned bench holds the paper-style < 5x bound).
+  EXPECT_LT(overload.latency_ns.p99(), 8.0 * uncont.latency_ns.p99())
+      << "shedding must keep accepted-request p99 bounded";
+}
+
+}  // namespace
+}  // namespace ibp::rpc

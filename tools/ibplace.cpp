@@ -4,6 +4,7 @@
 //   ibplace imb <mode> [opts]            sendrecv | pingpong | exchange
 //   ibplace nas <kernel> [opts]          cg|ep|is|lu|mg|ft, both placements
 //   ibplace reg [opts]                   registration cost sweep
+//   ibplace rpc <open|closed> [opts]     RPC serving layer under load
 //
 // Common options:
 //   --platform=opteron|xeon|systemp   (default opteron)
@@ -14,6 +15,9 @@
 //   --rndv-read=0|1                   RDMA-read rendezvous (default 0)
 //   --iters=N  --scale=N
 //   --placement=POLICY                placement policy (--list-policies)
+//   --placement-role=ROLE=POLICY      override the policy for one buffer
+//                                     role (repeatable; e.g.
+//                                     --placement-role=rpc-ring=paper-default)
 //   --fault=SPEC                      inline fault plan (see fault.hpp)
 //   --fault-file=PATH                 fault plan from a file
 //   --recovery=failfast|repost        MPI policy on error completions
@@ -32,13 +36,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "ibp/common/table.hpp"
 #include "ibp/fault/fault.hpp"
+#include "ibp/loadgen/loadgen.hpp"
 #include "ibp/placement/placement.hpp"
+#include "ibp/rpc/rpc.hpp"
 #include "ibp/telemetry/sink.hpp"
 #include "ibp/workloads/imb.hpp"
 #include "ibp/workloads/nas.hpp"
@@ -58,6 +65,8 @@ struct Options {
   int iters = 10;
   int scale = 1;
   std::string placement = "paper-default";
+  // Per-role policy overrides, (role name, policy name) pairs.
+  std::vector<std::pair<std::string, std::string>> role_policies;
   std::string fault;       // inline fault-plan spec
   std::string fault_file;  // fault-plan file (appended to `fault`)
   std::string recovery = "failfast";
@@ -69,16 +78,18 @@ struct Options {
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr,
-               "usage: ibplace <info|imb|nas|reg> [args] [--options]\n"
+               "usage: ibplace <info|imb|nas|reg|rpc> [args] [--options]\n"
                "  ibplace info [--platform=P]\n"
                "  ibplace imb <sendrecv|pingpong|exchange> [--options]\n"
                "  ibplace nas <cg|ep|is|lu|mg|ft> [--options]\n"
                "  ibplace reg [--platform=P]\n"
+               "  ibplace rpc <open|closed> [--options]\n"
                "  ibplace --list-policies\n"
                "options: --platform=opteron|xeon|systemp --nodes=N --rpn=R\n"
                "         --hugepages=0|1 --lazy=0|1 --patched=0|1\n"
                "         --rndv-read=0|1 --iters=N --scale=N\n"
                "         --placement=POLICY (see --list-policies)\n"
+               "         --placement-role=ROLE=POLICY (repeatable)\n"
                "         --fault=SPEC --fault-file=PATH\n"
                "         --recovery=failfast|repost\n"
                "         --metrics-out=PATH --trace-out=PATH\n"
@@ -125,6 +136,11 @@ Options parse_options(int argc, char** argv, int first) {
       o.fault_file = v;
     } else if (parse_flag(argv[i], "--recovery", &v)) {
       o.recovery = v;
+    } else if (parse_flag(argv[i], "--placement-role", &v)) {
+      const std::size_t eq = v.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == v.size())
+        usage("--placement-role wants ROLE=POLICY");
+      o.role_policies.emplace_back(v.substr(0, eq), v.substr(eq + 1));
     } else if (parse_flag(argv[i], "--placement", &v)) {
       o.placement = v;
     } else if (parse_flag(argv[i], "--metrics-out", &v)) {
@@ -145,6 +161,14 @@ Options parse_options(int argc, char** argv, int first) {
     usage(("unknown placement policy '" + o.placement + "' (known: " +
            placement::known_policy_names() + ")")
               .c_str());
+  for (const auto& [role, policy] : o.role_policies) {
+    if (!placement::role_from_name(role).has_value())
+      usage(("unknown placement role '" + role + "'").c_str());
+    if (placement::make_policy(policy) == nullptr)
+      usage(("unknown placement policy '" + policy + "' for role '" + role +
+             "' (known: " + placement::known_policy_names() + ")")
+                .c_str());
+  }
   return o;
 }
 
@@ -156,6 +180,7 @@ core::ClusterConfig cluster_config(const Options& o) {
   cfg.hugepage_library = o.hugepages;
   cfg.lazy_deregistration = o.lazy;
   cfg.placement_policy = o.placement;
+  cfg.placement_role_policies = o.role_policies;
   cfg.driver.hugepage_passthrough = o.patched;
   std::string spec = o.fault;
   if (!o.fault_file.empty()) {
@@ -274,10 +299,13 @@ int cmd_nas(const std::string& kernel, const Options& o) {
   std::printf("NAS %s  platform=%s %dx%d scale=%d (both placements)\n\n",
               kernel.c_str(), o.platform.c_str(), o.nodes, o.rpn, o.scale);
   workloads::NasResult r[2];
+  // The hugepage cluster outlives the loop so --metrics-out/--trace-out
+  // can snapshot the run the table's improvement line is about.
+  std::optional<core::Cluster> telemetry_cluster;
   for (int huge = 0; huge < 2; ++huge) {
     Options opt = o;
     opt.hugepages = huge != 0;
-    core::Cluster cluster(cluster_config(opt));
+    core::Cluster& cluster = telemetry_cluster.emplace(cluster_config(opt));
     r[huge] = workloads::run_nas(kernel, cluster,
                                  workloads::NasScale{o.scale});
   }
@@ -295,6 +323,7 @@ int cmd_nas(const std::string& kernel, const Options& o) {
                          static_cast<double>(r[0].comm_avg)) * 100.0,
               (1.0 - static_cast<double>(r[1].total) /
                          static_cast<double>(r[0].total)) * 100.0);
+  write_telemetry_outputs(*telemetry_cluster, o);
   return r[0].verified && r[1].verified ? 0 : 1;
 }
 
@@ -302,6 +331,9 @@ int cmd_reg(const Options& o) {
   std::printf("registration cost  platform=%s patched=%d\n\n",
               o.platform.c_str(), o.patched);
   TextTable t({"bytes", "4K pages [us]", "hugepages [us]", "ratio %"});
+  // Last sweep cluster kept for --metrics-out/--trace-out; the table is
+  // computed exactly as before, telemetry observes without perturbing.
+  std::optional<core::Cluster> telemetry_cluster;
   for (std::uint64_t bytes = 256 * kKiB; bytes <= 64 * kMiB; bytes *= 4) {
     TimePs cost[2];
     for (int huge = 0; huge < 2; ++huge) {
@@ -309,7 +341,7 @@ int cmd_reg(const Options& o) {
       cfg.nodes = 1;
       cfg.ranks_per_node = 1;
       cfg.hugepages_per_node = 2048;
-      core::Cluster cluster(cfg);
+      core::Cluster& cluster = telemetry_cluster.emplace(cfg);
       TimePs dt = 0;
       cluster.run([&](core::RankEnv& env) {
         auto& m = env.space().map(bytes, huge ? mem::PageKind::Huge
@@ -325,6 +357,116 @@ int cmd_reg(const Options& o) {
                   static_cast<double>(cost[0]));
   }
   t.print();
+  write_telemetry_outputs(*telemetry_cluster, o);
+  return 0;
+}
+
+/// One load-generator run against a fresh 2-rank cluster. The cluster is
+/// kept alive in `keep` so telemetry outputs can snapshot the last run.
+loadgen::GenResult run_rpc_once(const Options& o, bool open, bool batching,
+                                std::uint32_t workers,
+                                std::uint64_t requests, double* req_per_wr,
+                                std::optional<core::Cluster>& keep) {
+  core::Cluster& cluster = keep.emplace(cluster_config(o));
+  loadgen::GenResult gen;
+  cluster.run([&](core::RankEnv& env) {
+    mpi::CommConfig mc;
+    mc.sge_gather = true;
+    mc.recovery = o.recovery == "repost" ? mpi::CommConfig::Recovery::Repost
+                                         : mpi::CommConfig::Recovery::FailFast;
+    mpi::Comm comm(env, mc);
+    rpc::RpcConfig rc;
+    rc.batching = batching;
+    rc.max_payload = 256;
+    if (open) {
+      rc.service_base = ns(200);  // transport-bound
+      rc.service_per_byte_ps = 0;
+    } else {
+      rc.server_queue_cap = 8;  // small admission queue: shed early
+    }
+    if (env.rank() == 0) {
+      rpc::RpcServer server(comm, {1}, rc);
+      server.serve();
+      return;
+    }
+    rpc::RpcClient client(comm, 0, rc);
+    loadgen::Workload w;
+    w.request_bytes = 128;
+    if (open) {
+      loadgen::OpenLoopConfig oc;
+      oc.rate_rps = 8e6;
+      oc.requests = requests;
+      oc.warmup = requests / 2;
+      oc.seed = 7;
+      gen = loadgen::run_open_loop(client, w, oc);
+    } else {
+      loadgen::ClosedLoopConfig cc;
+      cc.workers = workers;
+      cc.requests = requests;
+      cc.warmup = requests / 4;
+      cc.seed = 11;
+      gen = loadgen::run_closed_loop(client, w, cc);
+    }
+    const rpc::ClientStats& cs = client.stats();
+    *req_per_wr = cs.batches != 0
+                      ? static_cast<double>(cs.batched_requests) /
+                            static_cast<double>(cs.batches)
+                      : 0.0;
+    client.close();
+  });
+  return gen;
+}
+
+int cmd_rpc(const std::string& mode, const Options& o) {
+  if (mode != "open" && mode != "closed")
+    usage(("unknown rpc mode " + mode).c_str());
+  if (o.nodes * o.rpn != 2)
+    usage("rpc needs a 2-rank topology (one server, one client)");
+  const bool open = mode == "open";
+  std::printf("RPC %s loop  platform=%s %dx%d placement=%s\n\n",
+              mode.c_str(), o.platform.c_str(), o.nodes, o.rpn,
+              o.placement.c_str());
+
+  std::optional<core::Cluster> last;
+  TextTable t({"config", "ok", "shed", "rejected", "req/s", "p50 [us]",
+               "p99 [us]", "req/WR"});
+  const auto add_row = [&](const char* label,
+                           const loadgen::GenResult& gen, double rpw) {
+    t.add_row(label, gen.ok, gen.shed, gen.rejected,
+              gen.achieved_rps(), gen.latency_ns.p50() / 1000.0,
+              gen.latency_ns.p99() / 1000.0, rpw);
+  };
+  if (open) {
+    const std::uint64_t n = 1500 * static_cast<std::uint64_t>(o.scale);
+    double rpw[2] = {0.0, 0.0};
+    const loadgen::GenResult batched =
+        run_rpc_once(o, true, true, 0, n, &rpw[0], last);
+    const loadgen::GenResult unbatched =
+        run_rpc_once(o, true, false, 0, n, &rpw[1], last);
+    add_row("batched", batched, rpw[0]);
+    add_row("unbatched", unbatched, rpw[1]);
+    t.print();
+    std::printf("\nbatching speedup: %.2fx\n",
+                unbatched.achieved_rps() > 0
+                    ? batched.achieved_rps() / unbatched.achieved_rps()
+                    : 0.0);
+  } else {
+    const std::uint64_t n = 1200 * static_cast<std::uint64_t>(o.scale);
+    double rpw[2] = {0.0, 0.0};
+    const loadgen::GenResult uncont =
+        run_rpc_once(o, false, true, 2, n, &rpw[0], last);
+    const loadgen::GenResult overload =
+        run_rpc_once(o, false, true, 32, n, &rpw[1], last);
+    add_row("2 workers", uncont, rpw[0]);
+    add_row("32 workers", overload, rpw[1]);
+    t.print();
+    std::printf("\naccepted p99 under overload: %.2fx uncontended\n",
+                uncont.latency_ns.p99() > 0
+                    ? overload.latency_ns.p99() / uncont.latency_ns.p99()
+                    : 0.0);
+  }
+  print_fault_summary(*last);
+  write_telemetry_outputs(*last, o);
   return 0;
 }
 
@@ -356,6 +498,12 @@ int main(int argc, char** argv) {
     if (cmd == "nas") {
       if (argc < 3) usage("nas needs a kernel");
       return cmd_nas(argv[2], parse_options(argc, argv, 3));
+    }
+    if (cmd == "rpc") {
+      if (argc < 3) usage("rpc needs a mode (open|closed)");
+      Options o = parse_options(argc, argv, 3);
+      if (o.nodes == 2 && o.rpn == 4) o.rpn = 1;  // friendlier default
+      return cmd_rpc(argv[2], o);
     }
   } catch (const SimError& e) {
     std::fprintf(stderr, "simulation error: %s\n", e.what());
