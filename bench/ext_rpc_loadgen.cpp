@@ -41,8 +41,10 @@ constexpr std::uint32_t kClosedQueueCap = 8;
 struct RunOut {
   loadgen::GenResult gen;
   rpc::ServerStats server;
+  rpc::ClientStats client;
   double req_per_wr = 0.0;
   double shed_metric = 0.0;  // cluster metric rpc.shed (latched probe)
+  double shed_total_metric = 0.0;  // cluster metric rpc.shed_total
 };
 
 core::ClusterConfig cluster_config(const std::string& policy) {
@@ -97,9 +99,11 @@ RunOut run_open(bool batching, double rate, std::uint64_t requests,
                          ? static_cast<double>(cs.batched_requests) /
                                static_cast<double>(cs.batches)
                          : 0.0;
+    out.client = cs;
     client.close();
   });
   out.shed_metric = cluster.metrics().value("rpc.shed");
+  out.shed_total_metric = cluster.metrics().value("rpc.shed_total");
   return out;
 }
 
@@ -134,9 +138,11 @@ RunOut run_closed(std::uint32_t workers, std::uint64_t requests,
                          ? static_cast<double>(cs.batched_requests) /
                                static_cast<double>(cs.batches)
                          : 0.0;
+    out.client = cs;
     client.close();
   });
   out.shed_metric = cluster.metrics().value("rpc.shed");
+  out.shed_total_metric = cluster.metrics().value("rpc.shed_total");
   return out;
 }
 
@@ -166,6 +172,13 @@ void json_result(std::ofstream& out, const char* key, const RunOut& r,
       << ", \"p99_us\": " << r.gen.latency_ns.p99() / 1000.0 << ",\n"
       << indent << "  \"req_per_wr\": " << r.req_per_wr
       << ", \"rpc_shed\": " << static_cast<std::uint64_t>(r.shed_metric)
+      << ",\n"
+      << indent
+      << "  \"shed_total\": " << static_cast<std::uint64_t>(
+             r.shed_total_metric)
+      << ", \"credit_stalls\": " << r.client.credit_stalls
+      << ", \"qos_stalls\": " << r.client.qos_stalls
+      << ", \"retries\": " << r.client.retries
       << ", \"trace_hash\": \"" << hash << "\"}";
 }
 

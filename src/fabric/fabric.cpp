@@ -1,0 +1,507 @@
+#include "ibp/fabric/fabric.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "ibp/common/check.hpp"
+#include "ibp/core/cluster.hpp"
+
+namespace ibp::fabric {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t v) {
+  v ^= v >> 33;
+  v *= 0xff51afd7ed558ccdull;
+  v ^= v >> 33;
+  v *= 0xc4ceb9fe1a85ec53ull;
+  v ^= v >> 33;
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardMap
+
+const char* shard_strategy_name(ShardStrategy s) {
+  switch (s) {
+    case ShardStrategy::Hash: return "hash";
+    case ShardStrategy::Range: return "range";
+    case ShardStrategy::Affinity: return "affinity";
+  }
+  IBP_FAIL("bad shard strategy");
+}
+
+std::optional<ShardStrategy> shard_strategy_from_name(std::string_view name) {
+  for (ShardStrategy s : {ShardStrategy::Hash, ShardStrategy::Range,
+                          ShardStrategy::Affinity}) {
+    if (name == shard_strategy_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
+ShardMap::ShardMap(std::uint32_t servers, ShardStrategy strategy,
+                   std::uint64_t seed, std::uint32_t epoch)
+    : servers_(servers), strategy_(strategy), seed_(seed), epoch_(epoch) {
+  IBP_CHECK(servers_ > 0, "shard map needs at least one server");
+}
+
+std::uint32_t ShardMap::home(std::uint32_t tenant) const {
+  if (servers_ == 1) return 0;
+  switch (strategy_) {
+    case ShardStrategy::Hash:
+      return static_cast<std::uint32_t>(
+          mix64(tenant ^ seed_ ^ (std::uint64_t{epoch_} << 32)) % servers_);
+    case ShardStrategy::Range:
+      // Contiguous tenant ranges over the low 16 bits of the id space;
+      // the epoch rotates range ownership without moving boundaries.
+      return static_cast<std::uint32_t>(
+          ((std::uint64_t{tenant & 0xFFFF} * servers_) >> 16) + epoch_) %
+             servers_;
+    case ShardStrategy::Affinity:
+      // Tenant groups (high bits) land together, so a tenant's
+      // neighbours share its server — cache affinity across requests.
+      return static_cast<std::uint32_t>(
+          mix64((tenant >> 4) ^ seed_ ^ (std::uint64_t{epoch_} << 32)) %
+          servers_);
+  }
+  IBP_FAIL("bad shard strategy");
+}
+
+std::uint64_t ShardMap::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto fold = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 0x100000001b3ull;
+    }
+  };
+  fold(servers_);
+  fold(static_cast<std::uint64_t>(strategy_));
+  fold(epoch_);
+  for (std::uint32_t t = 0; t < 256; ++t) fold(home(t));
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// FabricClient
+
+FabricClient::FabricClient(mpi::Comm& comm, std::vector<int> servers,
+                           FabricConfig cfg)
+    : comm_(&comm),
+      servers_(std::move(servers)),
+      cfg_(cfg),
+      map_(static_cast<std::uint32_t>(servers_.size()), cfg.shard_strategy,
+           cfg.shard_seed, cfg.shard_epoch) {
+  IBP_CHECK(!servers_.empty(), "fabric client needs at least one server");
+  IBP_CHECK(cfg_.stripe_width > 0, "stripe width must be positive");
+  links_.reserve(servers_.size());
+  for (int s : servers_)
+    links_.push_back(std::make_unique<rpc::RpcClient>(comm, s, cfg_.rpc));
+  register_metrics();
+}
+
+FabricClient::~FabricClient() {
+  for (auto& p : probes_) p.release();
+}
+
+std::uint64_t FabricClient::outstanding() const { return sub_.size(); }
+
+rpc::ClientStats FabricClient::link_stats() const {
+  rpc::ClientStats sum;
+  for (const auto& l : links_) {
+    const rpc::ClientStats& s = l->stats();
+    sum.submitted += s.submitted;
+    sum.rejected += s.rejected;
+    sum.batches += s.batches;
+    sum.batched_requests += s.batched_requests;
+    sum.completed += s.completed;
+    sum.shed += s.shed;
+    sum.large_responses += s.large_responses;
+    sum.credit_stalls += s.credit_stalls;
+    sum.qos_stalls += s.qos_stalls;
+    sum.retries += s.retries;
+    sum.duplicates += s.duplicates;
+  }
+  return sum;
+}
+
+std::uint64_t FabricClient::submit(std::span<const std::uint8_t> payload,
+                                   std::uint32_t response_cap, rpc::Class cls,
+                                   std::uint32_t tenant) {
+  IBP_CHECK(!closed_, "submit on closed fabric client");
+  if (links_.size() > 1 || response_cap > cfg_.stripe_threshold) pump();
+  if (response_cap > cfg_.stripe_threshold) {
+    ++stats_.submitted;
+    return submit_striped(response_cap, cls, tenant);
+  }
+  // Passthrough: the tenant's home shard serves the request verbatim.
+  const std::uint32_t link = map_.home(tenant);
+  const std::uint64_t sid =
+      links_[link]->submit(payload, response_cap, cls, tenant);
+  ++stats_.submitted;
+  if (sid == 0) {
+    ++stats_.rejected;
+    return 0;
+  }
+  const std::uint64_t fid = next_id_++;
+  ++stats_.passthrough;
+  sub_.emplace(std::make_pair(link, sid), SubKey{fid, 0, false});
+  return fid;
+}
+
+std::uint32_t FabricClient::plan_segment_bytes(std::uint32_t total,
+                                               std::uint32_t width) const {
+  std::uint64_t seg = cfg_.segment_bytes;
+  if (seg == 0) {
+    // Ask the placement engine how it would chunk the reassembly buffer;
+    // the adaptive policy's feedback (stripe latency per byte) lands on
+    // Role::StripeSegment, closing the congestion -> placement loop.
+    placement::BufferRequest req;
+    req.size = total;
+    req.role = placement::Role::StripeSegment;
+    req.pieces = width;
+    seg = comm_->env().placement().plan(req).chunk;
+  }
+  seg = std::clamp<std::uint64_t>(seg, 256, cfg_.rpc.max_payload);
+  return static_cast<std::uint32_t>(seg);
+}
+
+std::uint32_t FabricClient::pick_link(std::uint32_t start,
+                                      std::uint32_t rotation,
+                                      std::uint32_t width) {
+  const std::uint32_t n = nlinks();
+  const std::uint32_t rr = (start + rotation) % n;
+  if (!cfg_.adaptive_links || width <= 1) return rr;
+  // Least-outstanding link of the fan-out set [start, start+width);
+  // rotation breaks ties deterministically so an idle fleet still
+  // round-robins.
+  std::uint32_t best = rr;
+  std::uint64_t best_load = links_[rr]->outstanding();
+  for (std::uint32_t i = 0; i < width; ++i) {
+    const std::uint32_t cand = (start + i) % n;
+    if (links_[cand]->outstanding() < best_load) {
+      best = cand;
+      best_load = links_[cand]->outstanding();
+    }
+  }
+  if (best != rr) ++stats_.adaptive_skips;
+  return best;
+}
+
+std::uint64_t FabricClient::submit_striped(std::uint32_t response_cap,
+                                           rpc::Class cls,
+                                           std::uint32_t tenant) {
+  core::RankEnv& env = comm_->env();
+  while (stripes_.size() >= cfg_.reassembly_window) {
+    // Reassembly window full: block until something completes.
+    pump();
+    if (stripes_.size() < cfg_.reassembly_window) break;
+    block_step();
+  }
+  const std::uint32_t width =
+      std::min<std::uint32_t>(cfg_.stripe_width, nlinks());
+  const std::uint32_t seg_bytes = plan_segment_bytes(response_cap, width);
+  const std::uint64_t nseg64 =
+      (response_cap + seg_bytes - 1) / std::uint64_t{seg_bytes};
+  IBP_CHECK(nseg64 <= 0xFFFF, "stripe would exceed 65535 segments");
+  const std::uint16_t nseg = static_cast<std::uint16_t>(nseg64);
+
+  const std::uint64_t fid = next_id_++;
+  Stripe st;
+  st.total = response_cap;
+  st.seg_bytes = seg_bytes;
+  st.seg_count = nseg;
+  st.remaining = nseg;
+  st.tenant = tenant;
+  st.buf = env.alloc(response_cap, placement::Role::StripeSegment);
+  st.t0 = env.now();
+  stripes_.emplace(fid, st);
+  ++stats_.stripes;
+
+  const std::uint32_t start = map_.home(tenant);
+  std::uint8_t hdr[sizeof(StripeHeader)];
+  for (std::uint16_t i = 0; i < nseg; ++i) {
+    StripeHeader sh;
+    sh.fabric_id = fid;
+    sh.total_len = response_cap;
+    sh.seg_off = static_cast<std::uint32_t>(i) * seg_bytes;
+    sh.seg_len = std::min<std::uint32_t>(seg_bytes, response_cap - sh.seg_off);
+    sh.seg_index = i;
+    sh.seg_count = nseg;
+    std::memcpy(hdr, &sh, sizeof(sh));
+    const std::uint32_t link = pick_link(start, i, width);
+    std::uint64_t sid;
+    while ((sid = links_[link]->submit({hdr, sizeof(hdr)}, sh.seg_len, cls,
+                                       tenant, rpc::kFlagStripe)) == 0) {
+      // Link queue full: make progress until it accepts (striped submits
+      // never reject — the stripe is already partially on the wire).
+      links_[link]->flush();
+      links_[link]->poll();
+      if (links_[link]->outstanding() > 0) links_[link]->wait_some();
+      pump();
+    }
+    sub_.emplace(std::make_pair(link, sid), SubKey{fid, i, true});
+    ++stats_.segments;
+  }
+  return fid;
+}
+
+void FabricClient::pump() {
+  for (auto& l : links_) l->poll();
+  for (std::uint32_t i = 0; i < links_.size(); ++i) {
+    for (rpc::Completion& c : links_[i]->take_completions())
+      route(i, std::move(c));
+  }
+}
+
+void FabricClient::route(std::uint32_t link, rpc::Completion&& c) {
+  const auto it = sub_.find({link, c.id});
+  IBP_CHECK(it != sub_.end(), "completion for unknown sub-request");
+  const SubKey key = it->second;
+  sub_.erase(it);
+  if (!key.striped) {
+    c.id = key.fabric_id;
+    emit(std::move(c));
+    return;
+  }
+  const auto sit = stripes_.find(key.fabric_id);
+  IBP_CHECK(sit != stripes_.end(), "segment for unknown stripe");
+  Stripe& st = sit->second;
+  if (c.status != rpc::Status::Ok) {
+    st.status = c.status;  // one shed segment sheds the stripe
+  } else {
+    const std::uint32_t off = key.seg_index * st.seg_bytes;
+    const std::uint32_t len =
+        std::min<std::uint32_t>(st.seg_bytes, st.total - off);
+    IBP_CHECK(c.payload.size() == len, "segment length mismatch");
+    core::RankEnv& env = comm_->env();
+    std::memcpy(env.host_ptr<std::uint8_t>(st.buf + off, len),
+                c.payload.data(), len);
+  }
+  IBP_CHECK(st.remaining > 0, "stripe over-completed");
+  if (--st.remaining == 0) finalize(key.fabric_id, st);
+}
+
+void FabricClient::finalize(std::uint64_t fid, Stripe& st) {
+  core::RankEnv& env = comm_->env();
+  rpc::Completion fc;
+  fc.id = fid;
+  fc.status = st.status;
+  if (st.status == rpc::Status::Ok) {
+    // The application reads the assembled response once.
+    const auto* p = env.host_ptr<std::uint8_t>(st.buf, st.total);
+    fc.payload.assign(p, p + st.total);
+    env.touch_stream(st.buf, st.total);
+    stats_.reassembled_bytes += st.total;
+  }
+  fc.latency = env.now() - st.t0;
+  // Close the loop: the adaptive placement policy sees what this stripe
+  // cost on the reassembly buffer's backing tier.
+  placement::Feedback fb;
+  fb.size = st.total;
+  fb.backing = env.lib().plan_for(st.total, placement::Role::StripeSegment)
+                   .backing;
+  fb.cost = fc.latency;
+  fb.role = placement::Role::StripeSegment;
+  fb.pieces = st.seg_count;
+  fb.gathered = true;
+  env.placement().feed(fb);
+  env.dealloc(st.buf);
+  stripes_.erase(fid);
+  emit(std::move(fc));
+}
+
+void FabricClient::emit(rpc::Completion&& c) {
+  if (c.status == rpc::Status::Ok) {
+    lat_.add(static_cast<std::uint64_t>(c.latency / 1000));  // ps -> ns
+  } else {
+    ++stats_.shed;
+  }
+  ++stats_.completed;
+  auto [pos, fresh] = done_.emplace(c.id, std::move(c));
+  IBP_CHECK(fresh, "duplicate fabric completion");
+  fresh_.push_back(&pos->second);
+}
+
+void FabricClient::block_any() {
+  std::vector<mpi::Req> reqs;
+  for (auto& l : links_) {
+    l->flush();
+    if (l->response_req() != nullptr) reqs.push_back(l->response_req());
+  }
+  IBP_CHECK(!reqs.empty(), "blocking with no link awaiting a response");
+  comm_->waitany(reqs);
+  pump();
+}
+
+void FabricClient::block_step() {
+  if (links_.size() == 1) {
+    // Single link: let the link block exactly as a bare RpcClient would.
+    // Even an empty CQ poll costs virtual time, so the passthrough path
+    // must not add progress calls of its own.
+    for (rpc::Completion& c : links_[0]->take_completions())
+      route(0, std::move(c));
+    if (!fresh_.empty()) return;
+    links_[0]->wait_some();
+    for (rpc::Completion& c : links_[0]->take_completions())
+      route(0, std::move(c));
+    return;
+  }
+  block_any();
+}
+
+void FabricClient::poll() {
+  if (closed_) return;
+  pump();
+}
+
+const rpc::Completion& FabricClient::wait(std::uint64_t id) {
+  while (!completed(id)) {
+    if (links_.size() > 1) {
+      pump();
+      if (completed(id)) break;
+    }
+    block_step();
+  }
+  return done_.at(id);
+}
+
+void FabricClient::wait_some() {
+  IBP_CHECK(outstanding() > 0, "wait_some with nothing outstanding");
+  while (fresh_.empty()) {
+    if (links_.size() > 1) {
+      pump();
+      if (!fresh_.empty()) return;
+    }
+    block_step();
+  }
+}
+
+std::vector<rpc::Completion> FabricClient::take_completions() {
+  std::vector<rpc::Completion> out;
+  out.reserve(fresh_.size());
+  for (const rpc::Completion* c : fresh_) out.push_back(*c);
+  fresh_.clear();
+  return out;
+}
+
+void FabricClient::drain() {
+  if (links_.size() == 1) {
+    // One link drain, mirroring a bare RpcClient drain call for call.
+    do {
+      links_[0]->drain();
+      for (rpc::Completion& c : links_[0]->take_completions())
+        route(0, std::move(c));
+    } while (!sub_.empty());
+    return;
+  }
+  while (!sub_.empty()) {
+    pump();
+    if (sub_.empty()) break;
+    block_any();
+  }
+  for (auto& l : links_) l->drain();
+}
+
+void FabricClient::close() {
+  if (closed_) return;
+  drain();
+  for (auto& l : links_) l->close();
+  closed_ = true;
+}
+
+void FabricClient::register_metrics() {
+  auto& m = comm_->env().cluster().metrics();
+  probes_.push_back(
+      m.probe("fabric.requests", [this] { return double(stats_.submitted); }));
+  probes_.push_back(
+      m.probe("fabric.stripes", [this] { return double(stats_.stripes); }));
+  probes_.push_back(
+      m.probe("fabric.segments", [this] { return double(stats_.segments); }));
+  probes_.push_back(m.probe("fabric.reassembled_bytes", [this] {
+    return double(stats_.reassembled_bytes);
+  }));
+  probes_.push_back(m.probe("fabric.adaptive_skips", [this] {
+    return double(stats_.adaptive_skips);
+  }));
+  probes_.push_back(m.probe("fabric.link_credit_stalls", [this] {
+    return double(link_stats().credit_stalls);
+  }));
+}
+
+// ---------------------------------------------------------------------------
+// FabricServer
+
+FabricServer::FabricServer(mpi::Comm& comm, std::vector<int> clients,
+                           FabricConfig cfg, rpc::Handler app)
+    : comm_(&comm), cfg_(cfg), app_(std::move(app)) {
+  if (!app_) app_ = rpc::default_handler();
+  rpc::Handler wrapped = [this](const rpc::RequestView& rq, std::uint8_t* out,
+                                std::uint32_t cap) {
+    if ((rq.flags & rpc::kFlagStripe) != 0) return serve_stripe(rq, out, cap);
+    return app_(rq, out, cap);
+  };
+  server_ = std::make_unique<rpc::RpcServer>(comm, std::move(clients),
+                                             cfg_.rpc, std::move(wrapped));
+  register_metrics();
+}
+
+FabricServer::~FabricServer() {
+  for (auto& p : probes_) p.release();
+  if (shard_ != 0) comm_->env().dealloc(shard_);
+}
+
+void FabricServer::ensure_shard() {
+  if (shard_ != 0) return;
+  IBP_CHECK(cfg_.shard_bytes >= cfg_.rpc.max_payload,
+            "shard arena smaller than one segment");
+  shard_ = comm_->env().alloc(cfg_.shard_bytes, placement::Role::RpcShard);
+}
+
+std::uint32_t FabricServer::serve_stripe(const rpc::RequestView& rq,
+                                         std::uint8_t* out,
+                                         std::uint32_t cap) {
+  IBP_CHECK(rq.payload_len >= sizeof(StripeHeader),
+            "striped request without stripe header");
+  StripeHeader sh;
+  std::memcpy(&sh, rq.payload, sizeof(sh));
+  IBP_CHECK(sh.seg_len <= cap, "segment exceeds response capacity");
+  ensure_shard();
+  core::RankEnv& env = comm_->env();
+  // Read the segment's source bytes from the resident shard arena — the
+  // placement-sensitive cost striping spreads across server ranks.
+  const std::uint64_t span =
+      std::min<std::uint64_t>(sh.seg_len, cfg_.shard_bytes);
+  const std::uint64_t off =
+      cfg_.shard_bytes > span ? sh.seg_off % (cfg_.shard_bytes - span) : 0;
+  env.touch_stream(shard_ + off, span);
+  // The application's per-byte serving work (storage read, checksum) —
+  // the cost striping parallelises across shard ranks.
+  env.sim().advance(static_cast<TimePs>(sh.seg_len) * cfg_.serve_per_byte_ps);
+  for (std::uint32_t i = 0; i < sh.seg_len; ++i)
+    out[i] = stripe_byte(sh.fabric_id, rq.tenant, sh.seg_off + i);
+  ++striped_segments_;
+  shard_bytes_read_ += span;
+  return sh.seg_len;
+}
+
+void FabricServer::register_metrics() {
+  auto& m = comm_->env().cluster().metrics();
+  probes_.push_back(m.probe("fabric.striped_segments", [this] {
+    return double(striped_segments_);
+  }));
+  probes_.push_back(m.probe("fabric.shard_bytes_read", [this] {
+    return double(shard_bytes_read_);
+  }));
+  // Per-rank congestion signal: the shard's accepted-but-unserved queue
+  // depth, sampled by the telemetry plane (summing across ranks would
+  // hide the hot shard, hence the rank-qualified name).
+  const std::string pre = "fabric.r" + std::to_string(comm_->rank()) + ".";
+  probes_.push_back(m.probe(pre + "queue_depth", [this] {
+    return double(server_->queue_depth());
+  }));
+}
+
+}  // namespace ibp::fabric

@@ -1,0 +1,297 @@
+#pragma once
+
+// ibp_fabric — a sharded multi-server serving fabric over ibp_rpc.
+//
+// One server rank is a toy against a fleet-scale workload; this layer
+// turns the single-server RPC path into a sharded fleet while keeping
+// every byte's journey decided by the placement engine:
+//
+//   * ShardMap — deterministic tenant -> server routing with pluggable
+//     strategies (hash / range / affinity) and an explicit epoch, so a
+//     future reshard is a config change, not a code change,
+//   * FabricClient — one RpcClient per server rank ("link"). Requests
+//     route to the tenant's home shard; bulk responses above the stripe
+//     threshold are split into stripe-segment chunks fanned out over
+//     several links (the multi-rail idea: many QPs move one payload) and
+//     reassembled into a placement-planned Role::StripeSegment buffer
+//     inside a bounded client-side reassembly window,
+//   * FabricServer — an RpcServer whose handler serves stripe segments
+//     out of a lazily-allocated Role::RpcShard arena, exporting queue
+//     depth and stripe counters as fabric.* telemetry probes; stripe
+//     latency observations feed the placement engine (Role::StripeSegment)
+//     so the `adaptive` policy can steer segment buffers off hot tiers.
+//
+// Segment sizing comes from the placement engine's plan for the
+// reassembly buffer (BufferPlan::chunk), clamped to the RPC slot payload
+// so segments always ride the batched eager path; link choice is
+// congestion-aware (least outstanding among the stripe's fan-out set,
+// deterministic tie-break by rotation from the shard home).
+//
+// A 1-server fabric with no striped traffic is a transparent passthrough:
+// identical wire bytes, identical virtual time, identical completion ids
+// to driving the underlying RpcClient directly (the golden-equivalence
+// contract bench/ext_fabric_scale asserts).
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "ibp/common/stats.hpp"
+#include "ibp/common/types.hpp"
+#include "ibp/rpc/rpc.hpp"
+
+namespace ibp::fabric {
+
+// ---------------------------------------------------------------------------
+// ShardMap
+
+enum class ShardStrategy : std::uint8_t {
+  Hash,      // mixed hash of the tenant id, uniform spread
+  Range,     // contiguous tenant ranges per server
+  Affinity,  // tenant groups (tenant >> 4) co-located on one server
+};
+
+const char* shard_strategy_name(ShardStrategy s);
+std::optional<ShardStrategy> shard_strategy_from_name(std::string_view name);
+
+/// Deterministic tenant -> server routing. Pure function of
+/// (servers, strategy, seed, epoch): every client computes the same map
+/// with no coordination, and a reshard is an explicit epoch bump.
+class ShardMap {
+ public:
+  ShardMap(std::uint32_t servers, ShardStrategy strategy = ShardStrategy::Hash,
+           std::uint64_t seed = 42, std::uint32_t epoch = 0);
+
+  /// The server index (0..servers-1) owning `tenant`.
+  std::uint32_t home(std::uint32_t tenant) const;
+
+  std::uint32_t servers() const { return servers_; }
+  ShardStrategy strategy() const { return strategy_; }
+  std::uint64_t seed() const { return seed_; }
+  std::uint32_t epoch() const { return epoch_; }
+
+  /// Deterministic fingerprint of the routing function (FNV-1a over the
+  /// homes of a fixed tenant sample) — what tests and benches compare to
+  /// assert two endpoints agree on the map.
+  std::uint64_t digest() const;
+
+ private:
+  std::uint32_t servers_;
+  ShardStrategy strategy_;
+  std::uint64_t seed_;
+  std::uint32_t epoch_;
+};
+
+// ---------------------------------------------------------------------------
+// Stripe framing
+
+/// Sub-header at the start of a striped sub-request's payload (the wire
+/// header's kFlagStripe announces it). The server returns the segment's
+/// bytes; the client reassembles segments by (fabric_id, seg_index).
+struct StripeHeader {
+  std::uint64_t fabric_id = 0;
+  std::uint32_t total_len = 0;  // full striped response size
+  std::uint32_t seg_off = 0;    // this segment's offset in the response
+  std::uint32_t seg_len = 0;
+  std::uint16_t seg_index = 0;
+  std::uint16_t seg_count = 0;
+};
+static_assert(sizeof(StripeHeader) == 24, "stripe header is 24 bytes");
+
+/// The deterministic byte a striped response carries at `off` — produced
+/// by FabricServer, verifiable by any client that knows the request.
+inline std::uint8_t stripe_byte(std::uint64_t fabric_id, std::uint32_t tenant,
+                                std::uint64_t off) {
+  return static_cast<std::uint8_t>(fabric_id * 131 + tenant * 29 + off * 7 +
+                                   1);
+}
+
+// ---------------------------------------------------------------------------
+// Config
+
+struct FabricConfig {
+  /// Per-link RPC configuration (every link and the servers share it).
+  rpc::RpcConfig rpc;
+  /// Responses larger than this are striped across links. Must exceed
+  /// nothing in particular — but segments are capped at rpc.max_payload,
+  /// so a threshold below it just stripes more of the traffic.
+  std::uint64_t stripe_threshold = 8 * kKiB;
+  /// Max links one response fans out over (clamped to the server count).
+  std::uint32_t stripe_width = 4;
+  /// Segment payload size; 0 = ask the placement engine (its
+  /// Role::StripeSegment plan's chunk), clamped to rpc.max_payload.
+  std::uint32_t segment_bytes = 0;
+  /// Congestion-aware link choice: pick the least-loaded link of the
+  /// fan-out set instead of pure rotation.
+  bool adaptive_links = true;
+  /// Max stripes being reassembled concurrently; submit blocks on more.
+  std::uint32_t reassembly_window = 8;
+  /// Server-side shard arena (Role::RpcShard), allocated lazily on the
+  /// first striped request so stripe-free runs stay allocation-free.
+  std::uint64_t shard_bytes = 4 * kMiB;
+  /// Application cost per served stripe byte on the shard rank (storage
+  /// read, checksum, ...), ps/B. This is the work striping spreads over
+  /// the fleet; 4000 ps/B models a 250 MB/s per-shard backing store.
+  /// Passthrough (un-striped) requests never pay it.
+  std::uint64_t serve_per_byte_ps = 4000;
+  ShardStrategy shard_strategy = ShardStrategy::Hash;
+  std::uint64_t shard_seed = 42;
+  std::uint32_t shard_epoch = 0;
+};
+
+struct FabricClientStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;     // passthrough submits the link refused
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;         // completions with Status::Overloaded
+  std::uint64_t passthrough = 0;  // un-striped requests
+  std::uint64_t stripes = 0;      // striped requests
+  std::uint64_t segments = 0;     // stripe sub-requests issued
+  std::uint64_t reassembled_bytes = 0;
+  std::uint64_t adaptive_skips = 0;  // links skipped as congested
+};
+
+// ---------------------------------------------------------------------------
+// FabricClient
+
+class FabricClient {
+ public:
+  /// `servers` are the server ranks, in ShardMap index order.
+  FabricClient(mpi::Comm& comm, std::vector<int> servers,
+               FabricConfig cfg = {});
+  ~FabricClient();
+
+  /// Enqueue one request; returns the fabric id (0 = rejected). Routes
+  /// to the tenant's home shard; a response_cap above stripe_threshold
+  /// stripes the response across links (such submits never reject — they
+  /// block for reassembly-window or link capacity instead).
+  std::uint64_t submit(std::span<const std::uint8_t> payload,
+                       std::uint32_t response_cap = 0,
+                       rpc::Class cls = rpc::Class::Latency,
+                       std::uint32_t tenant = 0);
+
+  void poll();
+  bool completed(std::uint64_t id) const { return done_.count(id) != 0; }
+  const rpc::Completion& wait(std::uint64_t id);
+  void wait_some();
+  std::vector<rpc::Completion> take_completions();
+  void drain();
+  void close();
+
+  /// Fabric-level requests not yet surfaced as completions.
+  std::uint64_t outstanding() const;
+
+  const FabricClientStats& stats() const { return stats_; }
+  /// Link RPC stats summed over every link (credit stalls, retries, ...).
+  rpc::ClientStats link_stats() const;
+  const FabricConfig& fabric_config() const { return cfg_; }
+  /// The per-link RPC config (loadgen drivers read flush_timeout here,
+  /// mirroring RpcClient::config()).
+  const rpc::RpcConfig& config() const { return cfg_.rpc; }
+  mpi::Comm& comm() const { return *comm_; }
+  const ShardMap& shard_map() const { return map_; }
+  rpc::RpcClient& link(std::uint32_t i) { return *links_[i]; }
+  std::uint32_t nlinks() const {
+    return static_cast<std::uint32_t>(links_.size());
+  }
+  /// Latency of Ok fabric completions, nanosecond units.
+  const LogHistogram& latency() const { return lat_; }
+
+ private:
+  struct SubKey {
+    std::uint64_t fabric_id = 0;
+    std::uint16_t seg_index = 0;
+    bool striped = false;
+  };
+  struct Stripe {
+    std::uint32_t total = 0;
+    std::uint32_t seg_bytes = 0;
+    std::uint16_t seg_count = 0;
+    std::uint16_t remaining = 0;
+    std::uint32_t tenant = 0;
+    VirtAddr buf = 0;  // Role::StripeSegment reassembly buffer
+    TimePs t0 = 0;
+    rpc::Status status = rpc::Status::Ok;
+  };
+
+  /// Non-blocking: poll every link, route arrived sub-completions.
+  void pump();
+  void route(std::uint32_t link, rpc::Completion&& c);
+  void finalize(std::uint64_t fid, Stripe& st);
+  /// Block until any link's posted response completes.
+  void block_any();
+  /// One blocking step. With a single link this delegates to the link's
+  /// own wait_some so the virtual-time op sequence is bit-identical to a
+  /// bare RpcClient (the golden-equivalence contract); with several it
+  /// force-flushes all links and waits for any response.
+  void block_step();
+  std::uint64_t submit_striped(std::uint32_t response_cap, rpc::Class cls,
+                               std::uint32_t tenant);
+  std::uint32_t pick_link(std::uint32_t start, std::uint32_t rotation,
+                          std::uint32_t width);
+  std::uint32_t plan_segment_bytes(std::uint32_t total,
+                                   std::uint32_t width) const;
+  void emit(rpc::Completion&& c);
+  void register_metrics();
+
+  mpi::Comm* comm_;
+  std::vector<int> servers_;
+  FabricConfig cfg_;
+  ShardMap map_;
+  std::vector<std::unique_ptr<rpc::RpcClient>> links_;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, SubKey> sub_;  // by
+                                                                   // (link,
+                                                                   // rpc id)
+  std::map<std::uint64_t, Stripe> stripes_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, rpc::Completion> done_;
+  std::deque<const rpc::Completion*> fresh_;
+  FabricClientStats stats_;
+  LogHistogram lat_;
+  std::vector<telemetry::ProbeHandle> probes_;
+  bool closed_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// FabricServer
+
+/// One shard of the fleet: an RpcServer whose handler answers stripe
+/// sub-requests from a resident Role::RpcShard arena and delegates
+/// everything else to the application handler (default: echo). Congestion
+/// signals (queue depth, stripe counters, shard traffic) export as
+/// fabric.* probes.
+class FabricServer {
+ public:
+  FabricServer(mpi::Comm& comm, std::vector<int> clients,
+               FabricConfig cfg = {}, rpc::Handler app = {});
+  ~FabricServer();
+
+  void serve() { server_->serve(); }
+
+  const rpc::ServerStats& stats() const { return server_->stats(); }
+  const FabricConfig& fabric_config() const { return cfg_; }
+  std::uint64_t striped_segments() const { return striped_segments_; }
+  std::uint64_t shard_bytes_read() const { return shard_bytes_read_; }
+
+ private:
+  std::uint32_t serve_stripe(const rpc::RequestView& rq, std::uint8_t* out,
+                             std::uint32_t cap);
+  void ensure_shard();
+  void register_metrics();
+
+  mpi::Comm* comm_;
+  FabricConfig cfg_;
+  rpc::Handler app_;
+  std::unique_ptr<rpc::RpcServer> server_;
+  VirtAddr shard_ = 0;  // lazy Role::RpcShard arena
+  std::uint64_t striped_segments_ = 0;
+  std::uint64_t shard_bytes_read_ = 0;
+  std::vector<telemetry::ProbeHandle> probes_;
+};
+
+}  // namespace ibp::fabric

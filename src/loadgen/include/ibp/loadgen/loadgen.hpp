@@ -23,6 +23,7 @@
 
 #include "ibp/common/stats.hpp"
 #include "ibp/common/types.hpp"
+#include "ibp/fabric/fabric.hpp"
 #include "ibp/rpc/rpc.hpp"
 
 namespace ibp::loadgen {
@@ -34,6 +35,10 @@ struct Workload {
   std::uint32_t tenants = 1;
   /// Per-request probability of Class::Bulk (else Class::Latency).
   double bulk_fraction = 0.0;
+  /// Response size for Bulk-class requests (0 = same as response_bytes).
+  /// Against a FabricClient, sizes above the stripe threshold exercise
+  /// the striped multi-server path.
+  std::uint32_t bulk_response_bytes = 0;
 };
 
 struct OpenLoopConfig {
@@ -74,9 +79,13 @@ struct GenResult {
 /// Drive `client` with a Poisson arrival schedule, then drain.
 GenResult run_open_loop(rpc::RpcClient& client, const Workload& w,
                         const OpenLoopConfig& cfg);
+GenResult run_open_loop(fabric::FabricClient& client, const Workload& w,
+                        const OpenLoopConfig& cfg);
 
 /// Drive `client` with a fixed worker pool, then drain.
 GenResult run_closed_loop(rpc::RpcClient& client, const Workload& w,
+                          const ClosedLoopConfig& cfg);
+GenResult run_closed_loop(fabric::FabricClient& client, const Workload& w,
                           const ClosedLoopConfig& cfg);
 
 }  // namespace ibp::loadgen

@@ -30,6 +30,12 @@ std::vector<std::uint8_t> make_payload(const Workload& w,
   return p;
 }
 
+std::uint32_t response_size(const Workload& w, rpc::Class cls) {
+  return cls == rpc::Class::Bulk && w.bulk_response_bytes != 0
+             ? w.bulk_response_bytes
+             : w.response_bytes;
+}
+
 void record(GenResult& res, const rpc::Completion& c) {
   fnv_mix(res.trace_hash, c.id);
   fnv_mix(res.trace_hash, static_cast<std::uint64_t>(c.status));
@@ -42,16 +48,20 @@ void record(GenResult& res, const rpc::Completion& c) {
   }
 }
 
-}  // namespace
+// The drivers are client-type generic: FabricClient mirrors RpcClient's
+// submit/poll/take_completions/drain surface (and its config() returns
+// the per-link RpcConfig), so one implementation drives both the
+// single-server path and the sharded fleet.
 
-GenResult run_open_loop(rpc::RpcClient& client, const Workload& w,
-                        const OpenLoopConfig& cfg) {
+template <typename Client>
+GenResult open_loop(Client& client, const Workload& w,
+                    const OpenLoopConfig& cfg) {
   IBP_CHECK(cfg.rate_rps > 0.0, "open loop needs a positive rate");
   if (cfg.warmup > 0) {
     OpenLoopConfig wcfg = cfg;
     wcfg.requests = cfg.warmup;
     wcfg.warmup = 0;
-    (void)run_open_loop(client, w, wcfg);  // drains before returning
+    (void)open_loop(client, w, wcfg);  // drains before returning
   }
   core::RankEnv& env = client.comm().env();
   sim::Context& sc = env.sim();
@@ -75,7 +85,7 @@ GenResult run_open_loop(rpc::RpcClient& client, const Workload& w,
         w.tenants > 1 ? static_cast<std::uint32_t>(rng.next_below(w.tenants))
                       : 0;
     ++res.issued;
-    if (client.submit(payload, w.response_bytes, cls, tenant) == 0)
+    if (client.submit(payload, response_size(w, cls), cls, tenant) == 0)
       ++res.rejected;
     client.poll();
     for (const rpc::Completion& c : client.take_completions())
@@ -89,14 +99,15 @@ GenResult run_open_loop(rpc::RpcClient& client, const Workload& w,
   return res;
 }
 
-GenResult run_closed_loop(rpc::RpcClient& client, const Workload& w,
-                          const ClosedLoopConfig& cfg) {
+template <typename Client>
+GenResult closed_loop(Client& client, const Workload& w,
+                      const ClosedLoopConfig& cfg) {
   IBP_CHECK(cfg.workers > 0, "closed loop needs at least one worker");
   if (cfg.warmup > 0) {
     ClosedLoopConfig wcfg = cfg;
     wcfg.requests = cfg.warmup;
     wcfg.warmup = 0;
-    (void)run_closed_loop(client, w, wcfg);  // drains before returning
+    (void)closed_loop(client, w, wcfg);  // drains before returning
   }
   core::RankEnv& env = client.comm().env();
   sim::Context& sc = env.sim();
@@ -128,8 +139,8 @@ GenResult run_closed_loop(rpc::RpcClient& client, const Workload& w,
                       : 0;
     ++res.issued;
     --budget[wk];
-    const std::uint64_t id = client.submit(payload, w.response_bytes, cls,
-                                           tenant);
+    const std::uint64_t id =
+        client.submit(payload, response_size(w, cls), cls, tenant);
     if (id == 0) {
       // Local queue full: the worker backs off one flush window and
       // retries (closed-loop workers never abandon their budget).
@@ -166,6 +177,28 @@ GenResult run_closed_loop(rpc::RpcClient& client, const Workload& w,
   client.drain();
   res.span = env.now() - start;
   return res;
+}
+
+}  // namespace
+
+GenResult run_open_loop(rpc::RpcClient& client, const Workload& w,
+                        const OpenLoopConfig& cfg) {
+  return open_loop(client, w, cfg);
+}
+
+GenResult run_open_loop(fabric::FabricClient& client, const Workload& w,
+                        const OpenLoopConfig& cfg) {
+  return open_loop(client, w, cfg);
+}
+
+GenResult run_closed_loop(rpc::RpcClient& client, const Workload& w,
+                          const ClosedLoopConfig& cfg) {
+  return closed_loop(client, w, cfg);
+}
+
+GenResult run_closed_loop(fabric::FabricClient& client, const Workload& w,
+                          const ClosedLoopConfig& cfg) {
+  return closed_loop(client, w, cfg);
 }
 
 }  // namespace ibp::loadgen

@@ -49,8 +49,10 @@ enum class Role : std::uint8_t {
   WorkloadHeap,  // ordinary application allocation
   RpcRing,       // RPC request/response staging rings (ibp::rpc)
   RpcResponse,   // RPC response payload buffers (eager or rendezvous)
+  RpcShard,      // per-shard resident data a fabric server serves from
+  StripeSegment, // striped bulk-response segments / reassembly buffers
 };
-inline constexpr int kRoleCount = 6;
+inline constexpr int kRoleCount = 8;
 
 /// How a buffer's memory registration is managed.
 enum class RegStrategy : std::uint8_t {

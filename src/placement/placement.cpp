@@ -22,6 +22,8 @@ const char* role_name(Role r) {
     case Role::WorkloadHeap: return "workload-heap";
     case Role::RpcRing: return "rpc-ring";
     case Role::RpcResponse: return "rpc-response";
+    case Role::RpcShard: return "rpc-shard";
+    case Role::StripeSegment: return "stripe-segment";
   }
   return "?";
 }

@@ -72,6 +72,8 @@ static_assert(sizeof(WireHeader) == 24, "wire header is 24 bytes");
 inline constexpr std::uint16_t kFlagClose = 1;  // client is done; no reply
 inline constexpr std::uint16_t kFlagLarge = 2;  // response body follows on
                                                 // its own tag (rendezvous)
+inline constexpr std::uint16_t kFlagStripe = 4; // payload starts with a
+                                                // fabric stripe sub-header
 
 inline constexpr int kReqTag = 0x21000000;
 inline constexpr int kRspTag = 0x22000000;
@@ -108,6 +110,24 @@ struct RpcConfig {
   /// Application service time: base + per-byte over the request payload.
   TimePs service_base = us(2);
   std::uint64_t service_per_byte_ps = 250;  // 250 ps/B = 4 GB/s
+  /// Per-tenant QoS: with either nonzero, Latency and Bulk requests draw
+  /// from distinct per-tenant credit pools (latency_credits and
+  /// bulk_credits un-responded requests per tenant and class) instead of
+  /// competing for the shared window alone, so a bulk-heavy tenant can
+  /// never starve latency-class credits. `credits` stays a hard cap on
+  /// total inflight either way. Both zero (the default) is the legacy
+  /// shared-pool behaviour, bit-exact with earlier runs.
+  std::uint32_t latency_credits = 0;
+  std::uint32_t bulk_credits = 0;
+  /// Request timeout: an un-responded request older than this (measured
+  /// from its flush, doubling on every attempt) is retransmitted, up to
+  /// max_retries times. The transport never loses a message end-to-end
+  /// (RC retransmission and Repost recovery sit below), so retries rescue
+  /// tail latency under fault-injected delay; the duplicate response the
+  /// original eventually produces is counted and dropped. 0 = no
+  /// timeouts, the legacy behaviour.
+  TimePs request_timeout = 0;
+  std::uint32_t max_retries = 1;
 };
 
 /// One completed request, as observed by the client.
@@ -127,6 +147,10 @@ struct ClientStats {
   std::uint64_t shed = 0;  // completions with Status::Overloaded
   std::uint64_t large_responses = 0;
   std::uint64_t credit_stalls = 0;  // flushes deferred for want of credits
+  std::uint64_t qos_stalls = 0;     // queued requests skipped for want of
+                                    // per-tenant class credits
+  std::uint64_t retries = 0;        // timed-out requests retransmitted
+  std::uint64_t duplicates = 0;     // late responses dropped after a retry
 };
 
 struct ServerStats {
@@ -150,6 +174,9 @@ struct RequestView {
   const std::uint8_t* payload = nullptr;
   std::uint32_t payload_len = 0;
   std::uint32_t response_cap = 0;
+  /// Request wire flags, passed through verbatim (kFlagStripe marks a
+  /// fabric stripe sub-header at the start of the payload).
+  std::uint16_t flags = 0;
 };
 
 /// Application handler: fill `out` (capacity `out_cap` = max(response_cap,
@@ -160,6 +187,12 @@ using Handler = std::function<std::uint32_t(const RequestView&,
                                             std::uint8_t* out,
                                             std::uint32_t out_cap)>;
 
+/// The handler RpcServer installs when given none: echo the payload,
+/// padded or truncated to response_cap when the request asks for a
+/// specific response size. Exposed so wrappers (ibp::fabric) can fall
+/// through to the same behaviour.
+Handler default_handler();
+
 class RpcClient {
  public:
   RpcClient(mpi::Comm& comm, int server, RpcConfig cfg = {});
@@ -168,10 +201,12 @@ class RpcClient {
   /// Enqueue one request. Returns the request id, or 0 when the client
   /// queue is full (request rejected, counted in stats().rejected).
   /// `payload` may be empty; `response_cap` asks the server for a
-  /// response of that size (0 = echo-sized).
+  /// response of that size (0 = echo-sized). `flags` travel verbatim in
+  /// the wire header (kFlagStripe marks fabric stripe framing).
   std::uint64_t submit(std::span<const std::uint8_t> payload,
                        std::uint32_t response_cap = 0,
-                       Class cls = Class::Latency, std::uint32_t tenant = 0);
+                       Class cls = Class::Latency, std::uint32_t tenant = 0,
+                       std::uint16_t flags = 0);
 
   /// Non-blocking progress: reclaim send slots, flush on thresholds or
   /// the flush_timeout deadline, ingest arrived response batches.
@@ -189,6 +224,11 @@ class RpcClient {
   /// Completions (in completion order) since the previous call.
   std::vector<Completion> take_completions();
 
+  /// Force-flush queued requests now (thresholds bypassed), reclaiming
+  /// send slots and retransmitting timed-out requests first. Multi-link
+  /// callers (ibp::fabric) use it before blocking on response arrival.
+  void flush();
+
   /// Flush everything and wait for every outstanding response.
   void drain();
 
@@ -205,12 +245,31 @@ class RpcClient {
   const RpcConfig& config() const { return cfg_; }
   mpi::Comm& comm() const { return *comm_; }
 
+  /// The posted response receive, or null when nothing is inflight.
+  /// Exposed so a multi-link caller (ibp::fabric) can block on "any of my
+  /// links answered" with one waitany instead of serialising on one link.
+  const mpi::Req& response_req() const { return rsp_req_; }
+
  private:
   struct Pending {
     std::uint64_t id = 0;
     std::uint32_t slot = 0;
     std::uint64_t wire = 0;  // header + payload bytes
     TimePs t = 0;            // submit time (latency zero point)
+    std::uint32_t tenant = 0;
+    bool retry = false;  // retransmission of an already-inflight id
+  };
+  struct Inflight {
+    TimePs t0 = 0;        // submit time (latency zero point)
+    TimePs deadline = 0;  // next timeout check (0 = not armed)
+    std::uint32_t attempts = 0;
+    std::uint32_t tenant = 0;
+    std::uint8_t cls = 0;
+    std::uint32_t response_cap = 0;
+    std::uint16_t flags = 0;
+    /// Copy kept for retransmission; only populated when
+    /// cfg_.request_timeout is armed.
+    std::vector<std::uint8_t> payload;
   };
   struct SentBatch {
     mpi::Req req;
@@ -222,6 +281,10 @@ class RpcClient {
   /// Flush queued requests while thresholds (or `force`) say so and
   /// credits allow. Latency-class requests flush ahead of bulk.
   void maybe_flush(bool force);
+  /// QoS admission: may this queued request be put on the wire now?
+  bool class_credit_ok(const Pending& p, int cls) const;
+  /// Retransmit inflight requests whose timeout deadline passed.
+  void check_timeouts();
   void ensure_rsp_posted();
   /// Ingest one arrived response batch; returns false if none arrived.
   bool try_ingest(bool blocking);
@@ -239,9 +302,18 @@ class RpcClient {
   std::vector<std::uint32_t> free_slots_;
   std::deque<Pending> queued_[2];  // unsent, by class
   std::uint64_t queued_bytes_ = 0;
-  std::map<std::uint64_t, TimePs> inflight_;  // id -> submit time
+  std::map<std::uint64_t, Inflight> inflight_;
+  /// Per-(tenant, class) inflight counts; only maintained under QoS.
+  std::map<std::pair<std::uint32_t, std::uint8_t>, std::uint32_t>
+      class_inflight_;
   std::vector<SentBatch> sent_;
   mpi::Req rsp_req_;  // posted iff inflight work may still answer
+  /// Request records put on the wire / response records parsed. With
+  /// retries armed these diverge by the duplicate responses still in
+  /// flight; drain() waits until they match so no response batch is left
+  /// unreceived at teardown.
+  std::uint64_t flushed_records_ = 0;
+  std::uint64_t parsed_records_ = 0;
   std::uint64_t next_id_ = 1;
   std::map<std::uint64_t, Completion> done_;
   std::deque<const Completion*> fresh_;  // completion order, not yet taken
@@ -263,6 +335,9 @@ class RpcServer {
 
   const ServerStats& stats() const { return stats_; }
   const RpcConfig& config() const { return cfg_; }
+  /// Accepted-but-unserved requests right now (a congestion signal the
+  /// fabric layer exports as a telemetry probe).
+  std::uint64_t queue_depth() const { return queued_; }
 
  private:
   struct Item {
@@ -271,6 +346,7 @@ class RpcServer {
     std::uint32_t tenant = 0;
     Class cls = Class::Latency;
     std::uint32_t response_cap = 0;
+    std::uint16_t flags = 0;
     std::vector<std::uint8_t> payload;
   };
   struct RspRec {

@@ -23,6 +23,19 @@ WireHeader load_header(core::RankEnv& env, VirtAddr va) {
 
 }  // namespace
 
+Handler default_handler() {
+  return [](const RequestView& rq, std::uint8_t* out, std::uint32_t cap) {
+    // Echo, padded or truncated to the size the request asked for.
+    const std::uint32_t want =
+        rq.response_cap != 0 ? rq.response_cap : rq.payload_len;
+    const std::uint32_t n = std::min(want, cap);
+    const std::uint32_t c = std::min(rq.payload_len, n);
+    std::memcpy(out, rq.payload, c);
+    std::memset(out + c, 0, n - c);
+    return n;
+  };
+}
+
 // ---------------------------------------------------------------------------
 // RpcClient
 
@@ -59,7 +72,7 @@ VirtAddr RpcClient::slot_va(std::uint32_t slot) const {
 
 std::uint64_t RpcClient::submit(std::span<const std::uint8_t> payload,
                                 std::uint32_t response_cap, Class cls,
-                                std::uint32_t tenant) {
+                                std::uint32_t tenant, std::uint16_t flags) {
   IBP_CHECK(!closed_, "submit on closed rpc client");
   IBP_CHECK(payload.size() <= cfg_.max_payload,
             "request payload exceeds RpcConfig::max_payload");
@@ -79,6 +92,7 @@ std::uint64_t RpcClient::submit(std::span<const std::uint8_t> payload,
   h.response_cap = response_cap;
   h.tenant = tenant;
   h.cls = static_cast<std::uint8_t>(cls);
+  h.flags = flags;
   const VirtAddr va = slot_va(slot);
   store_header(env, va, h);
   if (!payload.empty())
@@ -88,7 +102,7 @@ std::uint64_t RpcClient::submit(std::span<const std::uint8_t> payload,
   const std::uint64_t wire = sizeof(WireHeader) + payload.size();
   env.touch_stream(va, wire);  // the application writes the request
 
-  queued_[h.cls].push_back({h.id, slot, wire, env.now()});
+  queued_[h.cls].push_back({h.id, slot, wire, env.now(), tenant, false});
   queued_bytes_ += wire;
   ++stats_.submitted;
   maybe_flush(false);
@@ -108,9 +122,19 @@ void RpcClient::reclaim_batches() {
   sent_.resize(kept);
 }
 
+bool RpcClient::class_credit_ok(const Pending& p, int cls) const {
+  const std::uint32_t pool =
+      cls == 0 ? cfg_.latency_credits : cfg_.bulk_credits;
+  if (pool == 0) return true;  // class unbounded; cfg_.credits still caps
+  const auto it =
+      class_inflight_.find({p.tenant, static_cast<std::uint8_t>(cls)});
+  return it == class_inflight_.end() || it->second < pool;
+}
+
 void RpcClient::maybe_flush(bool force) {
   core::RankEnv& env = comm_->env();
   const std::uint32_t nmax = cfg_.batching ? cfg_.max_batch_requests : 1;
+  const bool qos = cfg_.latency_credits != 0 || cfg_.bulk_credits != 0;
   for (;;) {
     const std::uint64_t nq = queued_[0].size() + queued_[1].size();
     if (nq == 0) return;
@@ -131,21 +155,64 @@ void RpcClient::maybe_flush(bool force) {
     std::vector<mpi::Seg> segs;
     std::vector<std::uint32_t> slots;
     std::uint64_t bytes = 0;
+    bool qos_blocked = false;
     while (segs.size() < nmax && segs.size() < room) {
-      std::deque<Pending>* q = !queued_[0].empty()   ? &queued_[0]
-                               : !queued_[1].empty() ? &queued_[1]
-                                                     : nullptr;
-      if (q == nullptr) break;
-      const Pending& p = q->front();
-      if (!segs.empty() && bytes + p.wire > cfg_.max_batch_bytes) break;
+      // First eligible request, latency class first: retransmits are
+      // always eligible (their credit is already held), fresh requests
+      // must clear their per-tenant class pool.
+      int cls = -1;
+      std::size_t idx = 0;
+      for (int c = 0; c < 2 && cls < 0; ++c) {
+        const std::deque<Pending>& q = queued_[c];
+        for (std::size_t i = 0; i < q.size(); ++i) {
+          if (!q[i].retry && qos && !class_credit_ok(q[i], c)) {
+            qos_blocked = true;
+            continue;
+          }
+          cls = c;
+          idx = i;
+          break;
+        }
+      }
+      if (cls < 0) break;
+      std::deque<Pending>& q = queued_[cls];
+      if (!segs.empty() && bytes + q[idx].wire > cfg_.max_batch_bytes) break;
+      const Pending p = q[idx];
+      q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+      queued_bytes_ -= p.wire;
+      if (p.retry && inflight_.find(p.id) == inflight_.end()) {
+        // The original answered while this retransmit sat queued.
+        free_slots_.push_back(p.slot);
+        continue;
+      }
       segs.push_back({slot_va(p.slot), p.wire});
       slots.push_back(p.slot);
       bytes += p.wire;
-      inflight_.emplace(p.id, p.t);
-      queued_bytes_ -= p.wire;
-      q->pop_front();
+      auto [it, fresh] = inflight_.try_emplace(p.id);
+      Inflight& inf = it->second;
+      if (fresh) {
+        const WireHeader h = load_header(env, slot_va(p.slot));
+        inf.t0 = p.t;
+        inf.tenant = h.tenant;
+        inf.cls = h.cls;
+        inf.response_cap = h.response_cap;
+        inf.flags = h.flags;
+        if (cfg_.request_timeout != 0 && h.payload != 0) {
+          const auto* pp = env.host_ptr<std::uint8_t>(
+              slot_va(p.slot) + sizeof(WireHeader), h.payload);
+          inf.payload.assign(pp, pp + h.payload);
+        }
+        if (qos) ++class_inflight_[{inf.tenant, inf.cls}];
+      }
+      ++inf.attempts;
+      if (cfg_.request_timeout != 0)
+        inf.deadline =
+            env.now() + (cfg_.request_timeout
+                         << std::min<std::uint32_t>(inf.attempts - 1, 10));
     }
+    if (qos_blocked && segs.empty()) ++stats_.qos_stalls;
     if (segs.empty()) return;
+    flushed_records_ += segs.size();
     SentBatch b;
     b.req = comm_->isend_gather(segs, server_, kReqTag);
     b.slots = std::move(slots);
@@ -156,8 +223,46 @@ void RpcClient::maybe_flush(bool force) {
   }
 }
 
+void RpcClient::check_timeouts() {
+  if (cfg_.request_timeout == 0) return;
+  core::RankEnv& env = comm_->env();
+  const TimePs now = env.now();
+  for (auto& [id, inf] : inflight_) {
+    if (inf.deadline == 0 || now < inf.deadline) continue;
+    if (inf.attempts > cfg_.max_retries) {
+      inf.deadline = 0;  // out of retries; the transport will deliver
+      continue;
+    }
+    if (free_slots_.empty()) return;  // retry on the next poll instead
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    WireHeader h;
+    h.id = id;
+    h.payload = static_cast<std::uint32_t>(inf.payload.size());
+    h.response_cap = inf.response_cap;
+    h.tenant = inf.tenant;
+    h.cls = inf.cls;
+    h.flags = inf.flags;
+    const VirtAddr va = slot_va(slot);
+    store_header(env, va, h);
+    if (!inf.payload.empty())
+      std::memcpy(env.host_ptr<std::uint8_t>(va + sizeof(WireHeader),
+                                             inf.payload.size()),
+                  inf.payload.data(), inf.payload.size());
+    const std::uint64_t wire = sizeof(WireHeader) + inf.payload.size();
+    env.touch_stream(va, wire);
+    queued_[inf.cls & 1].push_back({id, slot, wire, inf.t0, inf.tenant, true});
+    queued_bytes_ += wire;
+    inf.deadline = 0;  // re-armed with backoff when the retransmit flushes
+    ++stats_.retries;
+  }
+}
+
 void RpcClient::ensure_rsp_posted() {
-  if (rsp_req_ == nullptr && !inflight_.empty())
+  // Post while any wire record still owes a response — inflight requests,
+  // plus duplicate responses a retransmit provoked.
+  if (rsp_req_ == nullptr &&
+      (!inflight_.empty() || parsed_records_ < flushed_records_))
     rsp_req_ = comm_->irecv(rspbuf_, rsp_cap_, server_, kRspTag);
 }
 
@@ -184,10 +289,31 @@ void RpcClient::parse_responses(std::uint64_t len) {
     const VirtAddr body = rspbuf_ + off + sizeof(WireHeader);
     off += sizeof(WireHeader) + h.payload;
     IBP_CHECK(off <= len, "malformed response batch");
+    ++parsed_records_;
 
     auto it = inflight_.find(h.id);
-    IBP_CHECK(it != inflight_.end(), "response for unknown request id");
-    const TimePs t0 = it->second;
+    if (it == inflight_.end()) {
+      // A retransmit raced the original response; this copy is the
+      // duplicate. Drop it (draining any out-of-band body so the
+      // server's send completes).
+      IBP_CHECK(done_.count(h.id) != 0, "response for unknown request id");
+      ++stats_.duplicates;
+      if ((h.flags & kFlagLarge) != 0) {
+        const std::uint64_t blen = h.response_cap;
+        const VirtAddr buf = env.alloc(std::max<std::uint64_t>(blen, 64),
+                                       placement::Role::RpcResponse);
+        comm_->recv(buf, blen, server_, large_tag(h.id));
+        env.dealloc(buf);
+      }
+      continue;
+    }
+    const TimePs t0 = it->second.t0;
+    if (cfg_.latency_credits != 0 || cfg_.bulk_credits != 0) {
+      const auto ci =
+          class_inflight_.find({it->second.tenant, it->second.cls});
+      if (ci != class_inflight_.end() && --ci->second == 0)
+        class_inflight_.erase(ci);
+    }
     inflight_.erase(it);
     Completion c;
     c.id = h.id;
@@ -228,6 +354,7 @@ void RpcClient::parse_responses(std::uint64_t len) {
 void RpcClient::poll() {
   if (closed_) return;
   reclaim_batches();
+  check_timeouts();
   maybe_flush(false);
   while (try_ingest(false)) {
   }
@@ -236,6 +363,7 @@ void RpcClient::poll() {
 const Completion& RpcClient::wait(std::uint64_t id) {
   while (!completed(id)) {
     reclaim_batches();
+    check_timeouts();
     maybe_flush(true);
     IBP_CHECK(!inflight_.empty(), "waiting on an id that was never submitted");
     try_ingest(true);
@@ -247,6 +375,7 @@ void RpcClient::wait_some() {
   IBP_CHECK(outstanding() > 0, "wait_some with nothing outstanding");
   while (fresh_.empty()) {
     reclaim_batches();
+    check_timeouts();
     maybe_flush(true);
     try_ingest(true);
   }
@@ -260,11 +389,20 @@ std::vector<Completion> RpcClient::take_completions() {
   return out;
 }
 
+void RpcClient::flush() {
+  reclaim_batches();
+  check_timeouts();
+  maybe_flush(true);
+}
+
 void RpcClient::drain() {
-  while (!queued_[0].empty() || !queued_[1].empty() || !inflight_.empty()) {
+  while (!queued_[0].empty() || !queued_[1].empty() || !inflight_.empty() ||
+         parsed_records_ < flushed_records_) {
     reclaim_batches();
+    check_timeouts();
     maybe_flush(true);
-    if (!inflight_.empty()) try_ingest(true);
+    if (!inflight_.empty() || parsed_records_ < flushed_records_)
+      try_ingest(true);
   }
   for (auto& b : sent_) {
     comm_->wait(b.req);
@@ -304,6 +442,12 @@ void RpcClient::register_metrics() {
   probes_.push_back(m.probe("rpc.credit_stalls", [this] {
     return double(stats_.credit_stalls);
   }));
+  probes_.push_back(
+      m.probe("rpc.qos_stalls", [this] { return double(stats_.qos_stalls); }));
+  probes_.push_back(
+      m.probe("rpc.retries", [this] { return double(stats_.retries); }));
+  probes_.push_back(
+      m.probe("rpc.duplicates", [this] { return double(stats_.duplicates); }));
   // Percentiles are per-rank metrics (summing percentiles across ranks
   // would be meaningless), hence the rank-qualified names.
   const std::string pre = "rpc.r" + std::to_string(comm_->rank()) + ".";
@@ -331,19 +475,7 @@ RpcServer::RpcServer(mpi::Comm& comm, std::vector<int> clients, RpcConfig cfg,
   recv_cap_ = std::max<std::uint64_t>(cfg_.max_batch_bytes, slot_bytes_);
   IBP_CHECK(recv_cap_ <= comm.config().eager_threshold,
             "rpc batches must fit the eager path");
-  if (!handler_) {
-    handler_ = [](const RequestView& rq, std::uint8_t* out,
-                  std::uint32_t cap) {
-      // Echo, padded or truncated to the size the request asked for.
-      const std::uint32_t want =
-          rq.response_cap != 0 ? rq.response_cap : rq.payload_len;
-      const std::uint32_t n = std::min(want, cap);
-      const std::uint32_t c = std::min(rq.payload_len, n);
-      std::memcpy(out, rq.payload, c);
-      std::memset(out + c, 0, n - c);
-      return n;
-    };
-  }
+  if (!handler_) handler_ = default_handler();
   core::RankEnv& env = comm_->env();
   recv_region_ =
       env.alloc(recv_cap_ * clients_.size(), placement::Role::RpcRing);
@@ -421,6 +553,7 @@ void RpcServer::parse_batch(std::uint32_t client, std::uint64_t len) {
     it.tenant = h.tenant;
     it.cls = static_cast<Class>(h.cls);
     it.response_cap = h.response_cap;
+    it.flags = h.flags;
     if (h.payload != 0) {
       const auto* p = env.host_ptr<std::uint8_t>(body, h.payload);
       it.payload.assign(p, p + h.payload);
@@ -473,6 +606,7 @@ void RpcServer::serve_one() {
   RequestView view;
   view.tenant = it.tenant;
   view.cls = it.cls;
+  view.flags = it.flags;
   view.payload = it.payload.data();
   view.payload_len = static_cast<std::uint32_t>(it.payload.size());
   view.response_cap = it.response_cap;
@@ -653,6 +787,10 @@ void RpcServer::register_metrics() {
       m.probe("rpc.accepted", [this] { return double(stats_.accepted); }));
   probes_.push_back(
       m.probe("rpc.shed", [this] { return double(stats_.shed); }));
+  // Fleet-facing alias: benches report shed under the fabric schema
+  // family name as well, summed across every server rank.
+  probes_.push_back(
+      m.probe("rpc.shed_total", [this] { return double(stats_.shed); }));
   probes_.push_back(
       m.probe("rpc.served", [this] { return double(stats_.served); }));
   probes_.push_back(

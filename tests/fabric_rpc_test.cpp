@@ -1,0 +1,262 @@
+// The sharded RPC serving fabric (ibp_fabric): shard-map determinism,
+// stripe reassembly (in order, interleaved, and under fault-injected
+// loss), and the golden-equivalence contract against bare ibp_rpc.
+
+#include "ibp/fabric/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ibp/core/cluster.hpp"
+#include "ibp/fault/fault.hpp"
+#include "ibp/loadgen/loadgen.hpp"
+#include "ibp/mpi/comm.hpp"
+#include "ibp/rpc/rpc.hpp"
+
+namespace ibp::fabric {
+namespace {
+
+/// `servers`+1 ranks on as many nodes: rank 0 runs `client_fn`, the rest
+/// serve shards. A non-empty `fault_spec` also switches the transport to
+/// Repost recovery so dropped packets retransmit instead of failing.
+void with_fabric(
+    std::uint32_t servers, const FabricConfig& fc,
+    const std::function<void(FabricClient&, core::RankEnv&)>& client_fn,
+    const std::string& fault_spec = "") {
+  core::ClusterConfig cfg;
+  cfg.nodes = static_cast<int>(servers) + 1;
+  cfg.ranks_per_node = 1;
+  if (!fault_spec.empty()) cfg.fault = fault::parse_fault_plan(fault_spec);
+  core::Cluster cluster(cfg);
+  cluster.run([&](core::RankEnv& env) {
+    mpi::CommConfig mc;
+    mc.sge_gather = true;
+    if (!fault_spec.empty()) mc.recovery = mpi::CommConfig::Recovery::Repost;
+    mpi::Comm comm(env, mc);
+    if (env.rank() != 0) {
+      FabricServer server(comm, {0}, fc);
+      server.serve();
+      return;
+    }
+    std::vector<int> ranks;
+    for (std::uint32_t s = 1; s <= servers; ++s)
+      ranks.push_back(static_cast<int>(s));
+    FabricClient client(comm, ranks, fc);
+    client_fn(client, env);
+    client.close();
+  });
+}
+
+void expect_stripe_payload(const rpc::Completion& c, std::uint32_t tenant) {
+  ASSERT_EQ(c.status, rpc::Status::Ok);
+  for (std::size_t off = 0; off < c.payload.size(); ++off) {
+    ASSERT_EQ(c.payload[off], stripe_byte(c.id, tenant, off))
+        << "byte " << off << " of stripe " << c.id;
+  }
+}
+
+TEST(ShardMap, DeterministicAndEpochSensitive) {
+  const ShardMap a(8, ShardStrategy::Hash, 42, 0);
+  const ShardMap b(8, ShardStrategy::Hash, 42, 0);
+  EXPECT_EQ(a.digest(), b.digest());
+  for (std::uint32_t t = 0; t < 1000; ++t) EXPECT_EQ(a.home(t), b.home(t));
+
+  const ShardMap bumped(8, ShardStrategy::Hash, 42, 1);
+  EXPECT_NE(a.digest(), bumped.digest()) << "epoch bump must reshard";
+  const ShardMap reseeded(8, ShardStrategy::Hash, 43, 0);
+  EXPECT_NE(a.digest(), reseeded.digest());
+
+  for (ShardStrategy s : {ShardStrategy::Hash, ShardStrategy::Range,
+                          ShardStrategy::Affinity}) {
+    const ShardMap m(5, s, 42, 0);
+    for (std::uint32_t t = 0; t < 1000; ++t) ASSERT_LT(m.home(t), 5u);
+    EXPECT_EQ(shard_strategy_from_name(shard_strategy_name(s)), s);
+  }
+  const ShardMap solo(1, ShardStrategy::Affinity);
+  for (std::uint32_t t = 0; t < 64; ++t) EXPECT_EQ(solo.home(t), 0u);
+}
+
+TEST(ShardMap, RangeIsContiguousAndAffinityGroupsColocate) {
+  const ShardMap range(4, ShardStrategy::Range, 42, 0);
+  std::uint32_t prev = 0;
+  for (std::uint32_t t = 0; t < 0x10000; ++t) {
+    const std::uint32_t h = range.home(t);
+    ASSERT_GE(h, prev) << "range homes must be monotone in the tenant id";
+    prev = h;
+  }
+
+  const ShardMap aff(4, ShardStrategy::Affinity, 42, 0);
+  for (std::uint32_t group = 0; group < 64; ++group) {
+    const std::uint32_t head = aff.home(group << 4);
+    for (std::uint32_t i = 1; i < 16; ++i)
+      ASSERT_EQ(aff.home((group << 4) | i), head)
+          << "tenant group " << group << " must share one server";
+  }
+}
+
+TEST(ServingFabric, SmallRequestsPassThroughToHomeShard) {
+  FabricConfig fc;
+  with_fabric(3, fc, [&](FabricClient& c, core::RankEnv&) {
+    const std::vector<std::uint8_t> msg{1, 2, 3};
+    for (std::uint32_t t = 0; t < 12; ++t) {
+      const std::uint64_t id = c.submit(msg, 0, rpc::Class::Latency, t);
+      ASSERT_NE(id, 0u);
+      const rpc::Completion& done = c.wait(id);
+      EXPECT_EQ(done.status, rpc::Status::Ok);
+      EXPECT_EQ(done.payload, msg);
+    }
+    EXPECT_EQ(c.stats().passthrough, 12u);
+    EXPECT_EQ(c.stats().stripes, 0u);
+    // Every link the map names for these tenants carried its share.
+    for (std::uint32_t t = 0; t < 12; ++t)
+      EXPECT_GT(c.link(c.shard_map().home(t)).stats().submitted, 0u);
+  });
+}
+
+TEST(ServingFabric, StripedResponseReassemblesDeterministicPattern) {
+  FabricConfig fc;
+  with_fabric(4, fc, [&](FabricClient& c, core::RankEnv&) {
+    const std::vector<std::uint8_t> msg{9};
+    const std::uint32_t kBulk = 32 * kKiB;
+    const std::uint64_t id = c.submit(msg, kBulk, rpc::Class::Bulk, 5);
+    ASSERT_NE(id, 0u);
+    const rpc::Completion& done = c.wait(id);
+    ASSERT_EQ(done.payload.size(), kBulk);
+    expect_stripe_payload(done, 5);
+    EXPECT_EQ(c.stats().stripes, 1u);
+    EXPECT_GE(c.stats().segments, kBulk / fc.rpc.max_payload);
+    EXPECT_EQ(c.stats().reassembled_bytes, kBulk);
+  });
+}
+
+TEST(ServingFabric, SingleServerStripingStillReassembles) {
+  FabricConfig fc;
+  with_fabric(1, fc, [&](FabricClient& c, core::RankEnv&) {
+    const std::vector<std::uint8_t> msg{3};
+    const std::uint64_t id = c.submit(msg, 16 * kKiB, rpc::Class::Bulk, 2);
+    ASSERT_NE(id, 0u);
+    const rpc::Completion& done = c.wait(id);
+    ASSERT_EQ(done.payload.size(), 16 * kKiB);
+    expect_stripe_payload(done, 2);
+  });
+}
+
+TEST(ServingFabric, ConcurrentStripesInterleaveAcrossLinks) {
+  // Several stripes in flight at once: segments of different stripes
+  // complete out of order relative to submission, and the reassembly
+  // window must route each to the right buffer.
+  FabricConfig fc;
+  fc.reassembly_window = 4;
+  with_fabric(4, fc, [&](FabricClient& c, core::RankEnv&) {
+    std::vector<std::uint64_t> ids;
+    std::vector<std::uint32_t> tenants;
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      const std::uint32_t tenant = i % 7;
+      const std::uint64_t id =
+          c.submit({}, 24 * kKiB, rpc::Class::Bulk, tenant);
+      ASSERT_NE(id, 0u);
+      ids.push_back(id);
+      tenants.push_back(tenant);
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const rpc::Completion& done = c.wait(ids[i]);
+      ASSERT_EQ(done.payload.size(), 24 * kKiB);
+      expect_stripe_payload(done, tenants[i]);
+    }
+    EXPECT_EQ(c.stats().stripes, 10u);
+  });
+}
+
+TEST(ServingFabric, StripesSurviveFaultInjectedLoss) {
+  // Packet loss under Repost recovery: the RC transport retransmits, so
+  // every segment still lands and the assembled bytes stay exact.
+  FabricConfig fc;
+  with_fabric(
+      4, fc,
+      [&](FabricClient& c, core::RankEnv&) {
+        std::vector<std::uint64_t> ids;
+        for (std::uint32_t i = 0; i < 6; ++i) {
+          const std::uint64_t id =
+              c.submit({}, 16 * kKiB, rpc::Class::Bulk, i);
+          ASSERT_NE(id, 0u);
+          ids.push_back(id);
+        }
+        for (std::uint32_t i = 0; i < 6; ++i) {
+          const rpc::Completion& done = c.wait(ids[i]);
+          ASSERT_EQ(done.payload.size(), 16 * kKiB);
+          expect_stripe_payload(done, i);
+        }
+      },
+      "drop=*-*:0.02;seed=5");
+}
+
+TEST(ServingFabric, OneServerFabricMatchesBareRpcByteForByte) {
+  // The golden-equivalence contract: an un-striped 1-server fabric is a
+  // transparent wrapper — same completion trace hash, same virtual span.
+  loadgen::Workload w;
+  w.request_bytes = 128;
+  w.response_bytes = 256;
+  w.tenants = 4;
+  loadgen::ClosedLoopConfig cc;
+  cc.workers = 4;
+  cc.requests = 60;
+  cc.warmup = 12;
+  cc.seed = 17;
+
+  loadgen::GenResult bare;
+  {
+    core::ClusterConfig cfg;
+    cfg.nodes = 2;
+    cfg.ranks_per_node = 1;
+    core::Cluster cluster(cfg);
+    cluster.run([&](core::RankEnv& env) {
+      mpi::CommConfig mc;
+      mc.sge_gather = true;
+      mpi::Comm comm(env, mc);
+      rpc::RpcConfig rc;
+      if (env.rank() != 0) {
+        rpc::RpcServer server(comm, {0}, rc);
+        server.serve();
+        return;
+      }
+      rpc::RpcClient client(comm, 1, rc);
+      bare = loadgen::run_closed_loop(client, w, cc);
+      client.close();
+    });
+  }
+  loadgen::GenResult wrapped;
+  with_fabric(1, {}, [&](FabricClient& c, core::RankEnv&) {
+    wrapped = loadgen::run_closed_loop(c, w, cc);
+  });
+  EXPECT_EQ(bare.trace_hash, wrapped.trace_hash);
+  EXPECT_EQ(bare.span, wrapped.span);
+  EXPECT_EQ(bare.ok, wrapped.ok);
+}
+
+TEST(ServingFabric, StripedClosedLoopReplayIsDeterministic) {
+  loadgen::Workload w;
+  w.request_bytes = 64;
+  w.tenants = 8;
+  w.bulk_fraction = 1.0;
+  w.bulk_response_bytes = 32 * kKiB;
+  loadgen::ClosedLoopConfig cc;
+  cc.workers = 4;
+  cc.requests = 24;
+  cc.warmup = 6;
+  cc.seed = 13;
+
+  loadgen::GenResult runs[2];
+  for (auto& run : runs) {
+    with_fabric(4, {}, [&](FabricClient& c, core::RankEnv&) {
+      run = loadgen::run_closed_loop(c, w, cc);
+    });
+  }
+  EXPECT_EQ(runs[0].trace_hash, runs[1].trace_hash);
+  EXPECT_EQ(runs[0].span, runs[1].span);
+}
+
+}  // namespace
+}  // namespace ibp::fabric

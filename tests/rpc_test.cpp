@@ -227,6 +227,114 @@ TEST(Rpc, ClientQueueCapRejectsLocally) {
   EXPECT_EQ(stats.rejected + stats.completed, 32u);
 }
 
+TEST(Rpc, QosCreditPoolBoundsBulkWithoutStarvingIt) {
+  RpcConfig rc;
+  rc.bulk_credits = 2;        // per-tenant Bulk pool: two in flight
+  rc.service_base = us(20);   // slow server so the burst outruns the pool
+  rc.client_queue_cap = 128;
+  ClientStats stats;
+  std::uint64_t ok = 0;
+  with_rpc(rc, [&](RpcClient& c) {
+    const auto msg = bytes({4});
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 24; ++i)
+      ids.push_back(c.submit(msg, 0, Class::Bulk, /*tenant=*/7));
+    for (int i = 0; i < 8; ++i)
+      ids.push_back(c.submit(msg, 0, Class::Latency, /*tenant=*/7));
+    for (std::uint64_t id : ids) {
+      if (c.wait(id).status == Status::Ok) ++ok;
+    }
+    stats = c.stats();
+  });
+  EXPECT_GT(stats.qos_stalls, 0u)
+      << "24 bulk requests against a 2-deep pool must stall the flush";
+  EXPECT_EQ(ok, 32u) << "QoS throttles bulk, it never starves it";
+}
+
+TEST(Rpc, ZeroQosPoolsAreBitInert) {
+  // latency_credits == bulk_credits == 0 (the default) must leave the
+  // wire behaviour byte-identical to the pre-QoS client.
+  const auto run = [](std::uint32_t bulk_credits) {
+    RpcConfig rc;
+    rc.bulk_credits = bulk_credits;
+    loadgen::GenResult gen;
+    with_rpc(rc, [&](RpcClient& c) {
+      loadgen::Workload w;
+      w.request_bytes = 128;
+      w.bulk_fraction = 0.5;
+      w.tenants = 3;
+      loadgen::ClosedLoopConfig cc;
+      cc.workers = 4;
+      cc.requests = 120;
+      cc.seed = 9;
+      gen = loadgen::run_closed_loop(c, w, cc);
+    });
+    return gen;
+  };
+  const loadgen::GenResult off = run(0);
+  const loadgen::GenResult wide = run(64);  // pool wider than the burst
+  EXPECT_EQ(off.trace_hash, wide.trace_hash)
+      << "an unconstraining pool must not perturb timing";
+  EXPECT_EQ(off.span, wide.span);
+}
+
+TEST(Rpc, TimeoutRetriesRescueAndDeduplicate) {
+  RpcConfig rc;
+  rc.service_base = us(40);     // responses outlive the first deadline
+  rc.request_timeout = us(30);  // ... so the tail retries at least once
+  rc.max_retries = 4;
+  const auto run = [&] {
+    ClientStats stats;
+    std::uint64_t ok = 0;
+    with_rpc(rc, [&](RpcClient& c) {
+      // Full-slot responses: one record per response batch, so arrivals
+      // spread out in virtual time and the client wakes to find later
+      // requests already past their deadlines (a single coalesced batch
+      // would deliver everything before a timeout could be observed).
+      const std::vector<std::uint8_t> msg(rc.max_payload, 6);
+      std::vector<std::uint64_t> ids;
+      for (int i = 0; i < 12; ++i) ids.push_back(c.submit(msg));
+      for (std::uint64_t id : ids) {
+        if (c.wait(id).status == Status::Ok) ++ok;
+      }
+      c.drain();
+      stats = c.stats();
+    });
+    EXPECT_EQ(ok, 12u) << "the transport never loses, so retries all land";
+    return stats;
+  };
+  const ClientStats a = run();
+  EXPECT_GT(a.retries, 0u);
+  EXPECT_GT(a.duplicates, 0u)
+      << "the original response still arrives and must be dropped";
+  const ClientStats b = run();
+  EXPECT_EQ(a.retries, b.retries) << "retry schedule must be deterministic";
+  EXPECT_EQ(a.duplicates, b.duplicates);
+}
+
+TEST(Rpc, ZeroTimeoutIsBitInert) {
+  const auto run = [](TimePs timeout) {
+    RpcConfig rc;
+    rc.request_timeout = timeout;
+    loadgen::GenResult gen;
+    with_rpc(rc, [&](RpcClient& c) {
+      loadgen::Workload w;
+      w.request_bytes = 128;
+      loadgen::ClosedLoopConfig cc;
+      cc.workers = 4;
+      cc.requests = 120;
+      cc.seed = 3;
+      gen = loadgen::run_closed_loop(c, w, cc);
+    });
+    return gen;
+  };
+  const loadgen::GenResult off = run(0);
+  const loadgen::GenResult armed = run(ms(100));  // far beyond any latency
+  EXPECT_EQ(off.trace_hash, armed.trace_hash)
+      << "a never-firing timeout must not perturb the wire schedule";
+  EXPECT_EQ(off.span, armed.span);
+}
+
 // ---------------------------------------------------------------------------
 // Load generators
 

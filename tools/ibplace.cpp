@@ -5,6 +5,7 @@
 //   ibplace nas <kernel> [opts]          cg|ep|is|lu|mg|ft, both placements
 //   ibplace reg [opts]                   registration cost sweep
 //   ibplace rpc <open|closed> [opts]     RPC serving layer under load
+//   ibplace fabric [opts]                sharded fabric, striped bulk reads
 //
 // Common options:
 //   --platform=opteron|xeon|systemp   (default opteron)
@@ -26,6 +27,13 @@
 //                                     tracks, flow events)
 //   --metrics-filter=PREFIX           restrict --metrics-out to a
 //                                     namespace prefix (e.g. mpi.)
+//   --json=PATH                       rpc/fabric result summary as JSON
+//                                     (one schema family across both)
+//
+// Fabric options (ibplace fabric):
+//   --servers=N                       server ranks behind the client
+//   --stripe=W                        stripe width (links per bulk read)
+//   --shard-map=hash|range|affinity   tenant -> server strategy
 //
 //   ibplace --list-policies           registered placement policies
 //
@@ -42,6 +50,7 @@
 #include <vector>
 
 #include "ibp/common/table.hpp"
+#include "ibp/fabric/fabric.hpp"
 #include "ibp/fault/fault.hpp"
 #include "ibp/loadgen/loadgen.hpp"
 #include "ibp/placement/placement.hpp"
@@ -73,17 +82,24 @@ struct Options {
   std::string metrics_out;     // final metrics snapshot (JSON)
   std::string trace_out;       // Chrome trace JSON
   std::string metrics_filter;  // metric-name prefix for --metrics-out
+  std::string json_out;        // rpc/fabric result summary (JSON)
+  int servers = 4;             // fabric: server ranks
+  int stripe = 4;              // fabric: stripe width
+  std::string shard_map = "hash";  // fabric: tenant->server strategy
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr,
-               "usage: ibplace <info|imb|nas|reg|rpc> [args] [--options]\n"
+               "usage: ibplace <info|imb|nas|reg|rpc|fabric> [args] "
+               "[--options]\n"
                "  ibplace info [--platform=P]\n"
                "  ibplace imb <sendrecv|pingpong|exchange> [--options]\n"
                "  ibplace nas <cg|ep|is|lu|mg|ft> [--options]\n"
                "  ibplace reg [--platform=P]\n"
                "  ibplace rpc <open|closed> [--options]\n"
+               "  ibplace fabric [--servers=N --stripe=W "
+               "--shard-map=hash|range|affinity]\n"
                "  ibplace --list-policies\n"
                "options: --platform=opteron|xeon|systemp --nodes=N --rpn=R\n"
                "         --hugepages=0|1 --lazy=0|1 --patched=0|1\n"
@@ -93,7 +109,7 @@ struct Options {
                "         --fault=SPEC --fault-file=PATH\n"
                "         --recovery=failfast|repost\n"
                "         --metrics-out=PATH --trace-out=PATH\n"
-               "         --metrics-filter=PREFIX\n"
+               "         --metrics-filter=PREFIX --json=PATH\n"
                "fault SPEC: ';'-separated directives, e.g.\n"
                "  drop=0-1:0.01 | corrupt=*-*:0.001:50-200 |\n"
                "  storm=1:100-400 | qpkill=0:2:250 | seed=7\n"
@@ -149,6 +165,14 @@ Options parse_options(int argc, char** argv, int first) {
       o.trace_out = v;
     } else if (parse_flag(argv[i], "--metrics-filter", &v)) {
       o.metrics_filter = v;
+    } else if (parse_flag(argv[i], "--json", &v)) {
+      o.json_out = v;
+    } else if (parse_flag(argv[i], "--servers", &v)) {
+      o.servers = std::atoi(v.c_str());
+    } else if (parse_flag(argv[i], "--stripe", &v)) {
+      o.stripe = std::atoi(v.c_str());
+    } else if (parse_flag(argv[i], "--shard-map", &v)) {
+      o.shard_map = v;
     } else {
       usage(("unknown option " + std::string(argv[i])).c_str());
     }
@@ -366,6 +390,7 @@ int cmd_reg(const Options& o) {
 loadgen::GenResult run_rpc_once(const Options& o, bool open, bool batching,
                                 std::uint32_t workers,
                                 std::uint64_t requests, double* req_per_wr,
+                                rpc::ClientStats* client_stats,
                                 std::optional<core::Cluster>& keep) {
   core::Cluster& cluster = keep.emplace(cluster_config(o));
   loadgen::GenResult gen;
@@ -412,9 +437,36 @@ loadgen::GenResult run_rpc_once(const Options& o, bool open, bool batching,
                       ? static_cast<double>(cs.batched_requests) /
                             static_cast<double>(cs.batches)
                       : 0.0;
+    *client_stats = cs;
     client.close();
   });
   return gen;
+}
+
+/// One record in the shared rpc/fabric JSON schema family (the same
+/// keys ext_rpc_loadgen and ext_fabric_scale emit, so dashboards parse
+/// CLI and bench output with one reader).
+void json_gen_record(std::ofstream& out, const char* key,
+                     const loadgen::GenResult& gen,
+                     const rpc::ClientStats& cs, double shed_total,
+                     const char* indent) {
+  char hash[32];
+  std::snprintf(hash, sizeof(hash), "0x%016llx",
+                static_cast<unsigned long long>(gen.trace_hash));
+  out << indent << "\"" << key << "\": {\"issued\": " << gen.issued
+      << ", \"ok\": " << gen.ok << ", \"shed\": " << gen.shed
+      << ", \"rejected\": " << gen.rejected << ",\n"
+      << indent << "  \"achieved_rps\": "
+      << static_cast<std::uint64_t>(gen.achieved_rps())
+      << ", \"p50_us\": " << gen.latency_ns.p50() / 1000.0
+      << ", \"p95_us\": " << gen.latency_ns.p95() / 1000.0
+      << ", \"p99_us\": " << gen.latency_ns.p99() / 1000.0 << ",\n"
+      << indent << "  \"shed_total\": "
+      << static_cast<std::uint64_t>(shed_total)
+      << ", \"credit_stalls\": " << cs.credit_stalls
+      << ", \"qos_stalls\": " << cs.qos_stalls
+      << ", \"retries\": " << cs.retries
+      << ", \"trace_hash\": \"" << hash << "\"}";
 }
 
 int cmd_rpc(const std::string& mode, const Options& o) {
@@ -436,37 +488,152 @@ int cmd_rpc(const std::string& mode, const Options& o) {
               gen.achieved_rps(), gen.latency_ns.p50() / 1000.0,
               gen.latency_ns.p99() / 1000.0, rpw);
   };
+  loadgen::GenResult gen[2];
+  rpc::ClientStats cs[2];
+  double rpw[2] = {0.0, 0.0};
+  double shed_total[2] = {0.0, 0.0};
+  const char* labels[2];
   if (open) {
     const std::uint64_t n = 1500 * static_cast<std::uint64_t>(o.scale);
-    double rpw[2] = {0.0, 0.0};
-    const loadgen::GenResult batched =
-        run_rpc_once(o, true, true, 0, n, &rpw[0], last);
-    const loadgen::GenResult unbatched =
-        run_rpc_once(o, true, false, 0, n, &rpw[1], last);
-    add_row("batched", batched, rpw[0]);
-    add_row("unbatched", unbatched, rpw[1]);
-    t.print();
-    std::printf("\nbatching speedup: %.2fx\n",
-                unbatched.achieved_rps() > 0
-                    ? batched.achieved_rps() / unbatched.achieved_rps()
-                    : 0.0);
+    gen[0] = run_rpc_once(o, true, true, 0, n, &rpw[0], &cs[0], last);
+    shed_total[0] = last->metrics().value("rpc.shed_total");
+    gen[1] = run_rpc_once(o, true, false, 0, n, &rpw[1], &cs[1], last);
+    shed_total[1] = last->metrics().value("rpc.shed_total");
+    labels[0] = "batched";
+    labels[1] = "unbatched";
   } else {
     const std::uint64_t n = 1200 * static_cast<std::uint64_t>(o.scale);
-    double rpw[2] = {0.0, 0.0};
-    const loadgen::GenResult uncont =
-        run_rpc_once(o, false, true, 2, n, &rpw[0], last);
-    const loadgen::GenResult overload =
-        run_rpc_once(o, false, true, 32, n, &rpw[1], last);
-    add_row("2 workers", uncont, rpw[0]);
-    add_row("32 workers", overload, rpw[1]);
-    t.print();
-    std::printf("\naccepted p99 under overload: %.2fx uncontended\n",
-                uncont.latency_ns.p99() > 0
-                    ? overload.latency_ns.p99() / uncont.latency_ns.p99()
+    gen[0] = run_rpc_once(o, false, true, 2, n, &rpw[0], &cs[0], last);
+    shed_total[0] = last->metrics().value("rpc.shed_total");
+    gen[1] = run_rpc_once(o, false, true, 32, n, &rpw[1], &cs[1], last);
+    shed_total[1] = last->metrics().value("rpc.shed_total");
+    labels[0] = "2 workers";
+    labels[1] = "32 workers";
+  }
+  add_row(labels[0], gen[0], rpw[0]);
+  add_row(labels[1], gen[1], rpw[1]);
+  t.print();
+  if (open) {
+    std::printf("\nbatching speedup: %.2fx\n",
+                gen[1].achieved_rps() > 0
+                    ? gen[0].achieved_rps() / gen[1].achieved_rps()
                     : 0.0);
+  } else {
+    std::printf("\naccepted p99 under overload: %.2fx uncontended\n",
+                gen[0].latency_ns.p99() > 0
+                    ? gen[1].latency_ns.p99() / gen[0].latency_ns.p99()
+                    : 0.0);
+  }
+  if (!o.json_out.empty()) {
+    std::ofstream out(o.json_out);
+    if (!out) usage(("cannot open " + o.json_out).c_str());
+    out << "{\n  \"tool\": \"ibplace rpc\",\n  \"mode\": \"" << mode
+        << "\",\n  \"placement\": \"" << o.placement << "\",\n";
+    json_gen_record(out, open ? "batched" : "uncontended", gen[0], cs[0],
+                    shed_total[0], "  ");
+    out << ",\n";
+    json_gen_record(out, open ? "unbatched" : "overload", gen[1], cs[1],
+                    shed_total[1], "  ");
+    out << "\n}\n";
   }
   print_fault_summary(*last);
   write_telemetry_outputs(*last, o);
+  return 0;
+}
+
+int cmd_fabric(const Options& o) {
+  if (o.servers < 1 || o.servers > 64) usage("--servers must be 1..64");
+  if (o.stripe < 1 || o.stripe > o.servers)
+    usage("--stripe must be 1..servers");
+  const auto strategy = fabric::shard_strategy_from_name(o.shard_map);
+  if (!strategy.has_value())
+    usage("--shard-map must be hash, range, or affinity");
+
+  std::printf(
+      "fabric closed loop  platform=%s servers=%d stripe=%d shard=%s "
+      "placement=%s\n\n",
+      o.platform.c_str(), o.servers, o.stripe, o.shard_map.c_str(),
+      o.placement.c_str());
+
+  core::ClusterConfig cfg = cluster_config(o);
+  cfg.nodes = o.servers + 1;  // rank 0 is the client
+  cfg.ranks_per_node = 1;
+  core::Cluster cluster(cfg);
+
+  constexpr std::uint32_t kBulkBytes = 64 * kKiB;
+  loadgen::GenResult gen;
+  fabric::FabricClientStats fs;
+  rpc::ClientStats cs;
+  std::uint64_t digest = 0;
+  cluster.run([&](core::RankEnv& env) {
+    mpi::CommConfig mc;
+    mc.sge_gather = true;
+    mc.recovery = o.recovery == "repost" ? mpi::CommConfig::Recovery::Repost
+                                         : mpi::CommConfig::Recovery::FailFast;
+    mpi::Comm comm(env, mc);
+    fabric::FabricConfig fc;
+    fc.stripe_width = static_cast<std::uint32_t>(o.stripe);
+    fc.shard_strategy = *strategy;
+    if (env.rank() != 0) {
+      fabric::FabricServer server(comm, {0}, fc);
+      server.serve();
+      return;
+    }
+    std::vector<int> ranks;
+    for (int s = 1; s <= o.servers; ++s) ranks.push_back(s);
+    fabric::FabricClient client(comm, ranks, fc);
+    digest = client.shard_map().digest();
+    loadgen::Workload w;
+    w.request_bytes = 64;
+    w.tenants = 8;
+    w.bulk_fraction = 1.0;
+    w.bulk_response_bytes = kBulkBytes;
+    loadgen::ClosedLoopConfig cc;
+    cc.workers = 4;
+    cc.requests = 160 * static_cast<std::uint64_t>(o.scale);
+    cc.warmup = cc.requests / 4;
+    cc.seed = 13;
+    gen = loadgen::run_closed_loop(client, w, cc);
+    fs = client.stats();
+    cs = client.link_stats();
+    client.close();
+  });
+  const double shed_total = cluster.metrics().value("rpc.shed_total");
+  const double mbps = gen.span > 0
+                          ? static_cast<double>(fs.reassembled_bytes) * 1e12 /
+                                static_cast<double>(gen.span) / 1e6
+                          : 0.0;
+
+  TextTable t({"ok", "shed", "rejected", "MB/s", "req/s", "p50 [us]",
+               "p99 [us]", "stripes", "segments"});
+  t.add_row(gen.ok, gen.shed, gen.rejected, mbps, gen.achieved_rps(),
+            gen.latency_ns.p50() / 1000.0, gen.latency_ns.p99() / 1000.0,
+            fs.stripes, fs.segments);
+  t.print();
+  std::printf("\nshard map: %s epoch 0 digest 0x%016llx  "
+              "adaptive skips %llu\n",
+              o.shard_map.c_str(), static_cast<unsigned long long>(digest),
+              static_cast<unsigned long long>(fs.adaptive_skips));
+
+  if (!o.json_out.empty()) {
+    std::ofstream out(o.json_out);
+    if (!out) usage(("cannot open " + o.json_out).c_str());
+    char dg[32];
+    std::snprintf(dg, sizeof(dg), "0x%016llx",
+                  static_cast<unsigned long long>(digest));
+    out << "{\n  \"tool\": \"ibplace fabric\",\n  \"servers\": " << o.servers
+        << ", \"width\": " << o.stripe << ", \"bulk_bytes\": " << kBulkBytes
+        << ",\n  \"shard_map\": {\"strategy\": \"" << o.shard_map
+        << "\", \"epoch\": 0, \"digest\": \"" << dg << "\"},\n";
+    json_gen_record(out, "closed", gen, cs, shed_total, "  ");
+    out << ",\n  \"bulk_mbps\": " << static_cast<std::uint64_t>(mbps)
+        << ", \"stripes\": " << fs.stripes
+        << ", \"segments\": " << fs.segments
+        << ", \"reassembled_bytes\": " << fs.reassembled_bytes
+        << ", \"adaptive_skips\": " << fs.adaptive_skips << "\n}\n";
+  }
+  print_fault_summary(cluster);
+  write_telemetry_outputs(cluster, o);
   return 0;
 }
 
@@ -505,6 +672,7 @@ int main(int argc, char** argv) {
       if (o.nodes == 2 && o.rpn == 4) o.rpn = 1;  // friendlier default
       return cmd_rpc(argv[2], o);
     }
+    if (cmd == "fabric") return cmd_fabric(parse_options(argc, argv, 2));
   } catch (const SimError& e) {
     std::fprintf(stderr, "simulation error: %s\n", e.what());
     return 1;
