@@ -4,22 +4,55 @@
 // it probes the bandwidth end of the spectrum the paper's five kernels
 // leave thin. Expectation from the model: gains mirror IS (transfer-
 // bound; adapter translation savings only where the DMA side binds).
+//
+// Optional arguments:
+//   --json=PATH   per-platform improvements plus per-iteration "phases"
+//                 metric deltas (captured on the hugepage run via
+//                 NasScale::iter_hook)
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "ibp/workloads/nas.hpp"
 
 using namespace ibp;
 
-int main() {
+namespace {
+
+struct PlatformRecord {
+  std::string platform;
+  double comm = 0.0;
+  double other = 0.0;
+  double overall = 0.0;
+  bool verified = false;
+  std::vector<bench::PhaseDelta> phases;  // per-iteration, hugepage run
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "unknown argument %s\n", argv[i]);
+      return 2;
+    }
+  }
   std::printf("EXT-FT: 3D-FFT kernel with the hugepage library (positive "
               "= hugepages faster)\n\n");
   TextTable t({"platform", "comm impr %", "other impr %", "overall impr %",
                "verified"});
+  std::vector<PlatformRecord> records;
   for (const auto& plat : {platform::opteron_pcie_infinihost(),
                            platform::systemp_gx_ehca()}) {
     workloads::NasResult r[2];
+    std::vector<bench::PhaseDelta> phases;
     for (int huge = 0; huge < 2; ++huge) {
       core::ClusterConfig cfg;
       cfg.platform = plat;
@@ -27,17 +60,49 @@ int main() {
       cfg.ranks_per_node = 4;
       cfg.hugepage_library = huge != 0;
       core::Cluster cluster(cfg);
-      r[huge] = workloads::run_ft(cluster);
+      workloads::NasScale s;
+      // Per-iteration metric deltas on the hugepage run: the hook runs
+      // on rank 0 at each iteration boundary, where a registry snapshot
+      // is race-free.
+      bench::TelemetryScope scope(cluster.metrics());
+      if (huge != 0 && !json_path.empty()) {
+        s.iter_hook = [&scope](int iter) {
+          scope.phase("iter " + std::to_string(iter));
+        };
+      }
+      r[huge] = workloads::run_ft(cluster, s);
+      if (huge != 0) phases = scope.phases();
     }
-    t.add_row(plat.name,
-              bench::pct_change(static_cast<double>(r[0].comm_avg),
-                                static_cast<double>(r[1].comm_avg)),
-              bench::pct_change(static_cast<double>(r[0].other_avg),
-                                static_cast<double>(r[1].other_avg)),
-              bench::pct_change(static_cast<double>(r[0].total),
-                                static_cast<double>(r[1].total)),
-              r[0].verified && r[1].verified ? "yes" : "NO");
+    PlatformRecord rec;
+    rec.platform = plat.name;
+    rec.comm = bench::pct_change(static_cast<double>(r[0].comm_avg),
+                                 static_cast<double>(r[1].comm_avg));
+    rec.other = bench::pct_change(static_cast<double>(r[0].other_avg),
+                                  static_cast<double>(r[1].other_avg));
+    rec.overall = bench::pct_change(static_cast<double>(r[0].total),
+                                    static_cast<double>(r[1].total));
+    rec.verified = r[0].verified && r[1].verified;
+    rec.phases = std::move(phases);
+    t.add_row(rec.platform, rec.comm, rec.other, rec.overall,
+              rec.verified ? "yes" : "NO");
+    records.push_back(std::move(rec));
   }
   t.print();
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"ext_ft_nas\",\n  \"platforms\": {";
+    for (std::size_t p = 0; p < records.size(); ++p) {
+      const PlatformRecord& r = records[p];
+      out << (p == 0 ? "\n" : ",\n") << "    \""
+          << sim::Tracer::escaped(r.platform)
+          << "\": {\"comm_impr_pct\": " << r.comm
+          << ", \"other_impr_pct\": " << r.other
+          << ", \"overall_impr_pct\": " << r.overall << ", \"verified\": "
+          << (r.verified ? "true" : "false") << ",\n      \"phases\": ";
+      bench::write_phases_json(r.phases, out, "      ");
+      out << "}";
+    }
+    out << "\n  }\n}\n";
+  }
   return 0;
 }

@@ -8,8 +8,17 @@
 // (MG and IS below that); every kernel improves overall except IS; the
 // improvements combine faster registration/translation handling on the
 // adapter with prefetch-friendly physical contiguity on the CPU side.
+//
+// Optional arguments:
+//   --json=PATH   per-kernel improvements plus per-iteration "phases"
+//                 metric deltas (captured on the hugepage run via
+//                 NasScale::iter_hook)
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "ibp/workloads/nas.hpp"
@@ -18,47 +27,121 @@ using namespace ibp;
 
 namespace {
 
-workloads::NasResult run_one(const platform::PlatformConfig& plat,
-                             const std::string& kernel, bool hugepages) {
+struct KernelRun {
+  workloads::NasResult result;
+  std::vector<bench::PhaseDelta> phases;  // per-iteration metric deltas
+};
+
+KernelRun run_one(const platform::PlatformConfig& plat,
+                  const std::string& kernel, bool hugepages,
+                  bool want_phases) {
   core::ClusterConfig cfg;
   cfg.platform = plat;
   cfg.nodes = 2;
   cfg.ranks_per_node = 4;
   cfg.hugepage_library = hugepages;
   core::Cluster cluster(cfg);
-  return workloads::run_nas(kernel, cluster);
+  KernelRun run;
+  workloads::NasScale s;
+  // Per-iteration metric deltas, mpiP-style: the hook runs on rank 0 at
+  // each iteration boundary, where a registry snapshot is race-free.
+  bench::TelemetryScope scope(cluster.metrics());
+  if (want_phases) {
+    s.iter_hook = [&scope](int iter) {
+      scope.phase("iter " + std::to_string(iter));
+    };
+  }
+  run.result = workloads::run_nas(kernel, cluster, s);
+  run.phases = scope.phases();
+  return run;
 }
 
-void report(const platform::PlatformConfig& plat) {
+struct KernelRecord {
+  std::string kernel;
+  double comm = 0.0;
+  double other = 0.0;
+  double overall = 0.0;
+  bool verified = false;
+  std::vector<bench::PhaseDelta> phases;
+};
+
+std::vector<KernelRecord> report(const platform::PlatformConfig& plat,
+                                 bool want_phases) {
   std::printf("platform=%s (2 nodes x 4 ranks, class-scaled kernels)\n",
               plat.name.c_str());
   TextTable t({"kernel", "comm impr %", "other impr %", "overall impr %",
                "verified"});
+  std::vector<KernelRecord> records;
   for (const char* kernel : {"cg", "ep", "is", "lu", "mg"}) {
-    const workloads::NasResult base = run_one(plat, kernel, false);
-    const workloads::NasResult huge = run_one(plat, kernel, true);
-    const double comm = bench::pct_change(
-        static_cast<double>(base.comm_avg), static_cast<double>(huge.comm_avg));
-    const double other = bench::pct_change(
-        static_cast<double>(base.other_avg),
-        static_cast<double>(huge.other_avg));
-    const double overall = bench::pct_change(
-        static_cast<double>(base.total), static_cast<double>(huge.total));
-    t.add_row(kernel, comm, other, overall,
-              base.verified && huge.verified ? "yes" : "NO");
+    const KernelRun base = run_one(plat, kernel, false, false);
+    const KernelRun huge = run_one(plat, kernel, true, want_phases);
+    KernelRecord rec;
+    rec.kernel = kernel;
+    rec.comm = bench::pct_change(static_cast<double>(base.result.comm_avg),
+                                 static_cast<double>(huge.result.comm_avg));
+    rec.other =
+        bench::pct_change(static_cast<double>(base.result.other_avg),
+                          static_cast<double>(huge.result.other_avg));
+    rec.overall = bench::pct_change(static_cast<double>(base.result.total),
+                                    static_cast<double>(huge.result.total));
+    rec.verified = base.result.verified && huge.result.verified;
+    rec.phases = huge.phases;
+    t.add_row(rec.kernel, rec.comm, rec.other, rec.overall,
+              rec.verified ? "yes" : "NO");
+    records.push_back(std::move(rec));
   }
   t.print();
   std::printf("\n");
+  return records;
+}
+
+void write_json(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::vector<KernelRecord>>>&
+        platforms) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"fig6_nas\",\n  \"platforms\": {";
+  for (std::size_t p = 0; p < platforms.size(); ++p) {
+    out << (p == 0 ? "\n" : ",\n") << "    \""
+        << sim::Tracer::escaped(platforms[p].first) << "\": {";
+    const auto& records = platforms[p].second;
+    for (std::size_t k = 0; k < records.size(); ++k) {
+      const KernelRecord& r = records[k];
+      out << (k == 0 ? "\n" : ",\n") << "      \"" << r.kernel
+          << "\": {\"comm_impr_pct\": " << r.comm
+          << ", \"other_impr_pct\": " << r.other
+          << ", \"overall_impr_pct\": " << r.overall << ", \"verified\": "
+          << (r.verified ? "true" : "false") << ",\n        \"phases\": ";
+      bench::write_phases_json(r.phases, out, "        ");
+      out << "}";
+    }
+    out << "\n    }";
+  }
+  out << "\n  }\n}\n";
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "unknown argument %s\n", argv[i]);
+      return 2;
+    }
+  }
   std::printf("FIG6: NAS kernel improvements with the hugepage library "
               "(positive = hugepages faster)\n\n");
-  report(platform::opteron_pcie_infinihost());
-  report(platform::systemp_gx_ehca());
+  std::vector<std::pair<std::string, std::vector<KernelRecord>>> platforms;
+  const bool want_phases = !json_path.empty();
+  for (const auto& plat : {platform::opteron_pcie_infinihost(),
+                           platform::systemp_gx_ehca()}) {
+    platforms.emplace_back(plat.name, report(plat, want_phases));
+  }
   std::printf("(paper: comm improvement > 8 %% except MG and IS; overall "
               "improvement for all kernels except IS)\n");
+  if (!json_path.empty()) write_json(json_path, platforms);
   return 0;
 }

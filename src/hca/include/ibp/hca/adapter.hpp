@@ -99,6 +99,9 @@ class QueuePair {
   /// Inbound messages waiting for a receive WR (RNR condition in real IB).
   std::size_t unmatched_inbound() const { return inbound_.size(); }
 
+  /// Virtual-time lock state for SharedLocked multi-thread arbitration.
+  ArbState& arb() { return arb_; }
+
  private:
   friend class Adapter;
   QueuePair(Adapter* adapter, std::uint32_t num, CompletionQueue* scq,
@@ -165,6 +168,7 @@ class QueuePair {
   QpAttrs attrs_;
   QpStats qp_stats_;
   QueuePair* peer_ = nullptr;
+  ArbState arb_;               // host-side QP lock (SharedLocked mode)
   TimePs nic_busy_until_ = 0;  // per-QP in-order WQE processing
   std::deque<PostedRecv> recv_queue_;
   std::deque<StagedMsg> inbound_;
@@ -191,6 +195,21 @@ class Adapter {
   Fabric* fabric() { return fabric_; }
   const AdapterStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
+
+  /// Device-level lock state for SharedLocked arbitration. One lock
+  /// serializes every post and poll on the adapter regardless of which
+  /// QP/CQ it lands on — the libibverbs thread-safe-context model, where
+  /// the shared doorbell page and context lock are what threads fight
+  /// over, not the individual queue.
+  ArbState& device_arb() { return device_arb_; }
+
+  /// Account lock-wait/cache-bounce time charged for a shared-QP post.
+  void note_qp_contention(TimePs extra) { stats_.qp_contention_ps += extra; }
+  /// Account one CQ poll that found the CQ lock busy (or bounced).
+  void note_cq_contention(TimePs extra) {
+    stats_.qp_contention_ps += extra;
+    ++stats_.cq_poll_contention;
+  }
 
   /// Attach the cluster's fault injector (nullptr detaches). With an
   /// injector attached, RC QPs run the full reliability protocol
@@ -262,6 +281,7 @@ class Adapter {
   fault::FaultInjector* fault_ = nullptr;
   int pod_ = 0;
   AdapterStats stats_;
+  ArbState device_arb_;
   LruSet<std::uint64_t> att_;  // key: (lkey << 32) | translation index
   std::uint32_t next_key_ = 1;
   std::uint32_t next_qp_ = 1;

@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "ibp/common/check.hpp"
+#include "ibp/hca/config.hpp"
 #include "ibp/hca/types.hpp"
 
 namespace ibp::hca {
@@ -61,8 +62,12 @@ class CompletionQueue {
 
   std::size_t depth() const { return entries_.size(); }
 
+  /// Virtual-time lock state for SharedLocked multi-thread arbitration.
+  ArbState& arb() { return arb_; }
+
  private:
   std::deque<Cqe> entries_;
+  ArbState arb_;
 };
 
 }  // namespace ibp::hca

@@ -21,6 +21,7 @@
 // from pretend-4 KB to the native hugepage size).
 
 #include <cstdint>
+#include <string_view>
 
 #include "ibp/common/types.hpp"
 
@@ -60,6 +61,13 @@ struct AdapterConfig {
   // --- atomics ---
   TimePs atomic_exec = ns(120);  // remote HCA read-modify-write
 
+  // --- multi-thread QP/CQ arbitration ---
+  // Charged only when a verbs::Context has ShareMode::SharedLocked enabled
+  // and more than one sim track is alive on the rank; single-threaded
+  // ranks never see these costs.
+  TimePs qp_lock_acquire = ns(60);    // uncontended lock/doorbell atomic
+  TimePs qp_cache_bounce = ns(420);   // QP/CQ cachelines migrate to a new core
+
   // --- memory registration / deregistration ---
   TimePs reg_base = us(5);
   TimePs pin_per_page = ns(700);           // get_user_pages per OS page
@@ -89,6 +97,46 @@ struct QpStats {
   std::uint64_t rnr_naks = 0;        // RNR backoff rounds this QP suffered
 };
 
+/// How a rank's application threads (sim tracks) share its QPs/CQs.
+enum class ShareMode : std::uint8_t {
+  SharedLocked,  // one QP/CQ set behind a lock: acquire + cache-bounce per
+                 // post/poll, fully serialized under contention
+  PerThreadQp,   // per-thread QPs/rings: uncontended posts, but connection
+                 // and registration footprint multiplied by T
+  Dispatcher,    // every post funneled through one dispatcher track at a
+                 // hand-off cost; the QP sees a single lane
+};
+
+inline const char* share_mode_name(ShareMode m) {
+  switch (m) {
+    case ShareMode::SharedLocked: return "shared-locked";
+    case ShareMode::PerThreadQp: return "per-thread-qp";
+    case ShareMode::Dispatcher: return "dispatcher";
+  }
+  return "?";
+}
+
+/// Parse a kebab-case share-mode name ("shared-locked", "per-thread-qp",
+/// "dispatcher"); returns false on an unknown name.
+inline bool share_mode_from_name(std::string_view name, ShareMode* out) {
+  for (ShareMode m : {ShareMode::SharedLocked, ShareMode::PerThreadQp,
+                      ShareMode::Dispatcher}) {
+    if (name == share_mode_name(m)) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Virtual-time lock state of one shared QP or CQ: the lock is held until
+/// `busy_until`, and `last_lane` detects cacheline migration between
+/// application threads (sim trace lanes).
+struct ArbState {
+  TimePs busy_until = 0;
+  int last_lane = -1;
+};
+
 struct AdapterStats {
   std::uint64_t sends_posted = 0;
   std::uint64_t recvs_posted = 0;
@@ -110,6 +158,10 @@ struct AdapterStats {
   std::uint64_t rnr_naks = 0;
   std::uint64_t qp_errors = 0;
   std::uint64_t storm_att_misses = 0;  // ATT misses forced by a storm
+  // Multi-thread arbitration counters (zero unless a SharedLocked
+  // verbs::Context ran with >1 live track).
+  TimePs qp_contention_ps = 0;          // lock-wait + cache-bounce ps charged
+  std::uint64_t cq_poll_contention = 0;  // CQ polls that hit the lock busy
 };
 
 }  // namespace ibp::hca

@@ -58,6 +58,13 @@ struct ClosedLoopConfig {
   std::uint64_t requests = 2000;  // total across all workers
   std::uint64_t warmup = 0;       // unmeasured requests issued first
   std::uint64_t seed = 1;
+  /// Spawn each worker as a real sim track (sim::Context::spawn_track)
+  /// instead of multiplexing worker state machines on the calling track:
+  /// submit/wait/think cycles overlap honestly in virtual time while the
+  /// calling track runs the client's poll loop. Off (the default) is the
+  /// legacy single-track state machine, bit-exact with earlier runs.
+  /// RpcClient only; FabricClient rejects it.
+  bool tracked_workers = false;
 };
 
 struct GenResult {

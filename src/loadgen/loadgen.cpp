@@ -179,6 +179,102 @@ GenResult closed_loop(Client& client, const Workload& w,
   return res;
 }
 
+/// Closed loop with honest workers: each worker is a sim track running
+/// its own submit -> wait -> think cycle, so worker concurrency is real
+/// virtual-time overlap instead of a multiplexed state machine. The
+/// calling track runs the client's poll loop (RpcClient state is shared
+/// by all tracks of the rank; the engine serializes them in global
+/// virtual-time order, so no locking is needed — only the discipline
+/// that blocking ingest stays on this one track).
+GenResult closed_loop_tracked(rpc::RpcClient& client, const Workload& w,
+                              const ClosedLoopConfig& cfg) {
+  IBP_CHECK(cfg.workers > 0, "closed loop needs at least one worker");
+  if (cfg.warmup > 0) {
+    ClosedLoopConfig wcfg = cfg;
+    wcfg.requests = cfg.warmup;
+    wcfg.warmup = 0;
+    (void)closed_loop_tracked(client, w, wcfg);  // drains before returning
+  }
+  core::RankEnv& env = client.comm().env();
+  sim::Context& sc = env.sim();
+  Rng rng(cfg.seed);
+  GenResult res;
+  res.trace_hash = kFnvBasis;
+  const std::vector<std::uint8_t> payload = make_payload(w, cfg.seed);
+
+  std::vector<std::uint64_t> budget(cfg.workers,
+                                    cfg.requests / cfg.workers);
+  for (std::uint64_t i = 0; i < cfg.requests % cfg.workers; ++i)
+    ++budget[i];
+
+  const TimePs start = env.now();
+  std::uint32_t live = 0;
+  TimePs worker_event = 0;  // earliest unacknowledged submit/finish signal
+
+  const auto worker_fn = [&](std::uint32_t wk, sim::Context& wsc) {
+    while (budget[wk] > 0) {
+      const rpc::Class cls = rng.next_double() < w.bulk_fraction
+                                 ? rpc::Class::Bulk
+                                 : rpc::Class::Latency;
+      const std::uint32_t tenant =
+          w.tenants > 1
+              ? static_cast<std::uint32_t>(rng.next_below(w.tenants))
+              : 0;
+      ++res.issued;
+      const TimePs t0 = env.now();
+      const std::uint64_t id =
+          client.submit(payload, response_size(w, cls), cls, tenant);
+      if (id == 0) {
+        // Local queue full: back off one flush window and retry
+        // (closed-loop workers never abandon their budget).
+        ++res.rejected;
+        wsc.advance(client.config().flush_timeout);
+        continue;
+      }
+      --budget[wk];
+      if (worker_event == 0) worker_event = env.now();
+      wsc.wait_until([&client, id, t0]() -> std::optional<TimePs> {
+        const rpc::Completion* c = client.find_completion(id);
+        if (c == nullptr) return std::nullopt;
+        return t0 + c->latency;
+      });
+      if (cfg.think > 0) wsc.advance(cfg.think);
+    }
+    --live;
+    if (worker_event == 0) worker_event = env.now();
+  };
+
+  std::vector<sim::TrackId> tracks;
+  tracks.reserve(cfg.workers);
+  for (std::uint32_t wk = 0; wk < cfg.workers; ++wk) {
+    if (budget[wk] == 0) continue;
+    ++live;
+    tracks.push_back(sc.spawn_track(
+        [&, wk](sim::Context& wsc) { worker_fn(wk, wsc); }));
+  }
+
+  // Poll loop: this track owns every blocking ingest. It wakes when a
+  // response can arrive or when a worker signals (a fresh submit that
+  // may need flushing, or its own exit).
+  while (live > 0) {
+    for (const rpc::Completion& c : client.take_completions()) record(res, c);
+    worker_event = 0;
+    if (client.outstanding() > 0) {
+      client.wait_some();
+      continue;
+    }
+    sc.wait_until([&]() -> std::optional<TimePs> {
+      if (worker_event != 0) return worker_event;
+      return std::nullopt;
+    });
+  }
+  for (const sim::TrackId t : tracks) sc.join_track(t);
+  for (const rpc::Completion& c : client.take_completions()) record(res, c);
+  client.drain();
+  res.span = env.now() - start;
+  return res;
+}
+
 }  // namespace
 
 GenResult run_open_loop(rpc::RpcClient& client, const Workload& w,
@@ -193,11 +289,14 @@ GenResult run_open_loop(fabric::FabricClient& client, const Workload& w,
 
 GenResult run_closed_loop(rpc::RpcClient& client, const Workload& w,
                           const ClosedLoopConfig& cfg) {
+  if (cfg.tracked_workers) return closed_loop_tracked(client, w, cfg);
   return closed_loop(client, w, cfg);
 }
 
 GenResult run_closed_loop(fabric::FabricClient& client, const Workload& w,
                           const ClosedLoopConfig& cfg) {
+  IBP_CHECK(!cfg.tracked_workers,
+            "tracked workers need a single-link RpcClient");
   return closed_loop(client, w, cfg);
 }
 

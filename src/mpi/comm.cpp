@@ -189,11 +189,20 @@ int Comm::take_send_slot() {
       free_send_slots_.pop_back();
       return s;
     }
-    progress_block();
+    env_->sim().wait_until([this]() -> std::optional<TimePs> {
+      // A slot freed by another track's progress is ready at the time
+      // its send CQE was drained (the freeing event itself is gone).
+      if (!free_send_slots_.empty()) return send_slot_free_t_;
+      return earliest_event();
+    });
+    progress_once();
   }
 }
 
-void Comm::release_send_slot(int slot) { free_send_slots_.push_back(slot); }
+void Comm::release_send_slot(int slot) {
+  free_send_slots_.push_back(slot);
+  send_slot_free_t_ = env_->now();
+}
 
 // ---------------------------------------------------------------------------
 // Transport
@@ -216,7 +225,7 @@ void Comm::transport_send(int peer, const Header& hdr_in,
     env_->sim().advance(ch->push(std::move(blob), env_->now()));
     // No CQE on the shm path: the handoff is complete once copied in.
     IBP_CHECK(!action.rdma_fin, "rendezvous RDMA is IB-only");
-    if (action.req) action.req->state = Request::State::Done;
+    if (action.req) action.req->finish(env_->now());
     return;
   }
 
@@ -323,7 +332,7 @@ Req Comm::isend(VirtAddr buf, std::uint64_t len, int dst, int tag) {
     auto payload = len ? env_->space().host_span(buf, len)
                        : std::span<const std::uint8_t>{};
     handle_msg(hdr, payload);
-    r->state = Request::State::Done;
+    r->finish(env_->now());
     return r;
   }
 
@@ -336,7 +345,7 @@ Req Comm::isend(VirtAddr buf, std::uint64_t len, int dst, int tag) {
     auto payload = len ? env_->space().host_span(buf, len)
                        : std::span<const std::uint8_t>{};
     transport_send(dst, hdr, payload, {});
-    r->state = Request::State::Done;
+    r->finish(env_->now());
     return r;
   }
 
@@ -353,7 +362,7 @@ Req Comm::isend(VirtAddr buf, std::uint64_t len, int dst, int tag) {
                        : std::span<const std::uint8_t>{};
     transport_send(dst, hdr, payload, {});
     // Eager sends complete locally once the payload left the user buffer.
-    r->state = Request::State::Done;
+    r->finish(env_->now());
     return r;
   }
 
@@ -491,7 +500,16 @@ Req Comm::irecv(VirtAddr buf, std::uint64_t cap, int src, int tag) {
 void Comm::wait(const Req& r) {
   ProfScope prof(this, "wait");
   progress_once();
-  while (!r->done()) progress_block();
+  while (!r->done()) {
+    // Multi-track rank: another track's progress may complete `r` while
+    // this one is blocked — the completing event is then already drained,
+    // so wait for done() itself, resuming at the recorded completion time.
+    env_->sim().wait_until([this, &r]() -> std::optional<TimePs> {
+      if (r->done()) return r->done_at;
+      return earliest_event();
+    });
+    progress_once();
+  }
 }
 
 void Comm::waitall(std::span<const Req> rs) {
@@ -535,7 +553,14 @@ std::size_t Comm::waitany(std::span<const Req> rs) {
     progress_once();
     for (std::size_t i = 0; i < rs.size(); ++i)
       if (rs[i]->done()) return i;
-    progress_block();
+    env_->sim().wait_until([this, rs]() -> std::optional<TimePs> {
+      std::optional<TimePs> best;
+      for (const Req& r : rs)
+        if (r->done() && (!best || r->done_at < *best)) best = r->done_at;
+      if (best) return best;  // completed by another track's progress
+      return earliest_event();
+    });
+    progress_once();
   }
 }
 
@@ -819,7 +844,7 @@ void Comm::handle_msg(const Header& hdr,
       r->received = hdr.size;
       r->actual_src = hdr.src;
       r->actual_tag = hdr.tag;
-      r->state = Request::State::Done;
+      r->finish(env_->now());
       return;
     }
     case MsgKind::FinRead: {
@@ -834,7 +859,7 @@ void Comm::handle_msg(const Header& hdr,
         env_->rcache().release(r->mr);
         r->holds_mr = false;
       }
-      r->state = Request::State::Done;
+      r->finish(env_->now());
       return;
     }
   }
@@ -890,7 +915,7 @@ void Comm::handle_send_cqe(const hca::Cqe& cqe) {
     fin.size = action.msg_size;
     fin.req = action.peer_req;
     r->received = action.msg_size;
-    r->state = Request::State::Done;
+    r->finish(env_->now());
     transport_send(action.peer_rank, fin, {}, {});
     return;
   }
@@ -907,10 +932,10 @@ void Comm::handle_send_cqe(const hca::Cqe& cqe) {
     fin.size = action.req->len;
     fin.req = action.req->id;
     const int dst = action.req->peer;
-    action.req->state = Request::State::Done;
+    action.req->finish(env_->now());
     transport_send(dst, fin, {}, {});
   } else if (action.req) {
-    action.req->state = Request::State::Done;
+    action.req->finish(env_->now());
   }
 }
 
@@ -972,7 +997,7 @@ void Comm::complete_eager_recv(const Req& r, const Header& hdr,
   r->received = payload.size();
   r->actual_src = hdr.src;
   r->actual_tag = hdr.tag;
-  r->state = Request::State::Done;
+  r->finish(env_->now());
 }
 
 void Comm::start_rndv_recv(const Req& r, const Header& hdr) {

@@ -236,6 +236,18 @@ class Comm {
   void progress_once();
   void progress_block();
   std::optional<TimePs> earliest_event() const;
+
+ public:
+  /// Earliest virtual time at which an unconsumed transport event (ready
+  /// CQE, shm arrival) exists, or nullopt. Side-effect free, so callers
+  /// can compose it into sim wait_until predicates together with their
+  /// own conditions (e.g. an RPC dispatcher sleeping for "next request
+  /// batch OR a worker hand-off").
+  std::optional<TimePs> earliest_event_time() const {
+    return earliest_event();
+  }
+
+ private:
   /// Sequencing front-end: delivers in per-source order, stashing early
   /// arrivals (mixed UD/RC transports may reorder).
   void ingest(const Header& hdr, std::span<const std::uint8_t> payload);
@@ -328,6 +340,9 @@ class Comm {
   verbs::Mr recv_mr_;
   verbs::Mr ud_mr_;
   std::vector<int> free_send_slots_;
+  /// When the most recent slot was released (a blocked take_send_slot
+  /// on another track resumes at this time; see Request::done_at).
+  TimePs send_slot_free_t_ = 0;
   std::vector<int> ib_peers_;            // ranks reached via the HCA
   std::vector<std::uint64_t> peer_idx_;  // rank -> dense ib peer index
 

@@ -41,6 +41,17 @@ struct Request {
   std::int32_t actual_src = -1;
   std::int32_t actual_tag = -1;
 
+  /// Virtual time the request completed. Blocking waits resume at this
+  /// time when a *different* track of the same rank drained the
+  /// completing event: the waiter's own predicate (earliest transport
+  /// event) never fires for an event someone else already consumed.
+  TimePs done_at = 0;
+
+  void finish(TimePs t) {
+    state = State::Done;
+    done_at = t;
+  }
+
   bool done() const { return state == State::Done; }
 };
 

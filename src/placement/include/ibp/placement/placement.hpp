@@ -72,6 +72,9 @@ const char* protocol_name(Protocol p);
 /// Inverse of role_name (for config parsing); nullopt for unknown names.
 std::optional<Role> role_from_name(std::string_view name);
 
+/// Comma-separated list of every role name (for error messages).
+std::string known_role_names();
+
 /// One buffer/message the consumer layers are about to place.
 struct BufferRequest {
   std::uint64_t size = 0;

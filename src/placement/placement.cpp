@@ -28,6 +28,15 @@ const char* role_name(Role r) {
   return "?";
 }
 
+std::string known_role_names() {
+  std::string out;
+  for (int i = 0; i < kRoleCount; ++i) {
+    if (!out.empty()) out += ", ";
+    out += role_name(static_cast<Role>(i));
+  }
+  return out;
+}
+
 std::optional<Role> role_from_name(std::string_view name) {
   for (int i = 0; i < kRoleCount; ++i) {
     const Role r = static_cast<Role>(i);

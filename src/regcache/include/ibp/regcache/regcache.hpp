@@ -21,10 +21,26 @@
 //
 // invalidate() must be called when a cached range is freed/unmapped (the
 // classic pin-down-cache correctness hazard).
+//
+// Sharding: with `shards` > 1 the cache index is split into buckets keyed
+// by the owning mapping's base address, so concurrent server threads
+// (sim tracks) touching disjoint heaps walk disjoint index structures —
+// the shared-state refactor that makes the multi-threaded host model
+// honest. Entries never span mappings (the hull is clamped to one), so a
+// lookup probes exactly one shard. One shard (the default) is the legacy
+// single-index cache, bit-exact with earlier runs.
+//
+// Generation-based retirement: switching strategy to Deactivated dooms
+// every currently cached registration — the idle ones retire immediately,
+// reference-held ones retire at their release(), *even if the strategy
+// has flipped back to a caching mode by then*. Each entry is stamped with
+// the generation it was created in; the switch raises the retirement
+// floor above every existing stamp.
 
 #include <cstdint>
 #include <list>
 #include <map>
+#include <vector>
 
 #include "ibp/common/check.hpp"
 #include "ibp/common/types.hpp"
@@ -39,6 +55,7 @@ struct CacheStats {
   std::uint64_t releases = 0;
   std::uint64_t invalidations = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t retirements = 0;  // doomed entries retired at release()
   std::uint64_t pinned_bytes = 0;       // currently cached
   std::uint64_t pinned_bytes_peak = 0;
 };
@@ -48,9 +65,13 @@ class RegCache {
   using RegStrategy = placement::RegStrategy;
 
   /// `max_pinned_bytes` == 0 means unlimited (the classic lazy cache).
+  /// `shards` splits the cache index (see file comment); 1 = legacy.
   RegCache(verbs::Context& vctx, RegStrategy strategy,
-           std::uint64_t max_pinned_bytes = 0)
-      : vctx_(&vctx), strategy_(strategy), capacity_(max_pinned_bytes) {}
+           std::uint64_t max_pinned_bytes = 0, std::uint32_t shards = 1)
+      : vctx_(&vctx), strategy_(strategy), capacity_(max_pinned_bytes) {
+    IBP_CHECK(shards > 0, "regcache needs at least one shard");
+    shards_.resize(shards);
+  }
 
   /// Legacy two-state constructor: lazy pin-down cache vs the Figure 5
   /// "deactivated" configuration.
@@ -70,15 +91,20 @@ class RegCache {
   /// in-flight transfer can never lose its MR to capacity eviction.
   verbs::Mr acquire(VirtAddr addr, std::uint64_t len) {
     IBP_CHECK(len > 0, "acquire of empty range");
+    const mem::Mapping* m = vctx_->space().find(addr, len);
+    IBP_CHECK(m != nullptr, "acquire over unmapped range");
+    Shard& sh = shard_for(m->va_base);
     if (caching()) {
-      auto it = cache_.upper_bound(addr);
-      if (it != cache_.begin()) {
+      auto it = sh.cache.upper_bound(addr);
+      if (it != sh.cache.begin()) {
         --it;
         Entry& e = it->second;
-        if (addr >= e.mr.addr && addr + len <= e.mr.addr + e.mr.length) {
+        if (addr >= e.mr.addr && addr + len <= e.mr.addr + e.mr.length &&
+            e.gen >= retire_floor_) {
           ++stats_.hits;
           ++e.refs;
-          lru_.splice(lru_.begin(), lru_, e.lru_pos);
+          e.use = ++use_clock_;
+          sh.lru.splice(sh.lru.begin(), sh.lru, e.lru_pos);
           return e.mr;
         }
       }
@@ -86,8 +112,6 @@ class RegCache {
     ++stats_.misses;
     // Register the page-aligned hull so nearby buffers in the same pages
     // hit the cache later.
-    const mem::Mapping* m = vctx_->space().find(addr, len);
-    IBP_CHECK(m != nullptr, "acquire over unmapped range");
     const std::uint64_t psz = m->page_size();
     const VirtAddr lo = std::max(m->va_base, align_down(addr, psz));
     const VirtAddr hi =
@@ -99,33 +123,24 @@ class RegCache {
       // still in flight; if everything is busy the bound is exceeded
       // until those transfers finish.
       while (stats_.pinned_bytes + (hi - lo) > capacity_) {
-        VirtAddr victim = 0;
-        bool found = false;
-        for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-          if (cache_.at(*it).refs == 0) {
-            victim = *it;
-            found = true;
-            break;
-          }
-        }
-        if (!found) break;
-        evict(victim);
+        if (!evict_lru_idle()) break;
       }
     }
 
     verbs::Mr mr = vctx_->reg_mr(lo, hi - lo);
     if (caching()) {
-      auto [it2, inserted] = cache_.emplace(mr.addr, Entry{mr, {}, 1, {}});
+      auto [it2, inserted] =
+          sh.cache.emplace(mr.addr, Entry{mr, {}, 1, gen_, 0, {}});
+      Entry& e = it2->second;
       if (inserted) {
-        lru_.push_front(mr.addr);
-        it2->second.lru_pos = lru_.begin();
+        sh.lru.push_front(mr.addr);
+        e.lru_pos = sh.lru.begin();
       } else {
         // A narrower registration already starts at this page-aligned
         // hull base (the covering check above missed because it does
         // not reach addr+len). Keep the wider MR as the entry's face;
         // the superseded one may still back in-flight transfers, so it
         // is retired — deregistered with the entry, not before.
-        Entry& e = it2->second;
         ++e.refs;
         if (mr.length >= e.mr.length) {
           e.retired.push_back(e.mr);
@@ -133,8 +148,9 @@ class RegCache {
         } else {
           e.retired.push_back(mr);
         }
-        lru_.splice(lru_.begin(), lru_, e.lru_pos);
+        sh.lru.splice(sh.lru.begin(), sh.lru, e.lru_pos);
       }
+      e.use = ++use_clock_;
       stats_.pinned_bytes += mr.length;
       stats_.pinned_bytes_peak =
           std::max(stats_.pinned_bytes_peak, stats_.pinned_bytes);
@@ -143,12 +159,13 @@ class RegCache {
   }
 
   /// Done with a registration obtained from acquire(). Lazy mode drops
-  /// the in-flight reference (the registration stays cached); otherwise
-  /// the region is deregistered immediately.
+  /// the in-flight reference (the registration stays cached); otherwise —
+  /// or when the entry was doomed by a Deactivated switch — the region is
+  /// deregistered once idle.
   void release(const verbs::Mr& mr) {
     ++stats_.releases;
-    auto it = cache_.find(mr.addr);
-    if (it == cache_.end()) {
+    auto [sh, it] = locate(mr.addr);
+    if (sh == nullptr) {
       // Never cached (deactivated-mode registration) or already dropped
       // by invalidate/evict; deregister only in the former case.
       if (!caching()) vctx_->dereg_mr(mr);
@@ -156,57 +173,70 @@ class RegCache {
     }
     Entry& e = it->second;
     if (e.refs > 0) --e.refs;
-    if (!caching() && e.refs == 0) {
+    if (e.refs != 0) return;
+    if (!caching()) {
       // The strategy switched to Deactivated while this transfer was in
       // flight: retire the cached registration now that it is idle.
-      evict(it->first);
+      evict(*sh, it);
+    } else if (e.gen < retire_floor_) {
+      // Doomed by an earlier Deactivated switch; retire even though the
+      // strategy has since flipped back to caching.
+      ++stats_.retirements;
+      evict(*sh, it);
     }
   }
 
   /// Drop any cached registrations intersecting [addr, addr+len) — must be
   /// called before the memory is freed or unmapped.
   void invalidate(VirtAddr addr, std::uint64_t len) {
-    if (cache_.empty()) return;
-    auto it = cache_.lower_bound(addr);
-    if (it != cache_.begin()) --it;
-    while (it != cache_.end() && it->second.mr.addr < addr + len) {
-      const verbs::Mr& mr = it->second.mr;
-      if (mr.addr + mr.length > addr) {
-        stats_.pinned_bytes -= mr.length;
-        ++stats_.invalidations;
-        lru_.erase(it->second.lru_pos);
-        drop_retired(it->second);
-        vctx_->dereg_mr(mr);
-        it = cache_.erase(it);
-      } else {
-        ++it;
+    for (Shard& sh : shards_) {
+      if (sh.cache.empty()) continue;
+      auto it = sh.cache.lower_bound(addr);
+      if (it != sh.cache.begin()) --it;
+      while (it != sh.cache.end() && it->second.mr.addr < addr + len) {
+        const verbs::Mr& mr = it->second.mr;
+        if (mr.addr + mr.length > addr) {
+          stats_.pinned_bytes -= mr.length;
+          ++stats_.invalidations;
+          sh.lru.erase(it->second.lru_pos);
+          drop_retired(it->second);
+          vctx_->dereg_mr(mr);
+          it = sh.cache.erase(it);
+        } else {
+          ++it;
+        }
       }
     }
   }
 
   /// Deregister everything (test teardown / accounting).
   void flush() {
-    for (auto& [a, e] : cache_) {
-      drop_retired(e);
-      vctx_->dereg_mr(e.mr);
+    for (Shard& sh : shards_) {
+      for (auto& [a, e] : sh.cache) {
+        drop_retired(e);
+        vctx_->dereg_mr(e.mr);
+      }
+      sh.cache.clear();
+      sh.lru.clear();
     }
     stats_.pinned_bytes = 0;
-    cache_.clear();
-    lru_.clear();
   }
 
   /// Switch registration strategies at run time (driven by a placement
-  /// plan). Moving to Deactivated retires every idle cached registration
-  /// immediately; reference-held entries are retired as their transfers
-  /// release them. The `max_pinned_bytes` bound keeps applying across
-  /// switches.
+  /// plan). Moving to Deactivated dooms the current generation: idle
+  /// cached registrations retire immediately, reference-held entries
+  /// retire as their transfers release them — even if the strategy flips
+  /// back to a caching mode first. The `max_pinned_bytes` bound keeps
+  /// applying across switches.
   void set_strategy(RegStrategy strategy) {
     strategy_ = strategy;
     if (caching()) return;
-    for (auto it = cache_.begin(); it != cache_.end();) {
-      VirtAddr key = it->first;
-      ++it;
-      if (cache_.at(key).refs == 0) evict(key);
+    retire_floor_ = ++gen_;
+    for (Shard& sh : shards_) {
+      for (auto it = sh.cache.begin(); it != sh.cache.end();) {
+        auto cur = it++;
+        if (cur->second.refs == 0) evict(sh, cur);
+      }
     }
   }
 
@@ -214,18 +244,48 @@ class RegCache {
   /// True while registrations outlive their transfer (any caching mode).
   bool lazy() const { return caching(); }
   std::uint64_t capacity() const { return capacity_; }
+  std::uint32_t shards() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
   const CacheStats& stats() const { return stats_; }
-  std::size_t entries() const { return cache_.size(); }
+  std::size_t entries() const {
+    std::size_t n = 0;
+    for (const Shard& sh : shards_) n += sh.cache.size();
+    return n;
+  }
 
  private:
   struct Entry {
     verbs::Mr mr;
     std::list<VirtAddr>::iterator lru_pos;
     std::uint32_t refs = 0;  // in-flight transfers using this MR
+    std::uint64_t gen = 0;   // creation generation (retirement floor)
+    std::uint64_t use = 0;   // global recency stamp (cross-shard LRU)
     // Same-hull registrations this entry superseded; they may back
     // transfers still in flight, so they deregister with the entry.
     std::vector<verbs::Mr> retired;
   };
+
+  struct Shard {
+    std::map<VirtAddr, Entry> cache;
+    std::list<VirtAddr> lru;  // front = most recently used
+  };
+
+  Shard& shard_for(VirtAddr mapping_base) {
+    // Mix the mapping base so adjacent mappings spread over shards.
+    const std::uint64_t h = (mapping_base >> 12) * 0x9E3779B97F4A7C15ull;
+    return shards_[h % shards_.size()];
+  }
+
+  /// Shard and iterator holding `key`, or {nullptr, {}} when uncached.
+  std::pair<Shard*, std::map<VirtAddr, Entry>::iterator> locate(
+      VirtAddr key) {
+    for (Shard& sh : shards_) {
+      auto it = sh.cache.find(key);
+      if (it != sh.cache.end()) return {&sh, it};
+    }
+    return {nullptr, {}};
+  }
 
   void drop_retired(Entry& e) {
     for (const verbs::Mr& r : e.retired) {
@@ -235,15 +295,38 @@ class RegCache {
     e.retired.clear();
   }
 
-  void evict(VirtAddr key) {
-    auto it = cache_.find(key);
-    IBP_CHECK(it != cache_.end());
+  void evict(Shard& sh, std::map<VirtAddr, Entry>::iterator it) {
     stats_.pinned_bytes -= it->second.mr.length;
     ++stats_.evictions;
-    lru_.erase(it->second.lru_pos);
+    sh.lru.erase(it->second.lru_pos);
     drop_retired(it->second);
     vctx_->dereg_mr(it->second.mr);
-    cache_.erase(it);
+    sh.cache.erase(it);
+  }
+
+  /// Evict the globally least-recently-used idle entry; false when every
+  /// cached entry is reference-held.
+  bool evict_lru_idle() {
+    Shard* best_sh = nullptr;
+    VirtAddr best_key = 0;
+    std::uint64_t best_use = ~std::uint64_t{0};
+    for (Shard& sh : shards_) {
+      // The LRU list is recency-ordered, so the rearmost idle entry is
+      // this shard's candidate.
+      for (auto it = sh.lru.rbegin(); it != sh.lru.rend(); ++it) {
+        const Entry& e = sh.cache.at(*it);
+        if (e.refs != 0) continue;
+        if (e.use < best_use) {
+          best_use = e.use;
+          best_sh = &sh;
+          best_key = *it;
+        }
+        break;
+      }
+    }
+    if (best_sh == nullptr) return false;
+    evict(*best_sh, best_sh->cache.find(best_key));
+    return true;
   }
 
   bool caching() const { return strategy_ != RegStrategy::Deactivated; }
@@ -252,8 +335,10 @@ class RegCache {
   RegStrategy strategy_;
   std::uint64_t capacity_;
   CacheStats stats_;
-  std::map<VirtAddr, Entry> cache_;
-  std::list<VirtAddr> lru_;  // front = most recently used
+  std::vector<Shard> shards_;
+  std::uint64_t gen_ = 0;
+  std::uint64_t retire_floor_ = 0;  // entries with gen < floor are doomed
+  std::uint64_t use_clock_ = 0;
 };
 
 }  // namespace ibp::regcache

@@ -37,7 +37,9 @@
 
 #include "ibp/common/stats.hpp"
 #include "ibp/common/types.hpp"
+#include "ibp/hca/config.hpp"
 #include "ibp/mpi/comm.hpp"
+#include "ibp/sim/engine.hpp"
 #include "ibp/telemetry/registry.hpp"
 
 namespace ibp::rpc {
@@ -128,6 +130,22 @@ struct RpcConfig {
   /// timeouts, the legacy behaviour.
   TimePs request_timeout = 0;
   std::uint32_t max_retries = 1;
+  /// Dispatcher-fed worker pool: with N > 0 the server rank spawns N sim
+  /// tracks that pull parsed requests from the admission queue and run
+  /// service + handler concurrently (in virtual time), while the calling
+  /// track becomes a dispatcher doing ingest/parse/flush/reclaim. 0 (the
+  /// default) serves inline on the calling track — the legacy behaviour,
+  /// bit-exact with earlier runs.
+  std::uint32_t server_workers = 0;
+  /// How worker tracks share the server's QPs/CQs (see hca::ShareMode):
+  /// SharedLocked charges lock + cache-bounce arbitration per post/poll,
+  /// PerThreadQp gives each worker its own response slot ring (placement-
+  /// visible footprint) and uncontended posts, Dispatcher funnels every
+  /// response through the dispatcher track at dispatcher_handoff cost.
+  hca::ShareMode share_mode = hca::ShareMode::SharedLocked;
+  /// Hand-off cost per response pushed from a worker track to the
+  /// dispatcher track (ShareMode::Dispatcher only): queue write + wakeup.
+  TimePs dispatcher_handoff = ns(400);
 };
 
 /// One completed request, as observed by the client.
@@ -213,6 +231,15 @@ class RpcClient {
   void poll();
 
   bool completed(std::uint64_t id) const { return done_.count(id) != 0; }
+
+  /// Completion record for `id`, or nullptr while it is outstanding.
+  /// Non-blocking and side-effect free — usable from wait_until
+  /// predicates (tracked closed-loop workers watch their own ids while
+  /// another track runs the poll loop).
+  const Completion* find_completion(std::uint64_t id) const {
+    const auto it = done_.find(id);
+    return it == done_.end() ? nullptr : &it->second;
+  }
 
   /// Block (in virtual time) until `id` completes; returns its record.
   const Completion& wait(std::uint64_t id);
@@ -307,6 +334,7 @@ class RpcClient {
   std::map<std::pair<std::uint32_t, std::uint8_t>, std::uint32_t>
       class_inflight_;
   std::vector<SentBatch> sent_;
+  bool reclaiming_ = false;  // reclaim_batches is not reentrant
   mpi::Req rsp_req_;  // posted iff inflight work may still answer
   /// Request records put on the wire / response records parsed. With
   /// retries armed these diverge by the duplicate responses still in
@@ -347,6 +375,7 @@ class RpcServer {
     Class cls = Class::Latency;
     std::uint32_t response_cap = 0;
     std::uint16_t flags = 0;
+    TimePs t = 0;  // accepted-at time (worker wakeup predicate)
     std::vector<std::uint8_t> payload;
   };
   struct RspRec {
@@ -361,8 +390,27 @@ class RpcServer {
     mpi::Req req;
     VirtAddr buf = 0;
   };
+  /// One response-side posting lane: a slot ring plus its per-client
+  /// pending queues and in-flight batches. Lane 0 is the server's shared
+  /// ring (the only lane unless ShareMode::PerThreadQp gives each worker
+  /// its own — multiplying the placement-visible ring footprint).
+  struct RspLane {
+    VirtAddr ring = 0;
+    std::vector<std::uint32_t> free_slots;
+    std::vector<std::deque<RspRec>> pending;   // per client
+    std::vector<std::uint64_t> pending_bytes;  // per client
+    std::vector<SentBatch> sent;
+  };
+  /// A served response handed from a worker track to the dispatcher
+  /// track (ShareMode::Dispatcher).
+  struct Handoff {
+    std::uint32_t client = 0;
+    WireHeader hdr;
+    TimePs t = 0;  // hand-off time (dispatcher wakeup predicate)
+    std::vector<std::uint8_t> body;
+  };
 
-  VirtAddr rsp_slot_va(std::uint32_t slot) const;
+  VirtAddr rsp_slot_va(const RspLane& lane, std::uint32_t slot) const;
   VirtAddr recv_va(std::uint32_t client) const;
   void post_recv(std::uint32_t client);
   /// Non-blocking: ingest every arrived request batch.
@@ -374,13 +422,32 @@ class RpcServer {
   /// inside a class, Latency class first).
   void serve_one();
   bool pop_next(Item& out);
-  void enqueue_response(std::uint32_t client, const WireHeader& hdr,
-                        const std::uint8_t* payload);
-  std::uint32_t take_rsp_slot();
-  void flush_client(std::uint32_t client, bool force);
+  /// Service + handler + response path for one accepted request, using
+  /// `scratch` for handler output and `lane` for the response ring.
+  void serve_item(const Item& it, std::vector<std::uint8_t>& scratch,
+                  RspLane& lane, bool via_dispatcher);
+  void enqueue_response(RspLane& lane, std::uint32_t client,
+                        const WireHeader& hdr, const std::uint8_t* payload);
+  std::uint32_t take_rsp_slot(RspLane& lane);
+  void flush_client(RspLane& lane, std::uint32_t client, bool force);
   void flush_all(bool force);
-  void reclaim_sent(bool block);
+  /// Sweep completed response batches (all lanes) and large sends,
+  /// returning their slots/buffers. Non-blocking.
+  void reclaim_sent();
   void register_metrics();
+
+  /// Legacy inline loop (cfg_.server_workers == 0): the calling track
+  /// ingests, serves and flushes by itself.
+  void serve_inline();
+  /// Dispatcher-fed worker pool (cfg_.server_workers > 0).
+  void serve_pooled();
+  void worker_main(sim::Context& sc, std::uint32_t w);
+  /// Earliest accepted-at time among queued items (worker wakeup).
+  std::optional<TimePs> earliest_work() const;
+  void drain_handoffs();
+  RspLane& worker_lane(std::uint32_t w);
+  void make_lane(RspLane& lane);
+  void drop_lane(RspLane& lane);
 
   mpi::Comm* comm_;
   std::vector<int> clients_;
@@ -390,8 +457,7 @@ class RpcServer {
   std::uint64_t recv_cap_ = 0;
   std::uint32_t n_rsp_slots_ = 0;
   VirtAddr recv_region_ = 0;  // one landing slot per client (Role::RpcRing)
-  VirtAddr rsp_ring_ = 0;     // response slot ring (Role::RpcRing)
-  std::vector<std::uint32_t> free_rsp_slots_;
+  std::vector<RspLane> lanes_;      // [0] = shared response ring
   std::vector<mpi::Req> rreqs_;     // per client; null once closed
   std::vector<bool> open_;
   std::uint32_t open_clients_ = 0;
@@ -399,11 +465,16 @@ class RpcServer {
   std::map<std::uint32_t, std::deque<Item>> queues_[2];
   std::uint32_t rr_cursor_[2] = {0, 0};
   std::uint64_t queued_ = 0;  // accepted, unserved
-  std::vector<std::deque<RspRec>> pending_rsp_;  // per client
-  std::vector<std::uint64_t> pending_rsp_bytes_;
-  std::vector<SentBatch> sent_;
   std::vector<LargeSend> large_;
-  std::vector<std::uint8_t> scratch_;  // handler output staging
+  bool reclaiming_ = false;  // reclaim_sent is not reentrant
+  std::vector<std::uint8_t> scratch_;  // handler output staging (inline)
+  // --- worker-pool state (cfg_.server_workers > 0 only) ---
+  std::vector<std::vector<std::uint8_t>> wscratch_;  // per-worker staging
+  std::deque<Handoff> handoffs_;  // worker -> dispatcher responses
+  std::uint32_t busy_workers_ = 0;
+  bool stopping_ = false;
+  TimePs stop_time_ = 0;
+  TimePs worker_event_ = 0;  // earliest un-acknowledged worker signal
   ServerStats stats_;
   std::vector<telemetry::ProbeHandle> probes_;
 };

@@ -110,16 +110,23 @@ std::uint64_t RpcClient::submit(std::span<const std::uint8_t> payload,
 }
 
 void RpcClient::reclaim_batches() {
-  std::size_t kept = 0;
-  for (std::size_t i = 0; i < sent_.size(); ++i) {
-    if (comm_->test(sent_[i].req)) {
+  // test() can advance virtual time (transport progress), during which
+  // another track of this rank may append to sent_ — so never hold a
+  // reference across it, and make concurrent entry a no-op (the track
+  // already inside finishes the scan).
+  if (reclaiming_) return;
+  reclaiming_ = true;
+  std::size_t i = 0;
+  while (i < sent_.size()) {
+    const mpi::Req req = sent_[i].req;  // keep alive across realloc
+    if (comm_->test(req)) {
       for (std::uint32_t s : sent_[i].slots) free_slots_.push_back(s);
+      sent_.erase(sent_.begin() + static_cast<std::ptrdiff_t>(i));
     } else {
-      if (kept != i) sent_[kept] = std::move(sent_[i]);
-      ++kept;
+      ++i;
     }
   }
-  sent_.resize(kept);
+  reclaiming_ = false;
 }
 
 bool RpcClient::class_credit_ok(const Pending& p, int cls) const {
@@ -480,16 +487,11 @@ RpcServer::RpcServer(mpi::Comm& comm, std::vector<int> clients, RpcConfig cfg,
   recv_region_ =
       env.alloc(recv_cap_ * clients_.size(), placement::Role::RpcRing);
   n_rsp_slots_ = cfg_.server_queue_cap + 2 * cfg_.max_batch_requests + 8;
-  rsp_ring_ = env.alloc(static_cast<std::uint64_t>(n_rsp_slots_) * slot_bytes_,
-                        placement::Role::RpcRing);
-  free_rsp_slots_.reserve(n_rsp_slots_);
-  for (std::uint32_t s = n_rsp_slots_; s > 0; --s)
-    free_rsp_slots_.push_back(s - 1);
+  lanes_.emplace_back();
+  make_lane(lanes_[0]);
   rreqs_.resize(clients_.size());
   open_.assign(clients_.size(), true);
   open_clients_ = static_cast<std::uint32_t>(clients_.size());
-  pending_rsp_.resize(clients_.size());
-  pending_rsp_bytes_.assign(clients_.size(), 0);
   for (std::uint32_t i = 0; i < clients_.size(); ++i) post_recv(i);
   register_metrics();
 }
@@ -497,12 +499,39 @@ RpcServer::RpcServer(mpi::Comm& comm, std::vector<int> clients, RpcConfig cfg,
 RpcServer::~RpcServer() {
   for (auto& p : probes_) p.release();
   core::RankEnv& env = comm_->env();
-  env.dealloc(rsp_ring_);
+  for (auto it = lanes_.rbegin(); it != lanes_.rend(); ++it)
+    env.dealloc(it->ring);
   env.dealloc(recv_region_);
 }
 
-VirtAddr RpcServer::rsp_slot_va(std::uint32_t slot) const {
-  return rsp_ring_ + static_cast<std::uint64_t>(slot) * slot_bytes_;
+void RpcServer::make_lane(RspLane& lane) {
+  core::RankEnv& env = comm_->env();
+  lane.ring = env.alloc(static_cast<std::uint64_t>(n_rsp_slots_) * slot_bytes_,
+                        placement::Role::RpcRing);
+  lane.free_slots.reserve(n_rsp_slots_);
+  for (std::uint32_t s = n_rsp_slots_; s > 0; --s)
+    lane.free_slots.push_back(s - 1);
+  lane.pending.resize(clients_.size());
+  lane.pending_bytes.assign(clients_.size(), 0);
+}
+
+void RpcServer::drop_lane(RspLane& lane) {
+  IBP_CHECK(lane.sent.empty(), "dropping a lane with inflight batches");
+  comm_->env().dealloc(lane.ring);
+}
+
+RpcServer::RspLane& RpcServer::worker_lane(std::uint32_t w) {
+  // PerThreadQp gives each worker its own slot ring (lanes_[1 + w]);
+  // every other mode shares lane 0.
+  if (cfg_.share_mode == hca::ShareMode::PerThreadQp &&
+      lanes_.size() > 1 + w)
+    return lanes_[1 + w];
+  return lanes_[0];
+}
+
+VirtAddr RpcServer::rsp_slot_va(const RspLane& lane,
+                                std::uint32_t slot) const {
+  return lane.ring + static_cast<std::uint64_t>(slot) * slot_bytes_;
 }
 
 VirtAddr RpcServer::recv_va(std::uint32_t client) const {
@@ -554,6 +583,7 @@ void RpcServer::parse_batch(std::uint32_t client, std::uint64_t len) {
     it.cls = static_cast<Class>(h.cls);
     it.response_cap = h.response_cap;
     it.flags = h.flags;
+    it.t = env.now();
     if (h.payload != 0) {
       const auto* p = env.host_ptr<std::uint8_t>(body, h.payload);
       it.payload.assign(p, p + h.payload);
@@ -573,7 +603,7 @@ void RpcServer::shed(std::uint32_t client, const WireHeader& hdr) {
   rsp.tenant = hdr.tenant;
   rsp.cls = hdr.cls;
   rsp.status = static_cast<std::uint8_t>(Status::Overloaded);
-  enqueue_response(client, rsp, nullptr);
+  enqueue_response(lanes_[0], client, rsp, nullptr);
 }
 
 std::uint64_t RpcServer::queued_total() const { return queued_; }
@@ -599,6 +629,11 @@ bool RpcServer::pop_next(Item& out) {
 void RpcServer::serve_one() {
   Item it;
   if (!pop_next(it)) return;
+  serve_item(it, scratch_, lanes_[0], /*via_dispatcher=*/false);
+}
+
+void RpcServer::serve_item(const Item& it, std::vector<std::uint8_t>& scratch,
+                           RspLane& lane, bool via_dispatcher) {
   core::RankEnv& env = comm_->env();
   env.sim().advance(cfg_.service_base +
                     static_cast<TimePs>(it.payload.size()) *
@@ -612,8 +647,8 @@ void RpcServer::serve_one() {
   view.response_cap = it.response_cap;
   const std::uint32_t cap = std::max<std::uint32_t>(
       {it.response_cap, view.payload_len, 1});
-  if (scratch_.size() < cap) scratch_.resize(cap);
-  const std::uint32_t rlen = handler_(view, scratch_.data(), cap);
+  if (scratch.size() < cap) scratch.resize(cap);
+  const std::uint32_t rlen = handler_(view, scratch.data(), cap);
   IBP_CHECK(rlen <= cap, "handler overflowed its response buffer");
   ++stats_.served;
 
@@ -624,7 +659,21 @@ void RpcServer::serve_one() {
   rsp.status = static_cast<std::uint8_t>(Status::Ok);
   if (rlen <= cfg_.max_payload) {
     rsp.payload = rlen;
-    enqueue_response(it.client, rsp, scratch_.data());
+    if (via_dispatcher) {
+      // Hand the finished response to the dispatcher track, which owns
+      // the posting path in ShareMode::Dispatcher. The hand-off pays the
+      // queue write + wakeup; in exchange the dispatcher aggregates
+      // responses from every worker into larger batches.
+      env.sim().advance(cfg_.dispatcher_handoff);
+      Handoff h;
+      h.client = it.client;
+      h.hdr = rsp;
+      h.t = env.now();
+      h.body.assign(scratch.data(), scratch.data() + rlen);
+      handoffs_.push_back(std::move(h));
+    } else {
+      enqueue_response(lane, it.client, rsp, scratch.data());
+    }
   } else {
     // Body goes out-of-band: the in-batch record only announces it, the
     // payload takes the eager/rendezvous split on its own tag from a
@@ -632,11 +681,20 @@ void RpcServer::serve_one() {
     // on when it exceeds the rendezvous threshold).
     rsp.response_cap = rlen;
     rsp.flags = kFlagLarge;
-    enqueue_response(it.client, rsp, nullptr);
+    if (via_dispatcher) {
+      env.sim().advance(cfg_.dispatcher_handoff);
+      Handoff h;
+      h.client = it.client;
+      h.hdr = rsp;
+      h.t = env.now();
+      handoffs_.push_back(std::move(h));
+    } else {
+      enqueue_response(lane, it.client, rsp, nullptr);
+    }
     const VirtAddr buf =
         env.alloc(std::max<std::uint64_t>(rlen, 64),
                   placement::Role::RpcResponse);
-    std::memcpy(env.host_ptr<std::uint8_t>(buf, rlen), scratch_.data(), rlen);
+    std::memcpy(env.host_ptr<std::uint8_t>(buf, rlen), scratch.data(), rlen);
     env.touch_stream(buf, rlen);  // the application writes the response
     LargeSend ls;
     ls.req = comm_->isend(buf, rlen, clients_[it.client], large_tag(it.id));
@@ -646,22 +704,29 @@ void RpcServer::serve_one() {
   }
 }
 
-std::uint32_t RpcServer::take_rsp_slot() {
-  if (free_rsp_slots_.empty()) reclaim_sent(false);
-  while (free_rsp_slots_.empty()) {
+std::uint32_t RpcServer::take_rsp_slot(RspLane& lane) {
+  if (lane.free_slots.empty()) reclaim_sent();
+  while (lane.free_slots.empty()) {
     flush_all(true);
-    reclaim_sent(true);
+    if (!lane.sent.empty()) {
+      // Copy the Req: wait() blocks, and another track may reallocate
+      // lane.sent (or reclaim this very batch) in the meantime.
+      const mpi::Req req = lane.sent.front().req;
+      comm_->wait(req);
+    }
+    reclaim_sent();
   }
-  const std::uint32_t s = free_rsp_slots_.back();
-  free_rsp_slots_.pop_back();
+  const std::uint32_t s = lane.free_slots.back();
+  lane.free_slots.pop_back();
   return s;
 }
 
-void RpcServer::enqueue_response(std::uint32_t client, const WireHeader& hdr,
+void RpcServer::enqueue_response(RspLane& lane, std::uint32_t client,
+                                 const WireHeader& hdr,
                                  const std::uint8_t* payload) {
   core::RankEnv& env = comm_->env();
-  const std::uint32_t slot = take_rsp_slot();
-  const VirtAddr va = rsp_slot_va(slot);
+  const std::uint32_t slot = take_rsp_slot(lane);
+  const VirtAddr va = rsp_slot_va(lane, slot);
   store_header(env, va, hdr);
   if (hdr.payload != 0) {
     IBP_CHECK(payload != nullptr, "response record without body");
@@ -671,19 +736,19 @@ void RpcServer::enqueue_response(std::uint32_t client, const WireHeader& hdr,
   }
   const std::uint64_t wire = sizeof(WireHeader) + hdr.payload;
   env.touch_stream(va, wire);
-  pending_rsp_[client].push_back({slot, wire});
-  pending_rsp_bytes_[client] += wire;
+  lane.pending[client].push_back({slot, wire});
+  lane.pending_bytes[client] += wire;
   ++stats_.responses;
-  flush_client(client, false);
+  flush_client(lane, client, false);
 }
 
-void RpcServer::flush_client(std::uint32_t client, bool force) {
+void RpcServer::flush_client(RspLane& lane, std::uint32_t client, bool force) {
   const std::uint32_t nmax = cfg_.batching ? cfg_.max_batch_requests : 1;
-  auto& pend = pending_rsp_[client];
+  auto& pend = lane.pending[client];
   for (;;) {
     if (pend.empty()) return;
     const bool due = force || !cfg_.batching || pend.size() >= nmax ||
-                     pending_rsp_bytes_[client] >= cfg_.max_batch_bytes;
+                     lane.pending_bytes[client] >= cfg_.max_batch_bytes;
     if (!due) return;
     std::vector<mpi::Seg> segs;
     std::vector<std::uint32_t> slots;
@@ -691,50 +756,111 @@ void RpcServer::flush_client(std::uint32_t client, bool force) {
     while (!pend.empty() && segs.size() < nmax) {
       const RspRec& r = pend.front();
       if (!segs.empty() && bytes + r.wire > cfg_.max_batch_bytes) break;
-      segs.push_back({rsp_slot_va(r.slot), r.wire});
+      segs.push_back({rsp_slot_va(lane, r.slot), r.wire});
       slots.push_back(r.slot);
       bytes += r.wire;
-      pending_rsp_bytes_[client] -= r.wire;
+      lane.pending_bytes[client] -= r.wire;
       pend.pop_front();
     }
     SentBatch b;
     b.req = comm_->isend_gather(segs, clients_[client], kRspTag);
     b.slots = std::move(slots);
-    sent_.push_back(std::move(b));
+    lane.sent.push_back(std::move(b));
     ++stats_.resp_batches;
   }
 }
 
 void RpcServer::flush_all(bool force) {
-  for (std::uint32_t i = 0; i < clients_.size(); ++i)
-    flush_client(i, force);
+  for (auto& lane : lanes_)
+    for (std::uint32_t i = 0; i < clients_.size(); ++i)
+      flush_client(lane, i, force);
 }
 
-void RpcServer::reclaim_sent(bool block) {
-  if (block && !sent_.empty()) comm_->wait(sent_.front().req);
-  std::size_t kept = 0;
-  for (std::size_t i = 0; i < sent_.size(); ++i) {
-    if (comm_->test(sent_[i].req)) {
-      for (std::uint32_t s : sent_[i].slots) free_rsp_slots_.push_back(s);
-    } else {
-      if (kept != i) sent_[kept] = std::move(sent_[i]);
-      ++kept;
+void RpcServer::reclaim_sent() {
+  // test() can advance virtual time (transport progress), during which
+  // a worker track may append to a lane's sent vector or to large_ —
+  // so never hold references across it, and make concurrent entry a
+  // no-op (the track already inside finishes the scan).
+  if (reclaiming_) return;
+  reclaiming_ = true;
+  for (auto& lane : lanes_) {
+    std::size_t i = 0;
+    while (i < lane.sent.size()) {
+      const mpi::Req req = lane.sent[i].req;  // keep alive across realloc
+      if (comm_->test(req)) {
+        for (std::uint32_t s : lane.sent[i].slots)
+          lane.free_slots.push_back(s);
+        lane.sent.erase(lane.sent.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
     }
   }
-  sent_.resize(kept);
-  std::size_t lkept = 0;
-  for (std::size_t i = 0; i < large_.size(); ++i) {
-    if (comm_->test(large_[i].req)) {
+  std::size_t i = 0;
+  while (i < large_.size()) {
+    const mpi::Req req = large_[i].req;
+    if (comm_->test(req)) {
       comm_->env().dealloc(large_[i].buf);
+      large_.erase(large_.begin() + static_cast<std::ptrdiff_t>(i));
     } else {
-      if (lkept != i) large_[lkept] = std::move(large_[i]);
-      ++lkept;
+      ++i;
     }
   }
-  large_.resize(lkept);
+  reclaiming_ = false;
+}
+
+std::optional<TimePs> RpcServer::earliest_work() const {
+  std::optional<TimePs> best;
+  for (int cls = 0; cls < 2; ++cls) {
+    for (const auto& [tenant, q] : queues_[cls]) {
+      if (q.empty()) continue;
+      // Items within one tenant queue arrive in accept order, so the
+      // front is that queue's earliest.
+      if (!best || q.front().t < *best) best = q.front().t;
+    }
+  }
+  return best;
+}
+
+void RpcServer::drain_handoffs() {
+  // Hand-offs are pushed in nondecreasing virtual time (the engine admits
+  // lanes in global time order), so draining front-to-back preserves the
+  // workers' completion order.
+  while (!handoffs_.empty()) {
+    Handoff h = std::move(handoffs_.front());
+    handoffs_.pop_front();
+    enqueue_response(lanes_[0], h.client, h.hdr,
+                     h.body.empty() ? nullptr : h.body.data());
+  }
 }
 
 void RpcServer::serve() {
+  if (cfg_.server_workers == 0) {
+    serve_inline();
+  } else {
+    serve_pooled();
+  }
+  flush_all(true);
+  for (auto& lane : lanes_) {
+    for (auto& b : lane.sent) {
+      comm_->wait(b.req);
+      for (std::uint32_t s : b.slots) lane.free_slots.push_back(s);
+    }
+    lane.sent.clear();
+  }
+  for (auto& l : large_) {
+    comm_->wait(l.req);
+    comm_->env().dealloc(l.buf);
+  }
+  large_.clear();
+  while (lanes_.size() > 1) {
+    drop_lane(lanes_.back());
+    lanes_.pop_back();
+  }
+}
+
+void RpcServer::serve_inline() {
   while (open_clients_ > 0 || queued_ > 0) {
     ingest();
     if (queued_ == 0) {
@@ -742,7 +868,7 @@ void RpcServer::serve() {
       // before blocking, or the clients those responses unblock could
       // never send the next request.
       flush_all(true);
-      reclaim_sent(false);
+      reclaim_sent();
       if (open_clients_ == 0) break;
       // Block for the next message from any still-open client.
       std::vector<mpi::Req> live;
@@ -763,17 +889,98 @@ void RpcServer::serve() {
     }
     serve_one();
   }
-  flush_all(true);
-  for (auto& b : sent_) {
-    comm_->wait(b.req);
-    for (std::uint32_t s : b.slots) free_rsp_slots_.push_back(s);
+}
+
+void RpcServer::serve_pooled() {
+  core::RankEnv& env = comm_->env();
+  env.verbs().set_share_mode(cfg_.share_mode);
+  const std::uint32_t nw = cfg_.server_workers;
+  wscratch_.assign(nw, {});
+  if (cfg_.share_mode == hca::ShareMode::PerThreadQp) {
+    // Per-worker response rings: uncontended posting lanes, at the price
+    // of a placement-visible footprint multiplied by the worker count.
+    lanes_.resize(1 + nw);
+    for (std::uint32_t w = 0; w < nw; ++w) make_lane(lanes_[1 + w]);
   }
-  sent_.clear();
-  for (auto& l : large_) {
-    comm_->wait(l.req);
-    comm_->env().dealloc(l.buf);
+  stopping_ = false;
+  busy_workers_ = 0;
+  worker_event_ = 0;
+  std::vector<sim::TrackId> tracks;
+  tracks.reserve(nw);
+  for (std::uint32_t w = 0; w < nw; ++w)
+    tracks.push_back(env.sim().spawn_track(
+        [this, w](sim::Context& sc) { worker_main(sc, w); }));
+
+  // Dispatcher loop: this track ingests and parses request batches (the
+  // admission queue feeds the worker tracks), posts handed-off responses
+  // (ShareMode::Dispatcher), and reclaims completed batches. It blocks on
+  // the earliest of: a pending hand-off, a worker-completion signal, or
+  // the next transport event.
+  for (;;) {
+    ingest();
+    drain_handoffs();
+    reclaim_sent();
+    worker_event_ = 0;
+    if (queued_ == 0 && busy_workers_ == 0) {
+      // Quiesce: every accepted request is served and acknowledged into
+      // a response queue — force out partial batches so clients waiting
+      // on credits can progress. While workers are busy, partial batches
+      // keep accumulating instead (the Dispatcher mode's aggregation
+      // advantage).
+      flush_all(true);
+      reclaim_sent();
+      if (open_clients_ == 0 && handoffs_.empty()) break;
+    }
+    env.sim().wait_until([this]() -> std::optional<TimePs> {
+      if (!handoffs_.empty()) return handoffs_.front().t;
+      if (worker_event_ != 0) return worker_event_;
+      std::optional<TimePs> best = comm_->earliest_event_time();
+      // A request batch whose completing event a *worker's* progress
+      // drained (while blocked inside the transport) is invisible to
+      // earliest_event_time: the receive is already done. Watch the
+      // posted receives themselves so the batch still gets parsed.
+      for (const mpi::Req& r : rreqs_) {
+        if (r != nullptr && r->done() && (!best || r->done_at < *best))
+          best = r->done_at;
+      }
+      return best;
+    });
   }
-  large_.clear();
+  stopping_ = true;
+  stop_time_ = env.now();
+  for (sim::TrackId t : tracks) env.sim().join_track(t);
+}
+
+void RpcServer::worker_main(sim::Context& sc, std::uint32_t w) {
+  RspLane& lane = worker_lane(w);
+  for (;;) {
+    sc.wait_until([this]() -> std::optional<TimePs> {
+      if (stopping_) return stop_time_;
+      return earliest_work();
+    });
+    Item it;
+    if (!pop_next(it)) {
+      if (stopping_) break;
+      continue;  // a lower-id worker won the race for this item
+    }
+    ++busy_workers_;
+    serve_item(it, wscratch_[w], lane,
+               cfg_.share_mode == hca::ShareMode::Dispatcher);
+    --busy_workers_;
+    // About to idle with no more queued work: push out this worker's
+    // partial batches — a real worker thread does not sit on finished
+    // responses. Under SharedLocked every such post arbitrates for the
+    // shared QP (the cost the share-mode sweep measures); per-thread
+    // lanes post uncontended. Dispatcher-mode workers own no lane.
+    if (queued_ == 0 && cfg_.share_mode != hca::ShareMode::Dispatcher) {
+      for (std::uint32_t c = 0; c < clients_.size(); ++c)
+        flush_client(lane, c, true);
+    }
+    // Wake the dispatcher at the earliest completion it has not yet
+    // acknowledged (virtual times are nondecreasing across lanes, so the
+    // first unacknowledged signal is the earliest).
+    if (worker_event_ == 0) worker_event_ = sc.now();
+  }
 }
 
 void RpcServer::register_metrics() {
@@ -805,6 +1012,17 @@ void RpcServer::register_metrics() {
       m.probe("rpc.queue_peak", [this] { return double(stats_.queue_peak); }));
   probes_.push_back(
       m.probe("rpc.closes", [this] { return double(stats_.closes); }));
+  if (cfg_.server_workers > 0) {
+    // Arbitration counters exist only for multi-threaded servers so that
+    // single-threaded runs keep their metric snapshots byte-identical.
+    const hca::Adapter* ad = &comm_->env().state().node->adapter;
+    probes_.push_back(m.probe("hca.qp_contention_ps", [ad] {
+      return double(ad->stats().qp_contention_ps);
+    }));
+    probes_.push_back(m.probe("hca.cq_poll_contention", [ad] {
+      return double(ad->stats().cq_poll_contention);
+    }));
+  }
 }
 
 }  // namespace ibp::rpc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 namespace ibp::sim {
 namespace {
@@ -13,7 +14,20 @@ struct AbortSignal {};
 }  // namespace
 
 TimePs Engine::now_of(RankId r) const {
-  return ranks_[static_cast<std::size_t>(r)].time;
+  const auto& rk = ranks_[static_cast<std::size_t>(r)];
+  return rk.tracks[static_cast<std::size_t>(rk.cur)]->time;
+}
+
+TrackId Engine::track_of(RankId r) const {
+  return ranks_[static_cast<std::size_t>(r)].cur;
+}
+
+int Engine::live_tracks_of(RankId r) const {
+  const auto& rk = ranks_[static_cast<std::size_t>(r)];
+  int live = 0;
+  for (const auto& ts : rk.tracks)
+    if (ts->state != State::Finished) ++live;
+  return live;
 }
 
 void Engine::run(const RankFn& fn) {
@@ -23,113 +37,217 @@ void Engine::run(const RankFn& fn) {
 
 void Engine::run(const std::vector<RankFn>& fns) {
   IBP_CHECK(fns.size() == ranks_.size(), "one program per rank required");
-  for (const auto& rs : ranks_)
-    IBP_CHECK(rs.state == State::NotStarted, "Engine::run is single-use");
+  for (const auto& rk : ranks_)
+    IBP_CHECK(rk.tracks[0]->state == State::NotStarted,
+              "Engine::run is single-use");
 
-  for (auto& rs : ranks_) rs.state = State::Runnable;
+  for (auto& rk : ranks_) rk.tracks[0]->state = State::Runnable;
 
   std::vector<std::thread> threads;
   threads.reserve(ranks_.size());
   for (int r = 0; r < nranks(); ++r) {
     threads.emplace_back([this, r, &fns] {
       Context ctx(this, r);
-      auto& rs = ranks_[static_cast<std::size_t>(r)];
+      auto& ts = *ranks_[static_cast<std::size_t>(r)].tracks[0];
       try {
         {
           std::unique_lock<std::mutex> lock(mu_);
-          await_turn(lock, r);
+          await_turn(lock, r, 0);
         }
         fns[static_cast<std::size_t>(r)](ctx);
         std::unique_lock<std::mutex> lock(mu_);
-        rs.state = State::Finished;
-        rs.active = false;
+        ts.state = State::Finished;
+        ts.active = false;
         schedule_next(lock);
       } catch (const AbortSignal&) {
         // Another rank failed; just unwind quietly.
       } catch (...) {
         std::unique_lock<std::mutex> lock(mu_);
-        rs.state = State::Finished;
-        rs.active = false;
+        ts.state = State::Finished;
+        ts.active = false;
         abort_all(lock, std::current_exception());
       }
     });
   }
 
   {
-    // Kick off the first rank.
+    // Kick off the first lane.
     std::unique_lock<std::mutex> lock(mu_);
     bool any_active = false;
-    for (const auto& rs : ranks_) any_active |= rs.active;
+    for (const auto& rk : ranks_)
+      for (const auto& ts : rk.tracks) any_active |= ts->active;
     if (!any_active && !aborted_) schedule_next(lock);
   }
 
   for (auto& t : threads) t.join();
+
+  // Reap spawned-track OS threads (they exit once their track finishes or
+  // the run aborts; unjoined tracks are still driven by the scheduler
+  // until every lane is done). Spawning can append to the track vectors
+  // until the last lane exits, so rescan until no joinable thread is left.
+  for (;;) {
+    std::thread th;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (auto& rk : ranks_) {
+        for (auto& ts : rk.tracks) {
+          if (ts->thread.joinable()) {
+            th = std::move(ts->thread);
+            break;
+          }
+        }
+        if (th.joinable()) break;
+      }
+    }
+    if (!th.joinable()) break;
+    th.join();
+  }
+
   if (error_) std::rethrow_exception(error_);
 }
 
 void Engine::advance_rank(RankId r, TimePs dt) {
-  auto& rs = ranks_[static_cast<std::size_t>(r)];
+  auto& rk = ranks_[static_cast<std::size_t>(r)];
   std::unique_lock<std::mutex> lock(mu_);
   // During an abort, destructors on unwinding stacks may still call
   // advance(); the run is over, so let them through as no-ops.
   if (aborted_) return;
-  IBP_CHECK(rs.active, "advance() outside of scheduled execution");
-  rs.time += dt;
-  rs.active = false;
+  const TrackId t = rk.cur;
+  auto& ts = *rk.tracks[static_cast<std::size_t>(t)];
+  IBP_CHECK(ts.active, "advance() outside of scheduled execution");
+  ts.time += dt;
+  ts.active = false;
   schedule_next(lock);
-  await_turn(lock, r);
+  await_turn(lock, r, t);
 }
 
 void Engine::yield_rank(RankId r) { advance_rank(r, 0); }
 
 void Engine::wait_rank(RankId r,
                        const std::function<std::optional<TimePs>()>& pred) {
-  auto& rs = ranks_[static_cast<std::size_t>(r)];
+  auto& rk = ranks_[static_cast<std::size_t>(r)];
   std::unique_lock<std::mutex> lock(mu_);
   if (aborted_) return;
-  IBP_CHECK(rs.active, "wait_until() outside of scheduled execution");
-  rs.state = State::Blocked;
-  rs.pred = pred;
-  rs.active = false;
+  const TrackId t = rk.cur;
+  auto& ts = *rk.tracks[static_cast<std::size_t>(t)];
+  IBP_CHECK(ts.active, "wait_until() outside of scheduled execution");
+  ts.state = State::Blocked;
+  ts.pred = pred;
+  ts.active = false;
   schedule_next(lock);
-  await_turn(lock, r);
-  rs.pred = nullptr;
+  await_turn(lock, r, t);
+  ts.pred = nullptr;
+}
+
+TrackId Engine::spawn_track(RankId r, std::function<void(Context&)> fn) {
+  auto& rk = ranks_[static_cast<std::size_t>(r)];
+  std::unique_lock<std::mutex> lock(mu_);
+  if (aborted_) return -1;  // unwinding; the track will never run
+  auto& parent = *rk.tracks[static_cast<std::size_t>(rk.cur)];
+  IBP_CHECK(parent.active, "spawn_track() outside of scheduled execution");
+
+  const TrackId id = static_cast<TrackId>(rk.tracks.size());
+  rk.tracks.push_back(std::make_unique<TrackState>());
+  auto& ts = *rk.tracks.back();
+  ts.time = parent.time;
+  ts.state = State::Runnable;
+  // The spawner keeps its turn; the new track parks in await_turn until
+  // the scheduler picks its (time, rank, track) key.
+  ts.thread = std::thread(
+      [this, r, id, fn = std::move(fn)] { track_body(r, id, fn); });
+  return id;
+}
+
+void Engine::track_body(RankId r, TrackId t,
+                        const std::function<void(Context&)>& fn) {
+  Context ctx(this, r);
+  TrackState* tsp = nullptr;
+  {
+    // The spawner is still running and may grow the track vector; fetch
+    // the (heap-stable) TrackState under the lock.
+    std::unique_lock<std::mutex> lock(mu_);
+    tsp = ranks_[static_cast<std::size_t>(r)].tracks[
+        static_cast<std::size_t>(t)].get();
+  }
+  auto& ts = *tsp;
+  try {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      await_turn(lock, r, t);
+    }
+    fn(ctx);
+    std::unique_lock<std::mutex> lock(mu_);
+    ts.state = State::Finished;
+    ts.active = false;
+    schedule_next(lock);
+  } catch (const AbortSignal&) {
+    // Another lane failed; just unwind quietly.
+  } catch (...) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ts.state = State::Finished;
+    ts.active = false;
+    abort_all(lock, std::current_exception());
+  }
+}
+
+void Engine::join_track(RankId r, TrackId t) {
+  TrackState* ts = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto& rk = ranks_[static_cast<std::size_t>(r)];
+    IBP_CHECK(t > 0 && t < static_cast<TrackId>(rk.tracks.size()),
+              "join_track: no such spawned track");
+    IBP_CHECK(t != rk.cur, "join_track: a track cannot join itself");
+    ts = rk.tracks[static_cast<std::size_t>(t)].get();
+  }
+  wait_rank(r, [ts]() -> std::optional<TimePs> {
+    if (ts->state != State::Finished) return std::nullopt;
+    return ts->time;
+  });
 }
 
 void Engine::schedule_next(std::unique_lock<std::mutex>& lock) {
   (void)lock;
   if (aborted_) return;
 
-  // Candidate = every runnable rank at its clock, plus every blocked rank
+  // Candidate = every runnable lane at its clock, plus every blocked lane
   // whose predicate is ready, at max(clock, ready time). Choosing the
-  // global minimum (time, rank) keeps execution in virtual-time order, so
-  // no rank can later be affected by an event earlier than its clock.
+  // global minimum (time, rank, track) keeps execution in virtual-time
+  // order, so no lane can later be affected by an event earlier than its
+  // clock. The rank-major, track-minor scan with a strictly-less compare
+  // realizes the (time, rank, track) tie-break.
   constexpr TimePs kInf = std::numeric_limits<TimePs>::max();
   TimePs best_time = kInf;
   int best_rank = -1;
+  TrackId best_track = 0;
   bool best_blocked = false;
   TimePs best_ready = 0;
   bool any_unfinished = false;
 
   for (int r = 0; r < nranks(); ++r) {
-    auto& rs = ranks_[static_cast<std::size_t>(r)];
-    if (rs.state == State::Finished) continue;
-    any_unfinished = true;
-    if (rs.state == State::Runnable) {
-      if (rs.time < best_time) {
-        best_time = rs.time;
-        best_rank = r;
-        best_blocked = false;
-      }
-    } else if (rs.state == State::Blocked) {
-      const auto ready = rs.pred();
-      if (ready) {
-        const TimePs t = std::max(rs.time, *ready);
-        if (t < best_time) {
-          best_time = t;
+    auto& rk = ranks_[static_cast<std::size_t>(r)];
+    for (TrackId k = 0; k < static_cast<TrackId>(rk.tracks.size()); ++k) {
+      auto& ts = *rk.tracks[static_cast<std::size_t>(k)];
+      if (ts.state == State::Finished) continue;
+      any_unfinished = true;
+      if (ts.state == State::Runnable) {
+        if (ts.time < best_time) {
+          best_time = ts.time;
           best_rank = r;
-          best_blocked = true;
-          best_ready = t;
+          best_track = k;
+          best_blocked = false;
+        }
+      } else if (ts.state == State::Blocked) {
+        const auto ready = ts.pred();
+        if (ready) {
+          const TimePs t = std::max(ts.time, *ready);
+          if (t < best_time) {
+            best_time = t;
+            best_rank = r;
+            best_track = k;
+            best_blocked = true;
+            best_ready = t;
+          }
         }
       }
     }
@@ -146,9 +264,9 @@ void Engine::schedule_next(std::unique_lock<std::mutex>& lock) {
     return;
   }
 
-  // The chosen (time, rank) key is the global frontier: no unfinished
-  // rank can act earlier. Fire the sampler for every period boundary the
-  // frontier just crossed while no rank is active.
+  // The chosen (time, rank, track) key is the global frontier: no
+  // unfinished lane can act earlier. Fire the sampler for every period
+  // boundary the frontier just crossed while no lane is active.
   if (sampler_ && sample_period_ != 0) {
     while (next_sample_ <= best_time) {
       sampler_(next_sample_);
@@ -156,18 +274,22 @@ void Engine::schedule_next(std::unique_lock<std::mutex>& lock) {
     }
   }
 
-  auto& next = ranks_[static_cast<std::size_t>(best_rank)];
+  auto& rk = ranks_[static_cast<std::size_t>(best_rank)];
+  auto& next = *rk.tracks[static_cast<std::size_t>(best_track)];
   if (best_blocked) {
     next.state = State::Runnable;
     next.time = best_ready;
   }
+  rk.cur = best_track;
   next.active = true;
   next.cv.notify_one();
 }
 
-void Engine::await_turn(std::unique_lock<std::mutex>& lock, RankId r) {
-  auto& rs = ranks_[static_cast<std::size_t>(r)];
-  rs.cv.wait(lock, [&] { return rs.active || aborted_; });
+void Engine::await_turn(std::unique_lock<std::mutex>& lock, RankId r,
+                        TrackId t) {
+  auto& ts = *ranks_[static_cast<std::size_t>(r)].tracks[
+      static_cast<std::size_t>(t)];
+  ts.cv.wait(lock, [&] { return ts.active || aborted_; });
   if (aborted_) throw AbortSignal{};
 }
 
@@ -176,7 +298,8 @@ void Engine::abort_all(std::unique_lock<std::mutex>& lock,
   (void)lock;
   if (!error_) error_ = std::move(err);
   aborted_ = true;
-  for (auto& rs : ranks_) rs.cv.notify_all();
+  for (auto& rk : ranks_)
+    for (auto& ts : rk.tracks) ts->cv.notify_all();
 }
 
 }  // namespace ibp::sim

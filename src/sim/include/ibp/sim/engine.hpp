@@ -3,19 +3,30 @@
 // Deterministic virtual-time execution engine.
 //
 // Each simulated rank runs its program on a dedicated OS thread, but the
-// engine admits exactly one rank at a time: always the runnable rank with
-// the smallest (virtual time, rank id) key. Ranks consume virtual time via
-// Context::advance() and block on conditions via Context::wait_until(),
-// whose predicate reports the earliest virtual time the condition holds.
+// engine admits exactly one execution lane at a time: always the runnable
+// lane with the smallest (virtual time, rank id, track id) key. Lanes
+// consume virtual time via Context::advance() and block on conditions via
+// Context::wait_until(), whose predicate reports the earliest virtual time
+// the condition holds.
+//
+// A rank may model T application threads as *tracks*: TrackId-addressed
+// virtual-time lanes spawned with Context::spawn_track() and awaited with
+// Context::join_track(). Track 0 is the rank program itself. Tracks of one
+// rank share all of the rank's simulation state (Context, adapters, comms)
+// — safe because the engine still admits exactly one lane globally, in
+// virtual-time order. With a single track per rank the schedule, and thus
+// every trace and result, is bit-identical to the historical rank-only
+// engine.
 //
 // Because execution is serialized in global virtual-time order, shared
 // simulation state (queues, adapters, memory) needs no further locking and
-// every run is bit-reproducible. If every unfinished rank is blocked with
+// every run is bit-reproducible. If every unfinished lane is blocked with
 // no predicate ready, the engine raises a deadlock error on all ranks.
 
 #include <condition_variable>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -29,25 +40,43 @@ namespace ibp::sim {
 
 class Engine;
 
+/// Identifies one virtual-time lane within a rank. Track 0 is the rank's
+/// main program; spawn_track() hands out 1, 2, ... in spawn order.
+using TrackId = int;
+
 /// Per-rank handle passed to rank programs; all engine interaction goes
-/// through it. Valid only inside Engine::run().
+/// through it. Valid only inside Engine::run(). Calls are routed to the
+/// rank's *currently executing track*, so one Context (and anything built
+/// on it — comms, verbs contexts) is transparently shared by all tracks
+/// of the rank.
 class Context {
  public:
   RankId rank() const { return rank_; }
   int nranks() const;
 
-  /// Current virtual time of this rank.
+  /// Id of the track this call executes on (0 = the rank program).
+  TrackId track() const;
+
+  /// Number of unfinished tracks on this rank (>= 1 while running).
+  int live_tracks() const;
+
+  /// Trace lane for the calling track: rank for track 0 (legacy lanes),
+  /// rank + track * nranks for spawned tracks — distinct Chrome-trace
+  /// tids that never collide with another rank's lanes.
+  int trace_lane() const;
+
+  /// Current virtual time of this track.
   TimePs now() const;
 
   /// Consume `dt` of virtual time (compute, overheads). May hand control to
-  /// another rank whose clock is behind.
+  /// another lane whose clock is behind.
   void advance(TimePs dt);
 
   /// Block until `pred` reports a ready time. The predicate returns
   /// std::nullopt while the condition is unsatisfied and the earliest
   /// virtual time at which it is satisfied once it is. On resumption this
-  /// rank's clock is max(current, ready time). Predicates are re-evaluated
-  /// by the scheduler whenever any rank yields, so they must be cheap,
+  /// track's clock is max(current, ready time). Predicates are re-evaluated
+  /// by the scheduler whenever any lane yields, so they must be cheap,
   /// side-effect free, and monotone (once ready, stay ready with a
   /// non-increasing ready time).
   void wait_until(const std::function<std::optional<TimePs>()>& pred);
@@ -56,8 +85,18 @@ class Context {
   void sleep_until(TimePs t);
 
   /// Reschedule without consuming time (lets equal-time peers interleave
-  /// deterministically by rank id).
+  /// deterministically by (rank, track) id).
   void yield();
+
+  /// Start a new track on this rank at the caller's current virtual time.
+  /// The track runs `fn` with this rank's Context; the caller keeps
+  /// executing (the new track becomes schedulable at the next yield
+  /// point). Returns the new track's id.
+  TrackId spawn_track(std::function<void(Context&)> fn);
+
+  /// Block until track `t` of this rank finishes; on resumption the
+  /// caller's clock is max(its own clock, the track's final time).
+  void join_track(TrackId t);
 
  private:
   friend class Engine;
@@ -72,6 +111,9 @@ class Engine {
 
   explicit Engine(int nranks) : ranks_(static_cast<std::size_t>(nranks)) {
     IBP_CHECK(nranks > 0, "engine needs at least one rank");
+    for (auto& rk : ranks_) {
+      rk.tracks.push_back(std::make_unique<TrackState>());
+    }
   }
 
   Engine(const Engine&) = delete;
@@ -85,22 +127,27 @@ class Engine {
   /// Run one distinct program per rank.
   void run(const std::vector<RankFn>& fns);
 
-  /// Final virtual time of rank `r` after run() returned.
+  /// Final virtual time of rank `r` after run() returned: the maximum
+  /// final time across the rank's tracks (equal to the rank program's
+  /// final time when every spawned track was joined).
   TimePs final_time(RankId r) const {
-    return ranks_.at(static_cast<std::size_t>(r)).time;
+    const auto& rk = ranks_.at(static_cast<std::size_t>(r));
+    TimePs m = 0;
+    for (const auto& ts : rk.tracks) m = std::max(m, ts->time);
+    return m;
   }
 
   /// Maximum final virtual time across ranks (the run's makespan).
   TimePs makespan() const {
     TimePs m = 0;
-    for (const auto& r : ranks_) m = std::max(m, r.time);
+    for (int r = 0; r < nranks(); ++r) m = std::max(m, final_time(r));
     return m;
   }
 
   /// Install a virtual-time sampler: `fn(t)` fires whenever the global
-  /// time frontier (the smallest virtual time any unfinished rank can
+  /// time frontier (the smallest virtual time any unfinished lane can
   /// still act at) crosses a multiple of `period`. The callback runs in
-  /// the scheduling gap — no rank is active — so it may safely read any
+  /// the scheduling gap — no lane is active — so it may safely read any
   /// shared simulation state. Deterministic: the frontier sequence is a
   /// pure function of the rank programs. Call before run(); a period of
   /// 0 (or a null fn) disables sampling.
@@ -115,25 +162,41 @@ class Engine {
 
   enum class State { NotStarted, Runnable, Blocked, Finished };
 
-  struct RankState {
+  struct TrackState {
     TimePs time = 0;
     State state = State::NotStarted;
     std::function<std::optional<TimePs>()> pred;  // valid while Blocked
     std::condition_variable cv;
-    bool active = false;  // this rank's thread may run right now
+    bool active = false;   // this track's thread may run right now
+    std::thread thread;    // spawned tracks only (track 0 joins in run())
+  };
+
+  struct RankState {
+    // tracks[0] is the rank program; spawned tracks append. Entries are
+    // never erased, so TrackIds stay valid for the whole run.
+    std::vector<std::unique_ptr<TrackState>> tracks;
+    TrackId cur = 0;  // track currently (or last) holding the rank's turn
   };
 
   TimePs now_of(RankId r) const;
+  TrackId track_of(RankId r) const;
+  int live_tracks_of(RankId r) const;
   void advance_rank(RankId r, TimePs dt);
   void wait_rank(RankId r, const std::function<std::optional<TimePs>()>& pred);
   void yield_rank(RankId r);
+  TrackId spawn_track(RankId r, std::function<void(Context&)> fn);
+  void join_track(RankId r, TrackId t);
 
-  /// Pick and wake the next rank; caller holds mu_ and has already cleared
+  /// Body of a spawned track's OS thread.
+  void track_body(RankId r, TrackId t, const std::function<void(Context&)>& fn);
+
+  /// Pick and wake the next lane; caller holds mu_ and has already cleared
   /// its own `active` flag (or finished).
   void schedule_next(std::unique_lock<std::mutex>& lock);
 
-  /// Wait (on rank r's cv) until it is this rank's turn or the run aborted.
-  void await_turn(std::unique_lock<std::mutex>& lock, RankId r);
+  /// Wait (on the track's cv) until it is this track's turn or the run
+  /// aborted.
+  void await_turn(std::unique_lock<std::mutex>& lock, RankId r, TrackId t);
 
   void abort_all(std::unique_lock<std::mutex>& lock, std::exception_ptr err);
 
@@ -148,6 +211,15 @@ class Engine {
 };
 
 inline int Context::nranks() const { return eng_->nranks(); }
+inline TrackId Context::track() const { return eng_->track_of(rank_); }
+inline int Context::live_tracks() const {
+  return eng_->live_tracks_of(rank_);
+}
+inline int Context::trace_lane() const {
+  const TrackId t = track();
+  return t == 0 ? static_cast<int>(rank_)
+                : static_cast<int>(rank_) + t * nranks();
+}
 inline TimePs Context::now() const { return eng_->now_of(rank_); }
 inline void Context::advance(TimePs dt) { eng_->advance_rank(rank_, dt); }
 inline void Context::wait_until(
@@ -158,5 +230,9 @@ inline void Context::sleep_until(TimePs t) {
   if (t > now()) advance(t - now());
 }
 inline void Context::yield() { eng_->yield_rank(rank_); }
+inline TrackId Context::spawn_track(std::function<void(Context&)> fn) {
+  return eng_->spawn_track(rank_, std::move(fn));
+}
+inline void Context::join_track(TrackId t) { eng_->join_track(rank_, t); }
 
 }  // namespace ibp::sim

@@ -125,6 +125,20 @@ class Context {
   /// context's CQs).
   Qp wrap_qp(hca::QueuePair& qp) { return Qp(&qp); }
 
+  /// Enable the multi-thread QP/CQ arbitration model for this context.
+  /// SharedLocked charges a lock-acquire plus a cache-bounce (when the
+  /// previous holder was another track) per post/poll, and serializes the
+  /// ops behind a virtual-time lock — but only while more than one sim
+  /// track is alive on the rank. PerThreadQp and Dispatcher post
+  /// uncontended here; their costs (multiplied footprint, hand-off) are
+  /// paid by the layers that own them. Never calling this keeps the
+  /// legacy single-thread timing bit-exact.
+  void set_share_mode(hca::ShareMode m) {
+    share_mode_ = m;
+    arbitrate_ = true;
+  }
+  hca::ShareMode share_mode() const { return share_mode_; }
+
   /// State + reliability counters of a QP (ibv_query_qp equivalent).
   QpInfo query_qp(const Qp& qp) const {
     return QpInfo{qp.qp_->state(), qp.qp_->attrs(), qp.qp_->qp_stats()};
@@ -134,11 +148,31 @@ class Context {
   void reset_qp(Qp& qp) { qp.qp_->reset(); }
 
   void post_send(Qp& qp, const hca::SendWr& wr) {
-    sc_->advance(qp.qp_->post_send(wr, sc_->now()));
+    if (!contended()) {
+      sc_->advance(qp.qp_->post_send(wr, sc_->now()));
+      return;
+    }
+    auto& a = hca_->device_arb();
+    TimePs extra = 0;
+    const TimePs pre = lock_pre(a, &extra);
+    const TimePs c = qp.qp_->post_send(wr, sc_->now() + pre);
+    a.busy_until = sc_->now() + pre + c;
+    hca_->note_qp_contention(extra);
+    sc_->advance(pre + c);
   }
 
   void post_recv(Qp& qp, const hca::RecvWr& wr) {
-    sc_->advance(qp.qp_->post_recv(wr, sc_->now()));
+    if (!contended()) {
+      sc_->advance(qp.qp_->post_recv(wr, sc_->now()));
+      return;
+    }
+    auto& a = hca_->device_arb();
+    TimePs extra = 0;
+    const TimePs pre = lock_pre(a, &extra);
+    const TimePs c = qp.qp_->post_recv(wr, sc_->now() + pre);
+    a.busy_until = sc_->now() + pre + c;
+    hca_->note_qp_contention(extra);
+    sc_->advance(pre + c);
   }
 
   /// Non-blocking poll; charges one poll probe.
@@ -153,21 +187,54 @@ class Context {
   hca::CompletionQueue& recv_cq() { return *recv_cq_p_; }
 
  private:
+  /// SharedLocked arbitration applies only while several tracks are alive;
+  /// otherwise (including every legacy single-thread program) posts and
+  /// polls take the historical uncontended path.
+  bool contended() const {
+    return arbitrate_ && share_mode_ == hca::ShareMode::SharedLocked &&
+           sc_->live_tracks() > 1;
+  }
+
+  /// Lock-acquire preamble for a shared QP/CQ: wait out the current
+  /// holder, pay the acquire atomic, and bounce the cachelines when the
+  /// previous holder was another lane. Returns the full preamble cost and
+  /// stores the contended part (wait + bounce) in `*extra`.
+  TimePs lock_pre(hca::ArbState& a, TimePs* extra) {
+    const TimePs now = sc_->now();
+    const TimePs wait = a.busy_until > now ? a.busy_until - now : 0;
+    const int lane = sc_->track();
+    const TimePs bounce = (a.last_lane >= 0 && a.last_lane != lane)
+                              ? hca_->config().qp_cache_bounce
+                              : 0;
+    a.last_lane = lane;
+    *extra = wait + bounce;
+    return wait + hca_->config().qp_lock_acquire + bounce;
+  }
+
   std::optional<hca::Cqe> poll(hca::CompletionQueue& cq) {
-    auto c = cq.poll(sc_->now());
-    sc_->advance(c ? hca_->config().poll_cqe : hca_->config().poll_empty);
+    if (!contended()) {
+      auto c = cq.poll(sc_->now());
+      sc_->advance(c ? hca_->config().poll_cqe : hca_->config().poll_empty);
+      return c;
+    }
+    auto& a = hca_->device_arb();
+    TimePs extra = 0;
+    const TimePs pre = lock_pre(a, &extra);
+    auto c = cq.poll(sc_->now() + pre);
+    const TimePs cost =
+        c ? hca_->config().poll_cqe : hca_->config().poll_empty;
+    a.busy_until = sc_->now() + pre + cost;
+    if (extra > 0) hca_->note_cq_contention(extra);
+    sc_->advance(pre + cost);
     return c;
   }
 
   hca::Cqe wait(hca::CompletionQueue& cq) {
+    // Identical cost sequence to the historical loop (probe, then either
+    // consume or sleep until a CQE can be ready); routing the probe
+    // through poll() adds the arbitration charges under contention.
     for (;;) {
-      if (auto c = cq.poll(sc_->now())) {
-        sc_->advance(hca_->config().poll_cqe);
-        return *c;
-      }
-      sc_->advance(hca_->config().poll_empty);
-      // Sleep until some CQE exists and is ready; new CQEs can only appear
-      // while other ranks run, so the predicate re-evaluates then.
+      if (auto c = poll(cq)) return *c;
       sc_->wait_until([&cq] { return cq.next_ready(); });
     }
   }
@@ -176,6 +243,8 @@ class Context {
   mem::AddressSpace* space_;
   hca::Adapter* hca_;
   DriverConfig drv_;
+  hca::ShareMode share_mode_ = hca::ShareMode::SharedLocked;
+  bool arbitrate_ = false;
   hca::CompletionQueue own_send_cq_;
   hca::CompletionQueue own_recv_cq_;
   hca::CompletionQueue* send_cq_p_ = nullptr;

@@ -47,6 +47,13 @@ struct NasResult {
 /// time; the communication/computation ratio is calibrated at scale=1.
 struct NasScale {
   int scale = 1;
+  /// Per-iteration phase hook (like ImbConfig::phase_hook): invoked on
+  /// rank 0 only, at the end of every iteration of the kernel's timed
+  /// main loop (EP: every sample batch), with the 0-based iteration
+  /// index. The call itself consumes no virtual time, so a registry
+  /// snapshot taken inside it is race-free and the run is bit-identical
+  /// whether or not a hook is installed. Null by default.
+  std::function<void(int)> iter_hook;
 };
 
 NasResult run_cg(core::Cluster& cluster, NasScale s = {});

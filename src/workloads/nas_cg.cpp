@@ -23,7 +23,7 @@ constexpr int kIters = 8;
 NasResult run_cg(core::Cluster& cluster, NasScale s) {
   return detail::run_kernel(
       cluster, "cg", s.scale,
-      [](core::RankEnv& env, mpi::Comm& comm, int scale,
+      [&s](core::RankEnv& env, mpi::Comm& comm, int scale,
          detail::Timer& timer) -> detail::KernelOutcome {
         const int nranks = env.nranks();
         const std::uint64_t n =
@@ -135,6 +135,7 @@ NasResult run_cg(core::Cluster& cluster, NasScale s) {
           env.compute(2 * rows);
           env.touch_interleaved(std::vector<cpu::MemorySystem::StreamRef>{
               {p_va, rows * 8}, {r_va, rows * 8}});
+          if (env.rank() == 0 && s.iter_hook) s.iter_hook(iter);
         }
 
         detail::KernelOutcome out;

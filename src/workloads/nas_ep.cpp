@@ -27,7 +27,7 @@ constexpr std::uint64_t kHotTouchesPerBatch = 32;
 NasResult run_ep(core::Cluster& cluster, NasScale s) {
   return detail::run_kernel(
       cluster, "ep", s.scale,
-      [](core::RankEnv& env, mpi::Comm& comm, int scale,
+      [&s](core::RankEnv& env, mpi::Comm& comm, int scale,
          detail::Timer& timer) -> detail::KernelOutcome {
         const std::uint64_t samples =
             (std::uint64_t{1} << 19) * static_cast<std::uint64_t>(scale);
@@ -83,6 +83,8 @@ NasResult run_ep(core::Cluster& cluster, NasScale s) {
                                 within * (spot_stride / spots_per_region);
             env.touch_random(va, 64, 1);
           }
+          if (env.rank() == 0 && s.iter_hook)
+            s.iter_hook(static_cast<int>(done / kBatch));
         }
 
         // Reduce the tabulated counts and Gaussian sums.

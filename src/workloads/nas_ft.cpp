@@ -52,7 +52,7 @@ void fft1d(Cx* a, std::uint64_t n, bool inverse) {
 NasResult run_ft(core::Cluster& cluster, NasScale s) {
   return detail::run_kernel(
       cluster, "ft", s.scale,
-      [](core::RankEnv& env, mpi::Comm& comm, int scale,
+      [&s](core::RankEnv& env, mpi::Comm& comm, int scale,
          detail::Timer& timer) -> detail::KernelOutcome {
         const auto nranks = static_cast<std::uint64_t>(env.nranks());
         const std::uint64_t n = kN * static_cast<std::uint64_t>(scale);
@@ -160,6 +160,7 @@ NasResult run_ft(core::Cluster& cluster, NasScale s) {
           transpose();
           fft_y(true);
           fft_x(true);
+          if (env.rank() == 0 && s.iter_hook) s.iter_hook(it);
         }
 
         double err = 0.0;

@@ -24,7 +24,7 @@ constexpr int kIters = 4;
 NasResult run_is(core::Cluster& cluster, NasScale s) {
   return detail::run_kernel(
       cluster, "is", s.scale,
-      [](core::RankEnv& env, mpi::Comm& comm, int scale,
+      [&s](core::RankEnv& env, mpi::Comm& comm, int scale,
          detail::Timer& timer) -> detail::KernelOutcome {
         const int nranks = env.nranks();
         const int me = env.rank();
@@ -175,6 +175,7 @@ NasResult run_is(core::Cluster& cluster, NasScale s) {
             env.dealloc(b_va);
             env.dealloc(nb_va);
           }
+          if (env.rank() == 0 && s.iter_hook) s.iter_hook(iter);
         }
 
         detail::KernelOutcome out_res;

@@ -26,7 +26,7 @@ constexpr double kOmega = 0.8;  // under-relaxed: |1-w| + 3w/4 < 1 (contraction)
 NasResult run_lu(core::Cluster& cluster, NasScale s) {
   return detail::run_kernel(
       cluster, "lu", s.scale,
-      [](core::RankEnv& env, mpi::Comm& comm, int scale,
+      [&s](core::RankEnv& env, mpi::Comm& comm, int scale,
          detail::Timer& timer) -> detail::KernelOutcome {
         const int nranks = env.nranks();
         // Process grid: px * py == nranks, px >= py.
@@ -167,6 +167,7 @@ NasResult run_lu(core::Cluster& cluster, NasScale s) {
           const double delta = std::sqrt(*env.host_ptr<double>(red_va));
           if (it == 0) first_delta = delta;
           last_delta = delta;
+          if (env.rank() == 0 && s.iter_hook) s.iter_hook(it);
         }
 
         detail::KernelOutcome out;

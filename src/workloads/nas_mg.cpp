@@ -33,7 +33,7 @@ struct Level {
 NasResult run_mg(core::Cluster& cluster, NasScale s) {
   return detail::run_kernel(
       cluster, "mg", s.scale,
-      [](core::RankEnv& env, mpi::Comm& comm, int scale,
+      [&s](core::RankEnv& env, mpi::Comm& comm, int scale,
          detail::Timer& timer) -> detail::KernelOutcome {
         const int nranks = env.nranks();
         const int me = env.rank();
@@ -225,6 +225,7 @@ NasResult run_mg(core::Cluster& cluster, NasScale s) {
             prolong_from(lv[l], lv[l + 1]);
             smooth(lv[l], kPostSmooth, tag += 10);
           }
+          if (env.rank() == 0 && s.iter_hook) s.iter_hook(cyc);
         }
         const double res1 = residual_norm(lv[0], 9990);
 

@@ -254,5 +254,84 @@ TEST(RegCache, SameBaseWiderHullRetiresNarrowerRegistration) {
   });
 }
 
+TEST(RegCache, ShardedCacheHitsLikeSingleShard) {
+  with_env(true, [](core::RankEnv& env) {
+    auto& m1 = env.space().map(1 * kMiB, mem::PageKind::Small);
+    auto& m2 = env.space().map(1 * kMiB, mem::PageKind::Small);
+    RegCache rc(env.verbs(), RegCache::RegStrategy::LazyCache, 0, 4);
+    EXPECT_EQ(rc.shards(), 4u);
+    const verbs::Mr a = rc.acquire(m1.va_base, 64 * kKiB);
+    const verbs::Mr b = rc.acquire(m2.va_base, 64 * kKiB);
+    rc.release(a);
+    rc.release(b);
+    EXPECT_EQ(rc.acquire(m1.va_base, 64 * kKiB).lkey, a.lkey);
+    EXPECT_EQ(rc.acquire(m2.va_base, 64 * kKiB).lkey, b.lkey);
+    EXPECT_EQ(rc.stats().hits, 2u);
+    EXPECT_EQ(rc.stats().misses, 2u);
+    rc.flush();
+  });
+}
+
+TEST(RegCache, ShardedCapacityEvictsGlobalLru) {
+  with_env(true, [](core::RankEnv& env) {
+    auto& m1 = env.space().map(2 * kMiB, mem::PageKind::Small);
+    auto& m2 = env.space().map(2 * kMiB, mem::PageKind::Small);
+    // Capacity for two 1 MiB registrations; the third acquire must evict
+    // the least-recently-used idle entry regardless of which shard it
+    // lives in.
+    RegCache rc(env.verbs(), RegCache::RegStrategy::LazyCache, 2 * kMiB, 4);
+    rc.release(rc.acquire(m1.va_base, 1 * kMiB));
+    rc.release(rc.acquire(m2.va_base, 1 * kMiB));
+    rc.release(rc.acquire(m1.va_base + 1 * kMiB, 1 * kMiB));
+    EXPECT_EQ(rc.stats().evictions, 1u);
+    EXPECT_LE(rc.stats().pinned_bytes, 2 * kMiB);
+    // The m1-base entry was oldest; re-acquiring it must miss.
+    rc.release(rc.acquire(m1.va_base, 1 * kMiB));
+    EXPECT_EQ(rc.stats().misses, 4u);
+    rc.flush();
+  });
+}
+
+TEST(RegCache, DeactivatedSwitchRetiresInFlightOnRelease) {
+  with_env(true, [](core::RankEnv& env) {
+    auto& m = env.space().map(1 * kMiB, mem::PageKind::Small);
+    RegCache rc(env.verbs(), RegCache::RegStrategy::LazyCache);
+    const verbs::Mr held = rc.acquire(m.va_base, 64 * kKiB);
+    rc.set_strategy(RegCache::RegStrategy::Deactivated);
+    EXPECT_EQ(rc.entries(), 1u) << "reference-held entries survive switch";
+    // Flip back to caching before the transfer finishes: the doomed
+    // generation must still retire at release.
+    rc.set_strategy(RegCache::RegStrategy::LazyCache);
+    rc.release(held);
+    EXPECT_EQ(rc.entries(), 0u)
+        << "generation retirement must fire despite the flip-back";
+    EXPECT_EQ(rc.stats().retirements, 1u);
+    EXPECT_EQ(rc.stats().pinned_bytes, 0u);
+    // New registrations after the flip-back are a fresh generation.
+    const verbs::Mr fresh = rc.acquire(m.va_base, 64 * kKiB);
+    rc.release(fresh);
+    EXPECT_EQ(rc.entries(), 1u) << "post-switch entries must stay cached";
+    rc.flush();
+  });
+}
+
+TEST(RegCache, DoomedEntryIsNotAHit) {
+  with_env(true, [](core::RankEnv& env) {
+    auto& m = env.space().map(1 * kMiB, mem::PageKind::Small);
+    RegCache rc(env.verbs(), RegCache::RegStrategy::LazyCache);
+    const verbs::Mr held = rc.acquire(m.va_base, 64 * kKiB);
+    rc.set_strategy(RegCache::RegStrategy::Deactivated);
+    rc.set_strategy(RegCache::RegStrategy::LazyCache);
+    // The held entry still covers this range but is doomed — the acquire
+    // must register afresh instead of extending the doomed pin.
+    const verbs::Mr b = rc.acquire(m.va_base, 4 * kKiB);
+    EXPECT_EQ(rc.stats().hits, 0u);
+    EXPECT_EQ(rc.stats().misses, 2u);
+    rc.release(held);
+    rc.release(b);
+    rc.flush();
+  });
+}
+
 }  // namespace
 }  // namespace ibp::regcache

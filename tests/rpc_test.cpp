@@ -385,6 +385,60 @@ TEST(Loadgen, ClosedLoopCompletesEveryBudgetedRequest) {
       << "closed-loop workers retry rejects until the budget completes";
 }
 
+loadgen::GenResult tracked_closed_loop_result(std::uint64_t seed) {
+  loadgen::GenResult gen;
+  with_rpc({}, [&](RpcClient& c) {
+    loadgen::Workload w;
+    w.request_bytes = 128;
+    loadgen::ClosedLoopConfig cc;
+    cc.workers = 4;
+    cc.requests = 200;
+    cc.think = us(2);
+    cc.seed = seed;
+    cc.tracked_workers = true;
+    gen = loadgen::run_closed_loop(c, w, cc);
+  });
+  return gen;
+}
+
+TEST(Loadgen, TrackedWorkersCompleteEveryBudgetedRequest) {
+  const loadgen::GenResult gen = tracked_closed_loop_result(5);
+  EXPECT_EQ(gen.ok + gen.shed, 200u)
+      << "tracked workers retry rejects until the budget completes";
+  EXPECT_GT(gen.span, 0);
+}
+
+TEST(Loadgen, TrackedWorkersReplayIsDeterministic) {
+  const loadgen::GenResult a = tracked_closed_loop_result(9);
+  const loadgen::GenResult b = tracked_closed_loop_result(9);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.span, b.span);
+  EXPECT_EQ(a.ok, b.ok);
+}
+
+TEST(Loadgen, TrackedWorkersOverlapThinkTime) {
+  // Four tracked workers with 2us think should finish well before four
+  // sequentialized ones would: the overlap is real virtual-time overlap.
+  const loadgen::GenResult tracked = tracked_closed_loop_result(5);
+  loadgen::GenResult legacy;
+  with_rpc({}, [&](RpcClient& c) {
+    loadgen::Workload w;
+    w.request_bytes = 128;
+    loadgen::ClosedLoopConfig cc;
+    cc.workers = 4;
+    cc.requests = 200;
+    cc.think = us(2);
+    cc.seed = 5;
+    legacy = loadgen::run_closed_loop(c, w, cc);
+  });
+  ASSERT_GT(legacy.span, 0);
+  // Both model the same concurrency; tracked must be in the same
+  // ballpark (not serialized: 200 requests x 2us think alone would be
+  // 400us if workers ran one after another).
+  EXPECT_LT(tracked.span, 2 * legacy.span)
+      << "tracked workers must genuinely overlap, not serialize";
+}
+
 TEST(Loadgen, OverloadP99StaysBoundedUnderShedding) {
   const auto run = [](std::uint32_t workers) {
     RpcConfig rc;
@@ -413,6 +467,106 @@ TEST(Loadgen, OverloadP99StaysBoundedUnderShedding) {
   // tuned bench holds the paper-style < 5x bound).
   EXPECT_LT(overload.latency_ns.p99(), 8.0 * uncont.latency_ns.p99())
       << "shedding must keep accepted-request p99 bounded";
+}
+
+// --- dispatcher-fed worker pool -------------------------------------------
+
+struct PoolResult {
+  ServerStats server;
+  ClientStats client;
+  TimePs makespan = 0;
+  TimePs qp_contention_ps = 0;
+  std::uint64_t cq_poll_contention = 0;
+};
+
+/// Rank 0 serves `requests` echo requests with a worker pool; rank 1
+/// submits them in bursts of `burst` and waits each burst out.
+PoolResult run_pooled(std::uint32_t workers, hca::ShareMode mode,
+                      int requests = 96, TimePs service = us(4),
+                      int burst = 16) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  core::Cluster cluster(cfg);
+  PoolResult out;
+  cluster.run([&](core::RankEnv& env) {
+    mpi::CommConfig mc;
+    mc.sge_gather = true;
+    mpi::Comm comm(env, mc);
+    RpcConfig rc;
+    rc.server_workers = workers;
+    rc.share_mode = mode;
+    rc.service_base = service;
+    if (env.rank() == 0) {
+      RpcServer server(comm, {1}, rc);
+      server.serve();
+      out.server = server.stats();
+      const hca::AdapterStats& ad = env.state().node->adapter.stats();
+      out.qp_contention_ps = ad.qp_contention_ps;
+      out.cq_poll_contention = ad.cq_poll_contention;
+      return;
+    }
+    RpcClient client(comm, 0, rc);
+    const std::vector<std::uint8_t> msg(64, 7);
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < requests; ++i) {
+      const std::uint64_t id = client.submit(msg);
+      if (id != 0) ids.push_back(id);
+      if (static_cast<int>(ids.size() % burst) == 0)
+        for (std::uint64_t x : ids) client.wait(x);
+    }
+    for (std::uint64_t x : ids) client.wait(x);
+    out.client = client.stats();
+    client.close();
+  });
+  out.makespan = cluster.makespan();
+  return out;
+}
+
+TEST(RpcWorkerPool, ServesEveryRequestInAllShareModes) {
+  for (hca::ShareMode mode :
+       {hca::ShareMode::SharedLocked, hca::ShareMode::PerThreadQp,
+        hca::ShareMode::Dispatcher}) {
+    const PoolResult r = run_pooled(4, mode);
+    EXPECT_EQ(r.client.completed, 96u) << share_mode_name(mode);
+    EXPECT_EQ(r.server.served, 96u) << share_mode_name(mode);
+    EXPECT_EQ(r.client.shed, 0u) << share_mode_name(mode);
+  }
+}
+
+TEST(RpcWorkerPool, WorkersOverlapServiceTime) {
+  // Service-bound workload: 4 workers overlap the 4 us service windows
+  // the inline server must serialize.
+  const PoolResult inline_srv =
+      run_pooled(0, hca::ShareMode::SharedLocked, 96, us(4));
+  const PoolResult pooled =
+      run_pooled(4, hca::ShareMode::PerThreadQp, 96, us(4));
+  EXPECT_LT(pooled.makespan, inline_srv.makespan)
+      << "a 4-worker pool must beat inline serving on service-bound load";
+}
+
+TEST(RpcWorkerPool, SharedLockedChargesContention) {
+  const PoolResult r = run_pooled(4, hca::ShareMode::SharedLocked);
+  EXPECT_GT(r.qp_contention_ps, 0) << "shared QPs under 4 workers must "
+                                      "pay lock/cache-bounce time";
+  const PoolResult inline_srv = run_pooled(0, hca::ShareMode::SharedLocked);
+  EXPECT_EQ(inline_srv.qp_contention_ps, 0)
+      << "the single-track inline server must never arbitrate";
+}
+
+TEST(RpcWorkerPool, PerThreadQpAvoidsArbitration) {
+  const PoolResult r = run_pooled(4, hca::ShareMode::PerThreadQp);
+  EXPECT_EQ(r.qp_contention_ps, 0);
+  EXPECT_EQ(r.cq_poll_contention, 0u);
+}
+
+TEST(RpcWorkerPool, DeterministicAcrossRuns) {
+  const PoolResult a = run_pooled(4, hca::ShareMode::SharedLocked);
+  const PoolResult b = run_pooled(4, hca::ShareMode::SharedLocked);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.qp_contention_ps, b.qp_contention_ps);
+  EXPECT_EQ(a.client.completed, b.client.completed);
+  EXPECT_EQ(a.server.resp_batches, b.server.resp_batches);
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <deque>
+#include <optional>
+#include <tuple>
 #include <vector>
 
 namespace ibp::sim {
@@ -156,6 +158,108 @@ TEST(Engine, DeterministicAcrossRuns) {
             (ctx.rank() * 37 + i * 13) % 97 + 1)));
         trace.emplace_back(ctx.now(), ctx.rank());
       }
+    });
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(EngineTracks, SpawnRunsAndJoinSyncsClocks) {
+  Engine eng(1);
+  eng.run([](Context& ctx) {
+    EXPECT_EQ(ctx.track(), 0);
+    EXPECT_EQ(ctx.live_tracks(), 1);
+    TimePs child_end = 0;
+    const TrackId t = ctx.spawn_track([&child_end](Context& c) {
+      EXPECT_EQ(c.track(), 1);
+      c.advance(us(10));
+      child_end = c.now();
+    });
+    EXPECT_EQ(t, 1);
+    ctx.advance(us(1));
+    ctx.join_track(t);
+    // Joining pulls the parent forward to the child's final time.
+    EXPECT_EQ(child_end, us(10));
+    EXPECT_EQ(ctx.now(), us(10));
+    EXPECT_EQ(ctx.live_tracks(), 1);
+  });
+  EXPECT_EQ(eng.makespan(), us(10));
+}
+
+TEST(EngineTracks, InterleaveOrderedByTimeRankThenTrack) {
+  // Two ranks x three lanes, all advancing in equal steps: every
+  // admission must be ordered by (time, rank, track).
+  Engine eng(2);
+  struct Ev {
+    TimePs t;
+    RankId r;
+    TrackId k;
+  };
+  std::vector<Ev> trace;
+  eng.run([&trace](Context& ctx) {
+    auto lane = [&trace](Context& c) {
+      for (int i = 0; i < 4; ++i) {
+        c.advance(ns(100));
+        trace.push_back({c.now(), c.rank(), c.track()});
+      }
+    };
+    const TrackId a = ctx.spawn_track(lane);
+    const TrackId b = ctx.spawn_track(lane);
+    lane(ctx);
+    ctx.join_track(a);
+    ctx.join_track(b);
+  });
+  ASSERT_EQ(trace.size(), 24u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const Ev& p = trace[i - 1];
+    const Ev& q = trace[i];
+    const bool ordered =
+        p.t < q.t || (p.t == q.t &&
+                      (p.r < q.r || (p.r == q.r && p.k < q.k)));
+    EXPECT_TRUE(ordered) << "admission " << i << " out of order: ("
+                         << p.t << "," << p.r << "," << p.k << ") then ("
+                         << q.t << "," << q.r << "," << q.k << ")";
+  }
+}
+
+TEST(EngineTracks, WaitUntilWakesFromSiblingTrack) {
+  Engine eng(1);
+  eng.run([](Context& ctx) {
+    TimePs ready = 0;
+    const TrackId t = ctx.spawn_track([&ready](Context& c) {
+      c.advance(us(7));
+      ready = c.now();
+    });
+    ctx.wait_until([&ready]() -> std::optional<TimePs> {
+      if (ready == 0) return std::nullopt;
+      return ready;
+    });
+    EXPECT_EQ(ctx.now(), us(7));
+    ctx.join_track(t);
+  });
+}
+
+TEST(EngineTracks, FourTrackScheduleIsDeterministic) {
+  // Same-seed double run at T=4: the full (time, rank, track) admission
+  // trace must be identical between runs.
+  auto run_once = [] {
+    Engine eng(2);
+    std::vector<std::tuple<TimePs, RankId, TrackId>> trace;
+    eng.run([&trace](Context& ctx) {
+      std::vector<TrackId> kids;
+      for (int w = 0; w < 4; ++w) {
+        kids.push_back(ctx.spawn_track([w](Context& c) {
+          for (int i = 0; i < 8; ++i)
+            c.advance(ns(static_cast<std::uint64_t>(
+                (c.rank() * 61 + w * 17 + i * 13) % 83 + 1)));
+        }));
+      }
+      for (int i = 0; i < 8; ++i) {
+        ctx.advance(ns(50));
+        trace.emplace_back(ctx.now(), ctx.rank(), ctx.track());
+      }
+      for (TrackId t : kids) ctx.join_track(t);
+      trace.emplace_back(ctx.now(), ctx.rank(), ctx.track());
     });
     return trace;
   };

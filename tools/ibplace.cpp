@@ -86,6 +86,9 @@ struct Options {
   int servers = 4;             // fabric: server ranks
   int stripe = 4;              // fabric: stripe width
   std::string shard_map = "hash";  // fabric: tenant->server strategy
+  int threads = 0;                 // rpc: server worker tracks (0 = inline)
+  hca::ShareMode share_mode = hca::ShareMode::SharedLocked;  // rpc: QP/CQ
+                                                             // sharing
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -173,12 +176,21 @@ Options parse_options(int argc, char** argv, int first) {
       o.stripe = std::atoi(v.c_str());
     } else if (parse_flag(argv[i], "--shard-map", &v)) {
       o.shard_map = v;
+    } else if (parse_flag(argv[i], "--threads", &v)) {
+      o.threads = std::atoi(v.c_str());
+    } else if (parse_flag(argv[i], "--share-mode", &v)) {
+      if (!hca::share_mode_from_name(v, &o.share_mode))
+        usage(("unknown share mode '" + v +
+               "' (known: shared-locked, per-thread-qp, dispatcher)")
+                  .c_str());
     } else {
       usage(("unknown option " + std::string(argv[i])).c_str());
     }
   }
   if (o.nodes < 1 || o.rpn < 1 || o.iters < 1 || o.scale < 1)
     usage("topology/iteration options must be positive");
+  if (o.threads < 0 || o.threads > 64)
+    usage("--threads must be 0..64");
   if (o.recovery != "failfast" && o.recovery != "repost")
     usage("--recovery must be failfast or repost");
   if (placement::make_policy(o.placement) == nullptr)
@@ -187,7 +199,9 @@ Options parse_options(int argc, char** argv, int first) {
               .c_str());
   for (const auto& [role, policy] : o.role_policies) {
     if (!placement::role_from_name(role).has_value())
-      usage(("unknown placement role '" + role + "'").c_str());
+      usage(("unknown placement role '" + role + "' (known: " +
+             placement::known_role_names() + ")")
+                .c_str());
     if (placement::make_policy(policy) == nullptr)
       usage(("unknown placement policy '" + policy + "' for role '" + role +
              "' (known: " + placement::known_policy_names() + ")")
@@ -403,6 +417,8 @@ loadgen::GenResult run_rpc_once(const Options& o, bool open, bool batching,
     rpc::RpcConfig rc;
     rc.batching = batching;
     rc.max_payload = 256;
+    rc.server_workers = static_cast<std::uint32_t>(o.threads);
+    rc.share_mode = o.share_mode;
     if (open) {
       rc.service_base = ns(200);  // transport-bound
       rc.service_per_byte_ps = 0;
@@ -475,9 +491,13 @@ int cmd_rpc(const std::string& mode, const Options& o) {
   if (o.nodes * o.rpn != 2)
     usage("rpc needs a 2-rank topology (one server, one client)");
   const bool open = mode == "open";
-  std::printf("RPC %s loop  platform=%s %dx%d placement=%s\n\n",
+  std::printf("RPC %s loop  platform=%s %dx%d placement=%s",
               mode.c_str(), o.platform.c_str(), o.nodes, o.rpn,
               o.placement.c_str());
+  if (o.threads > 0)
+    std::printf(" threads=%d share=%s", o.threads,
+                hca::share_mode_name(o.share_mode));
+  std::printf("\n\n");
 
   std::optional<core::Cluster> last;
   TextTable t({"config", "ok", "shed", "rejected", "req/s", "p50 [us]",
