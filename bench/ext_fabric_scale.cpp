@@ -25,6 +25,8 @@
 //   --shard-map=STRAT       hash | range | affinity (default hash)
 //   --short                 fewer requests (CI smoke mode)
 //   --json=PATH             also write results as JSON
+//   --request-trace-out=PATH  enable per-request tracing; the file holds
+//                           the last sweep run's JSONL stream
 
 #include <cstdio>
 #include <cstring>
@@ -35,12 +37,15 @@
 #include "bench_common.hpp"
 #include "ibp/fabric/fabric.hpp"
 #include "ibp/loadgen/loadgen.hpp"
+#include "ibp/telemetry/reqtrace.hpp"
 
 using namespace ibp;
 
 namespace {
 
 constexpr std::uint32_t kBulkBytes = 64 * kKiB;  // striped response size
+
+std::string g_trace_out;  // --request-trace-out (empty = tracing off)
 
 struct RunOut {
   loadgen::GenResult gen;
@@ -66,6 +71,7 @@ core::ClusterConfig cluster_config(int servers, const std::string& policy) {
     cfg.placement_policy = policy;
     cfg.hugepage_library = true;
   }
+  if (!g_trace_out.empty()) cfg.request_trace.enabled = true;
   return cfg;
 }
 
@@ -116,6 +122,13 @@ RunOut run_fabric(std::uint32_t servers, std::uint32_t width,
     client.close();
   });
   out.shed_total_metric = cluster.metrics().value("rpc.shed_total");
+  if (!g_trace_out.empty()) {
+    // Overwrite each sweep point; the last run's stream wins (the golden
+    // pair below does not touch the file).
+    std::ofstream tout(g_trace_out);
+    if (cluster.request_tracer() != nullptr)
+      cluster.request_tracer()->write_jsonl(tout);
+  }
   return out;
 }
 
@@ -227,6 +240,8 @@ int main(int argc, char** argv) {
       short_mode = true;
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--request-trace-out=", 20) == 0) {
+      g_trace_out = argv[i] + 20;
     } else {
       std::fprintf(stderr, "unknown argument %s\n", argv[i]);
       return 2;

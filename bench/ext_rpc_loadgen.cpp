@@ -22,6 +22,8 @@
 //                           (hugepage library on)
 //   --short                 fewer requests (CI smoke mode)
 //   --json=PATH             also write results as JSON
+//   --request-trace-out=PATH  enable per-request tracing; the file holds
+//                           the last run's exemplar/stage JSONL stream
 
 #include <cstdio>
 #include <cstring>
@@ -31,12 +33,24 @@
 #include "bench_common.hpp"
 #include "ibp/loadgen/loadgen.hpp"
 #include "ibp/rpc/rpc.hpp"
+#include "ibp/telemetry/reqtrace.hpp"
 
 using namespace ibp;
 
 namespace {
 
 constexpr std::uint32_t kClosedQueueCap = 8;
+
+std::string g_trace_out;  // --request-trace-out (empty = tracing off)
+
+/// Overwrite the trace file with this run's stream; the last run wins,
+/// matching how --metrics-out snapshots behave elsewhere.
+void dump_request_trace(core::Cluster& cluster) {
+  if (g_trace_out.empty()) return;
+  std::ofstream out(g_trace_out);
+  if (cluster.request_tracer() != nullptr)
+    cluster.request_tracer()->write_jsonl(out);
+}
 
 struct RunOut {
   loadgen::GenResult gen;
@@ -56,6 +70,7 @@ core::ClusterConfig cluster_config(const std::string& policy) {
     cfg.placement_policy = policy;
     cfg.hugepage_library = true;
   }
+  if (!g_trace_out.empty()) cfg.request_trace.enabled = true;
   return cfg;
 }
 
@@ -104,6 +119,7 @@ RunOut run_open(bool batching, double rate, std::uint64_t requests,
   });
   out.shed_metric = cluster.metrics().value("rpc.shed");
   out.shed_total_metric = cluster.metrics().value("rpc.shed_total");
+  dump_request_trace(cluster);
   return out;
 }
 
@@ -143,6 +159,7 @@ RunOut run_closed(std::uint32_t workers, std::uint64_t requests,
   });
   out.shed_metric = cluster.metrics().value("rpc.shed");
   out.shed_total_metric = cluster.metrics().value("rpc.shed_total");
+  dump_request_trace(cluster);
   return out;
 }
 
@@ -196,6 +213,8 @@ int main(int argc, char** argv) {
       short_mode = true;
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--request-trace-out=", 20) == 0) {
+      g_trace_out = argv[i] + 20;
     } else {
       std::fprintf(stderr, "unknown argument %s\n", argv[i]);
       return 2;

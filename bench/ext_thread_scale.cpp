@@ -25,6 +25,8 @@
 // Optional arguments:
 //   --short       fewer requests (CI smoke mode)
 //   --json=PATH   also write results as JSON
+//   --request-trace-out=PATH  enable per-request tracing; the file holds
+//                 the last sweep cell's JSONL stream
 
 #include <cstdio>
 #include <algorithm>
@@ -36,10 +38,13 @@
 #include "bench_common.hpp"
 #include "ibp/loadgen/loadgen.hpp"
 #include "ibp/rpc/rpc.hpp"
+#include "ibp/telemetry/reqtrace.hpp"
 
 using namespace ibp;
 
 namespace {
+
+std::string g_trace_out;  // --request-trace-out (empty = tracing off)
 
 constexpr std::uint32_t kThreads[] = {1, 2, 4, 8};
 constexpr hca::ShareMode kModes[] = {hca::ShareMode::SharedLocked,
@@ -65,6 +70,7 @@ Cell run_cell(std::uint32_t threads, hca::ShareMode mode,
   cfg.platform = platform::opteron_pcie_infinihost();
   cfg.nodes = 1 + kClients;
   cfg.ranks_per_node = 1;
+  if (!g_trace_out.empty()) cfg.request_trace.enabled = true;
   core::Cluster cluster(cfg);
   Cell out;
   loadgen::GenResult gens[kClients];
@@ -124,6 +130,12 @@ Cell run_cell(std::uint32_t threads, hca::ShareMode mode,
     out.gen.span = std::max(out.gen.span, g.span);
   }
   out.makespan = cluster.makespan();
+  if (!g_trace_out.empty()) {
+    // Overwrite each cell; the last sweep cell's stream wins.
+    std::ofstream tout(g_trace_out);
+    if (cluster.request_tracer() != nullptr)
+      cluster.request_tracer()->write_jsonl(tout);
+  }
   return out;
 }
 
@@ -139,6 +151,8 @@ int main(int argc, char** argv) {
       short_mode = true;
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--request-trace-out=", 20) == 0) {
+      g_trace_out = argv[i] + 20;
     } else {
       std::fprintf(stderr, "unknown argument %s\n", argv[i]);
       return 2;

@@ -64,6 +64,10 @@ Cluster::Cluster(ClusterConfig cfg)
     for (auto& nd : nodes_) nd->adapter.set_fault_injector(fault_.get());
   }
 
+  if (cfg_.request_trace.enabled)
+    reqtrace_ = std::make_unique<telemetry::RequestTracer>(
+        cfg_.request_trace, &metrics_, tracer());
+
   if (cfg_.fabric_pod_nodes > 0) {
     fabric_ = std::make_unique<hca::Fabric>(
         cfg_.fabric_core_links, cfg_.fabric_hop_latency,

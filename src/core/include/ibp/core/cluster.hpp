@@ -34,6 +34,7 @@
 #include "ibp/sim/engine.hpp"
 #include "ibp/sim/tracer.hpp"
 #include "ibp/telemetry/registry.hpp"
+#include "ibp/telemetry/reqtrace.hpp"
 #include "ibp/verbs/verbs.hpp"
 
 namespace ibp::core {
@@ -77,6 +78,10 @@ struct ClusterConfig {
   /// default), no sampling happens and runs are byte-identical to a
   /// telemetry-free build; Cluster::metrics() stays usable either way.
   telemetry::TelemetryConfig telemetry;
+  /// Per-request tracing hub (ibp/telemetry/reqtrace.hpp). Off (the
+  /// default), the cluster creates no hub and the serving stack is
+  /// bit-inert — no wire flag, no extra state, byte-identical outputs.
+  telemetry::RequestTraceConfig request_trace;
   /// Fat-tree style fabric: nodes are grouped into pods of this many
   /// nodes; cross-pod traffic shares `fabric_core_links` core links
   /// (oversubscription = pod uplink demand / core capacity). 0 disables
@@ -286,6 +291,11 @@ class Cluster {
   /// fabric. Shared by every adapter in the cluster.
   fault::FaultInjector* fault() { return fault_.get(); }
 
+  /// The per-request tracing hub, or null when config().request_trace is
+  /// disabled. Shared by every RpcClient/RpcServer/FabricClient built on
+  /// this cluster.
+  telemetry::RequestTracer* request_tracer() { return reqtrace_.get(); }
+
   /// Run one program on every rank (single-use, like sim::Engine).
   void run(const std::function<void(RankEnv&)>& fn);
 
@@ -309,6 +319,7 @@ class Cluster {
   sim::Tracer tracer_;
   std::unique_ptr<hca::Fabric> fabric_;
   std::unique_ptr<fault::FaultInjector> fault_;
+  std::unique_ptr<telemetry::RequestTracer> reqtrace_;
   // Last member: released first, latching every live probe's final value
   // while the subsystems it reads are still alive.
   std::vector<telemetry::ProbeHandle> probes_;

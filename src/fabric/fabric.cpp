@@ -5,6 +5,7 @@
 
 #include "ibp/common/check.hpp"
 #include "ibp/core/cluster.hpp"
+#include "ibp/telemetry/reqtrace.hpp"
 
 namespace ibp::fabric {
 
@@ -92,6 +93,7 @@ FabricClient::FabricClient(mpi::Comm& comm, std::vector<int> servers,
     : comm_(&comm),
       servers_(std::move(servers)),
       cfg_(cfg),
+      hub_(comm.env().cluster().request_tracer()),
       map_(static_cast<std::uint32_t>(servers_.size()), cfg.shard_strategy,
            cfg.shard_seed, cfg.shard_epoch) {
   IBP_CHECK(!servers_.empty(), "fabric client needs at least one server");
@@ -217,6 +219,11 @@ std::uint64_t FabricClient::submit_striped(std::uint32_t response_cap,
   st.tenant = tenant;
   st.buf = env.alloc(response_cap, placement::Role::StripeSegment);
   st.t0 = env.now();
+  if (hub_ != nullptr && hub_->active())
+    // The fabric-level record; each stripe segment's rpc record becomes
+    // a child of it below.
+    st.trace = hub_->begin(comm_->rank(), tenant,
+                           static_cast<std::uint8_t>(cls), st.t0);
   stripes_.emplace(fid, st);
   ++stats_.stripes;
 
@@ -244,7 +251,15 @@ std::uint64_t FabricClient::submit_striped(std::uint32_t response_cap,
     }
     sub_.emplace(std::make_pair(link, sid), SubKey{fid, i, true});
     ++stats_.segments;
+    if (st.trace != 0)
+      hub_->adopt(hub_->wire_trace(comm_->rank(), servers_[link], sid),
+                  st.trace, i);
   }
+  if (st.trace != 0)
+    // All segments on the wire: the fan-out stage ends; the stripe now
+    // waits for its last segment.
+    hub_->stage_mark(st.trace, telemetry::Stage::Fanout, comm_->rank(),
+                     env.now());
   return fid;
 }
 
@@ -286,6 +301,11 @@ void FabricClient::route(std::uint32_t link, rpc::Completion&& c) {
 
 void FabricClient::finalize(std::uint64_t fid, Stripe& st) {
   core::RankEnv& env = comm_->env();
+  if (st.trace != 0)
+    // The last segment just arrived; everything from here to completion
+    // is reassembly work.
+    hub_->stage_mark(st.trace, telemetry::Stage::StripeWait, comm_->rank(),
+                     env.now());
   rpc::Completion fc;
   fc.id = fid;
   fc.status = st.status;
@@ -297,6 +317,11 @@ void FabricClient::finalize(std::uint64_t fid, Stripe& st) {
     stats_.reassembled_bytes += st.total;
   }
   fc.latency = env.now() - st.t0;
+  if (st.trace != 0) {
+    hub_->stage_mark(st.trace, telemetry::Stage::Reassembly, comm_->rank(),
+                     env.now());
+    hub_->end(st.trace, static_cast<std::uint8_t>(fc.status), env.now());
+  }
   // Close the loop: the adaptive placement policy sees what this stripe
   // cost on the reassembly buffer's backing tier.
   placement::Feedback fb;
@@ -429,6 +454,11 @@ void FabricClient::register_metrics() {
   probes_.push_back(m.probe("fabric.link_credit_stalls", [this] {
     return double(link_stats().credit_stalls);
   }));
+  // Fabric-level latency quantiles, rank-qualified like the rpc client's
+  // (percentiles must not sum across ranks).
+  const std::string pre = "fabric.r" + std::to_string(comm_->rank()) + ".";
+  for (auto& p : telemetry::histogram_probes(m, pre + "latency", &lat_))
+    probes_.push_back(std::move(p));
 }
 
 // ---------------------------------------------------------------------------

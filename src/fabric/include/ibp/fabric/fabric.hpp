@@ -217,6 +217,7 @@ class FabricClient {
     VirtAddr buf = 0;  // Role::StripeSegment reassembly buffer
     TimePs t0 = 0;
     rpc::Status status = rpc::Status::Ok;
+    std::uint64_t trace = 0;  // fabric-level request-trace id (0 = off)
   };
 
   /// Non-blocking: poll every link, route arrived sub-completions.
@@ -242,6 +243,8 @@ class FabricClient {
   mpi::Comm* comm_;
   std::vector<int> servers_;
   FabricConfig cfg_;
+  /// Per-request tracing hub (null = tracing disabled, bit-inert).
+  telemetry::RequestTracer* hub_ = nullptr;
   ShardMap map_;
   std::vector<std::unique_ptr<rpc::RpcClient>> links_;
   std::map<std::pair<std::uint32_t, std::uint64_t>, SubKey> sub_;  // by

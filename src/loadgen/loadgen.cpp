@@ -36,6 +36,24 @@ std::uint32_t response_size(const Workload& w, rpc::Class cls) {
              : w.response_bytes;
 }
 
+/// Mute the request-tracing hub for the duration of a warmup sub-run, so
+/// tail exemplars and stage histograms describe steady state only. No-op
+/// (and bit-inert) when tracing is disabled.
+template <typename Client>
+class WarmupMute {
+ public:
+  explicit WarmupMute(Client& client)
+      : hub_(client.comm().env().cluster().request_tracer()) {
+    if (hub_ != nullptr) hub_->set_muted(true);
+  }
+  ~WarmupMute() {
+    if (hub_ != nullptr) hub_->set_muted(false);
+  }
+
+ private:
+  telemetry::RequestTracer* hub_;
+};
+
 void record(GenResult& res, const rpc::Completion& c) {
   fnv_mix(res.trace_hash, c.id);
   fnv_mix(res.trace_hash, static_cast<std::uint64_t>(c.status));
@@ -61,6 +79,7 @@ GenResult open_loop(Client& client, const Workload& w,
     OpenLoopConfig wcfg = cfg;
     wcfg.requests = cfg.warmup;
     wcfg.warmup = 0;
+    const WarmupMute<Client> mute(client);
     (void)open_loop(client, w, wcfg);  // drains before returning
   }
   core::RankEnv& env = client.comm().env();
@@ -107,6 +126,7 @@ GenResult closed_loop(Client& client, const Workload& w,
     ClosedLoopConfig wcfg = cfg;
     wcfg.requests = cfg.warmup;
     wcfg.warmup = 0;
+    const WarmupMute<Client> mute(client);
     (void)closed_loop(client, w, wcfg);  // drains before returning
   }
   core::RankEnv& env = client.comm().env();
@@ -193,6 +213,7 @@ GenResult closed_loop_tracked(rpc::RpcClient& client, const Workload& w,
     ClosedLoopConfig wcfg = cfg;
     wcfg.requests = cfg.warmup;
     wcfg.warmup = 0;
+    const WarmupMute<rpc::RpcClient> mute(client);
     (void)closed_loop_tracked(client, w, wcfg);  // drains before returning
   }
   core::RankEnv& env = client.comm().env();

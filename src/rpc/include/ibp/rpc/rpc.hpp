@@ -42,6 +42,10 @@
 #include "ibp/sim/engine.hpp"
 #include "ibp/telemetry/registry.hpp"
 
+namespace ibp::telemetry {
+class RequestTracer;
+}
+
 namespace ibp::rpc {
 
 /// Request priority class. Latency-sensitive requests flush ahead of
@@ -76,6 +80,13 @@ inline constexpr std::uint16_t kFlagLarge = 2;  // response body follows on
                                                 // its own tag (rendezvous)
 inline constexpr std::uint16_t kFlagStripe = 4; // payload starts with a
                                                 // fabric stripe sub-header
+/// Reserved trace-context bit: the request belongs to the per-request
+/// tracing stream (core::ClusterConfig::request_trace). Echoed on the
+/// response and propagated through fabric stripe segments. The trace id
+/// itself never travels — (src rank, dst rank, rpc id) resolves the
+/// record through the hub's wire index — so the header stays 24 bytes
+/// and timing is identical with tracing on or off.
+inline constexpr std::uint16_t kFlagTraced = 8;
 
 inline constexpr int kReqTag = 0x21000000;
 inline constexpr int kRspTag = 0x22000000;
@@ -294,6 +305,10 @@ class RpcClient {
     std::uint8_t cls = 0;
     std::uint32_t response_cap = 0;
     std::uint16_t flags = 0;
+    /// Request-trace id (0 = untraced), resolved from the hub's wire
+    /// index at first flush and carried so the response parse can close
+    /// the record without a lookup.
+    std::uint64_t trace = 0;
     /// Copy kept for retransmission; only populated when
     /// cfg_.request_timeout is armed.
     std::vector<std::uint8_t> payload;
@@ -321,6 +336,8 @@ class RpcClient {
   mpi::Comm* comm_;
   int server_;
   RpcConfig cfg_;
+  /// Per-request tracing hub (null = tracing disabled, bit-inert).
+  telemetry::RequestTracer* hub_ = nullptr;
   std::uint64_t slot_bytes_ = 0;
   std::uint32_t nslots_ = 0;
   VirtAddr ring_ = 0;    // request slot ring (Role::RpcRing)
@@ -376,6 +393,7 @@ class RpcServer {
     std::uint32_t response_cap = 0;
     std::uint16_t flags = 0;
     TimePs t = 0;  // accepted-at time (worker wakeup predicate)
+    std::uint64_t trace = 0;  // request-trace id (0 = untraced)
     std::vector<std::uint8_t> payload;
   };
   struct RspRec {
@@ -453,6 +471,8 @@ class RpcServer {
   std::vector<int> clients_;
   RpcConfig cfg_;
   Handler handler_;
+  /// Per-request tracing hub (null = tracing disabled, bit-inert).
+  telemetry::RequestTracer* hub_ = nullptr;
   std::uint64_t slot_bytes_ = 0;
   std::uint64_t recv_cap_ = 0;
   std::uint32_t n_rsp_slots_ = 0;

@@ -4,6 +4,7 @@
 
 #include "ibp/common/check.hpp"
 #include "ibp/core/cluster.hpp"
+#include "ibp/telemetry/reqtrace.hpp"
 
 namespace ibp::rpc {
 
@@ -40,7 +41,10 @@ Handler default_handler() {
 // RpcClient
 
 RpcClient::RpcClient(mpi::Comm& comm, int server, RpcConfig cfg)
-    : comm_(&comm), server_(server), cfg_(cfg) {
+    : comm_(&comm),
+      server_(server),
+      cfg_(cfg),
+      hub_(comm.env().cluster().request_tracer()) {
   slot_bytes_ = sizeof(WireHeader) + cfg_.max_payload;
   IBP_CHECK(cfg_.max_batch_bytes >= slot_bytes_,
             "max_batch_bytes must hold one full request record");
@@ -86,6 +90,7 @@ std::uint64_t RpcClient::submit(std::span<const std::uint8_t> payload,
   free_slots_.pop_back();
 
   core::RankEnv& env = comm_->env();
+  const bool traced = hub_ != nullptr && hub_->active();
   WireHeader h;
   h.id = next_id_++;
   h.payload = static_cast<std::uint32_t>(payload.size());
@@ -93,6 +98,7 @@ std::uint64_t RpcClient::submit(std::span<const std::uint8_t> payload,
   h.tenant = tenant;
   h.cls = static_cast<std::uint8_t>(cls);
   h.flags = flags;
+  if (traced) h.flags |= kFlagTraced;
   const VirtAddr va = slot_va(slot);
   store_header(env, va, h);
   if (!payload.empty())
@@ -102,6 +108,13 @@ std::uint64_t RpcClient::submit(std::span<const std::uint8_t> payload,
   const std::uint64_t wire = sizeof(WireHeader) + payload.size();
   env.touch_stream(va, wire);  // the application writes the request
 
+  if (traced) {
+    // Record opened at the queue-push time (the latency zero point);
+    // the wire binding lets both endpoints resolve it by rpc id.
+    const std::uint64_t tr =
+        hub_->begin(comm_->rank(), tenant, h.cls, env.now());
+    hub_->bind_wire(tr, comm_->rank(), server_, h.id);
+  }
   queued_[h.cls].push_back({h.id, slot, wire, env.now(), tenant, false});
   queued_bytes_ += wire;
   ++stats_.submitted;
@@ -161,6 +174,7 @@ void RpcClient::maybe_flush(bool force) {
 
     std::vector<mpi::Seg> segs;
     std::vector<std::uint32_t> slots;
+    std::vector<std::uint64_t> fresh_traces;
     std::uint64_t bytes = 0;
     bool qos_blocked = false;
     while (segs.size() < nmax && segs.size() < room) {
@@ -210,6 +224,10 @@ void RpcClient::maybe_flush(bool force) {
           inf.payload.assign(pp, pp + h.payload);
         }
         if (qos) ++class_inflight_[{inf.tenant, inf.cls}];
+        if (hub_ != nullptr && (h.flags & kFlagTraced) != 0) {
+          inf.trace = hub_->wire_trace(comm_->rank(), server_, p.id);
+          if (inf.trace != 0) fresh_traces.push_back(inf.trace);
+        }
       }
       ++inf.attempts;
       if (cfg_.request_timeout != 0)
@@ -222,6 +240,11 @@ void RpcClient::maybe_flush(bool force) {
     flushed_records_ += segs.size();
     SentBatch b;
     b.req = comm_->isend_gather(segs, server_, kReqTag);
+    // Batch posted: close the client-queue span; the wire time until
+    // server admission is the net_request stage.
+    for (const std::uint64_t tr : fresh_traces)
+      hub_->stage_mark(tr, telemetry::Stage::ClientQueue, comm_->rank(),
+                       env.now());
     b.slots = std::move(slots);
     sent_.push_back(std::move(b));
     ++stats_.batches;
@@ -262,6 +285,7 @@ void RpcClient::check_timeouts() {
     queued_bytes_ += wire;
     inf.deadline = 0;  // re-armed with backoff when the retransmit flushes
     ++stats_.retries;
+    if (hub_ != nullptr) hub_->retry(inf.trace);
   }
 }
 
@@ -315,6 +339,7 @@ void RpcClient::parse_responses(std::uint64_t len) {
       continue;
     }
     const TimePs t0 = it->second.t0;
+    const std::uint64_t trace = it->second.trace;
     if (cfg_.latency_credits != 0 || cfg_.bulk_credits != 0) {
       const auto ci =
           class_inflight_.find({it->second.tenant, it->second.cls});
@@ -346,6 +371,11 @@ void RpcClient::parse_responses(std::uint64_t len) {
       c.payload.assign(p, p + h.payload);
     }
 
+    if (trace != 0) {
+      hub_->stage_mark(trace, telemetry::Stage::NetResponse, comm_->rank(),
+                       env.now());
+      hub_->end(trace, h.status, env.now());
+    }
     if (c.status == Status::Ok) {
       lat_.add(static_cast<std::uint64_t>(c.latency / 1000));  // ps -> ns
     } else {
@@ -466,6 +496,11 @@ void RpcClient::register_metrics() {
       m.probe(pre + "p99_us", [this] { return lat_.p99() / 1000.0; }));
   probes_.push_back(
       m.probe(pre + "samples", [this] { return double(lat_.count()); }));
+  // Full quantile family (p50/p90/p99/max) under the histogram-probe
+  // convention, so --metrics-out snapshots carry the same percentiles
+  // loadgen --json reports.
+  for (auto& p : telemetry::histogram_probes(m, pre + "latency", &lat_))
+    probes_.push_back(std::move(p));
 }
 
 // ---------------------------------------------------------------------------
@@ -476,7 +511,8 @@ RpcServer::RpcServer(mpi::Comm& comm, std::vector<int> clients, RpcConfig cfg,
     : comm_(&comm),
       clients_(std::move(clients)),
       cfg_(cfg),
-      handler_(std::move(handler)) {
+      handler_(std::move(handler)),
+      hub_(comm.env().cluster().request_tracer()) {
   IBP_CHECK(!clients_.empty(), "rpc server needs at least one client");
   slot_bytes_ = sizeof(WireHeader) + cfg_.max_payload;
   recv_cap_ = std::max<std::uint64_t>(cfg_.max_batch_bytes, slot_bytes_);
@@ -572,6 +608,15 @@ void RpcServer::parse_batch(std::uint32_t client, std::uint64_t len) {
     }
     ++stats_.requests_in;
     stats_.bytes_in += sizeof(WireHeader) + h.payload;
+    std::uint64_t trace = 0;
+    if (hub_ != nullptr && (h.flags & kFlagTraced) != 0) {
+      // Server admission: the net_request stage ends here whether the
+      // request is accepted or shed (a retransmitted copy resolves to
+      // the same record; its duplicate mark is ignored).
+      trace = hub_->wire_trace(clients_[client], comm_->rank(), h.id);
+      hub_->stage_mark(trace, telemetry::Stage::NetRequest, comm_->rank(),
+                       env.now());
+    }
     if (queued_ >= cfg_.server_queue_cap) {
       shed(client, h);
       continue;
@@ -584,6 +629,7 @@ void RpcServer::parse_batch(std::uint32_t client, std::uint64_t len) {
     it.response_cap = h.response_cap;
     it.flags = h.flags;
     it.t = env.now();
+    it.trace = trace;
     if (h.payload != 0) {
       const auto* p = env.host_ptr<std::uint8_t>(body, h.payload);
       it.payload.assign(p, p + h.payload);
@@ -603,6 +649,7 @@ void RpcServer::shed(std::uint32_t client, const WireHeader& hdr) {
   rsp.tenant = hdr.tenant;
   rsp.cls = hdr.cls;
   rsp.status = static_cast<std::uint8_t>(Status::Overloaded);
+  rsp.flags = hdr.flags & kFlagTraced;  // echo the trace-context bit
   enqueue_response(lanes_[0], client, rsp, nullptr);
 }
 
@@ -635,6 +682,11 @@ void RpcServer::serve_one() {
 void RpcServer::serve_item(const Item& it, std::vector<std::uint8_t>& scratch,
                            RspLane& lane, bool via_dispatcher) {
   core::RankEnv& env = comm_->env();
+  const hca::AdapterStats& adapter = env.state().node->adapter.stats();
+  const TimePs arb0 = it.trace != 0 ? adapter.qp_contention_ps : 0;
+  if (it.trace != 0)
+    hub_->stage_mark(it.trace, telemetry::Stage::ServerQueue, comm_->rank(),
+                     env.now());
   env.sim().advance(cfg_.service_base +
                     static_cast<TimePs>(it.payload.size()) *
                         cfg_.service_per_byte_ps);
@@ -651,12 +703,16 @@ void RpcServer::serve_item(const Item& it, std::vector<std::uint8_t>& scratch,
   const std::uint32_t rlen = handler_(view, scratch.data(), cap);
   IBP_CHECK(rlen <= cap, "handler overflowed its response buffer");
   ++stats_.served;
+  if (it.trace != 0)
+    hub_->stage_mark(it.trace, telemetry::Stage::Service, comm_->rank(),
+                     env.now());
 
   WireHeader rsp;
   rsp.id = it.id;
   rsp.tenant = it.tenant;
   rsp.cls = static_cast<std::uint8_t>(it.cls);
   rsp.status = static_cast<std::uint8_t>(Status::Ok);
+  rsp.flags = it.flags & kFlagTraced;  // echo the trace-context bit
   if (rlen <= cfg_.max_payload) {
     rsp.payload = rlen;
     if (via_dispatcher) {
@@ -680,7 +736,7 @@ void RpcServer::serve_item(const Item& it, std::vector<std::uint8_t>& scratch,
     // Role::RpcResponse buffer (the path the paper prices registration
     // on when it exceeds the rendezvous threshold).
     rsp.response_cap = rlen;
-    rsp.flags = kFlagLarge;
+    rsp.flags |= kFlagLarge;
     if (via_dispatcher) {
       env.sim().advance(cfg_.dispatcher_handoff);
       Handoff h;
@@ -702,6 +758,10 @@ void RpcServer::serve_item(const Item& it, std::vector<std::uint8_t>& scratch,
     large_.push_back(std::move(ls));
     ++stats_.large_responses;
   }
+  if (it.trace != 0)
+    // Share-mode lock arbitration charged to this rank's adapter while
+    // the request was in service (response posting included).
+    hub_->add_arbitration(it.trace, adapter.qp_contention_ps - arb0);
 }
 
 std::uint32_t RpcServer::take_rsp_slot(RspLane& lane) {
@@ -1019,9 +1079,12 @@ void RpcServer::register_metrics() {
     probes_.push_back(m.probe("hca.qp_contention_ps", [ad] {
       return double(ad->stats().qp_contention_ps);
     }));
-    probes_.push_back(m.probe("hca.cq_poll_contention", [ad] {
+    // Canonical name normalized to match hca.qp_contention_ps; the old
+    // dotted name stays resolvable as an alias of the same slot.
+    probes_.push_back(m.probe("hca.cq_poll_contention_ps", [ad] {
       return double(ad->stats().cq_poll_contention);
     }));
+    m.alias("hca.cq_poll_contention", "hca.cq_poll_contention_ps");
   }
 }
 

@@ -11,6 +11,9 @@
 //     virtual-time cadence by the sim engine);
 //   * "s"/"f" flow events linking a send span to its matching recv span
 //     across rank lanes (paired by category + name + id);
+//   * "b"/"e" async spans (nestable events paired by category + id +
+//     name) — stages of one logical request that hop between rank lanes
+//     without the strict nesting "X" spans require;
 //   * "M" metadata records naming the process and each rank's lane.
 //
 // Because the engine runs one rank at a time, no locking is needed.
@@ -27,7 +30,9 @@ namespace ibp::sim {
 
 class Tracer {
  public:
-  enum class Kind { Span, Instant, Counter, FlowStart, FlowEnd };
+  enum class Kind {
+    Span, Instant, Counter, FlowStart, FlowEnd, AsyncBegin, AsyncEnd
+  };
 
   struct Event {
     Kind kind = Kind::Span;
@@ -37,7 +42,7 @@ class Tracer {
     TimePs start = 0;
     TimePs duration = 0;      // Span only
     double value = 0.0;       // Counter only
-    std::uint64_t flow_id = 0;  // FlowStart / FlowEnd only
+    std::uint64_t flow_id = 0;  // FlowStart/FlowEnd/AsyncBegin/AsyncEnd
   };
 
   /// Record a completed span [start, start+duration) on `rank`'s lane
@@ -91,6 +96,35 @@ class Tracer {
                 TimePs at, std::uint64_t id) {
     Event e;
     e.kind = Kind::FlowEnd;
+    e.rank = rank;
+    e.category = std::move(category);
+    e.name = std::move(name);
+    e.start = at;
+    e.flow_id = id;
+    events_.push_back(std::move(e));
+  }
+
+  /// Open async span `id` at `at` on `rank`'s lane. Chrome pairs it with
+  /// the async_end carrying the same category, id and name, so one
+  /// logical request renders as a stack of stage spans even when the
+  /// stages land on different rank lanes.
+  void async_begin(RankId rank, std::string category, std::string name,
+                   TimePs at, std::uint64_t id) {
+    Event e;
+    e.kind = Kind::AsyncBegin;
+    e.rank = rank;
+    e.category = std::move(category);
+    e.name = std::move(name);
+    e.start = at;
+    e.flow_id = id;
+    events_.push_back(std::move(e));
+  }
+
+  /// Close async span `id` at `at` on `rank`'s lane.
+  void async_end(RankId rank, std::string category, std::string name,
+                 TimePs at, std::uint64_t id) {
+    Event e;
+    e.kind = Kind::AsyncEnd;
     e.rank = rank;
     e.category = std::move(category);
     e.name = std::move(name);
@@ -163,6 +197,14 @@ class Tracer {
              << e.flow_id;
           if (e.kind == Kind::FlowEnd) os << R"(, "bp": "e")";
           os << "}";
+          break;
+        case Kind::AsyncBegin:
+        case Kind::AsyncEnd:
+          os << R"(  {"pid": 1, "tid": )" << e.rank << R"(, "ph": ")"
+             << (e.kind == Kind::AsyncBegin ? 'b' : 'e') << R"(", "cat": ")"
+             << escaped(e.category) << R"(", "name": ")" << escaped(e.name)
+             << R"(", "ts": )" << ps_to_us(e.start) << R"(, "id": )"
+             << e.flow_id << "}";
           break;
       }
     }

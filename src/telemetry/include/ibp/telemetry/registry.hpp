@@ -29,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "ibp/common/stats.hpp"
 #include "ibp/common/types.hpp"
 
 namespace ibp::telemetry {
@@ -134,6 +135,14 @@ class MetricsRegistry {
   [[nodiscard]] ProbeHandle probe(std::string_view name,
                                   std::function<double()> fn);
 
+  /// Register `alias_name` as a second name for `name`'s slot, so
+  /// existing consumers of a renamed metric keep resolving: counters,
+  /// adds, probes and value() through either name hit one slot.
+  /// Snapshots list only the canonical name (aliases are not rows, so
+  /// values are never double-counted). Re-aliasing to the same target is
+  /// a no-op; aliasing an existing distinct metric is an error.
+  void alias(std::string_view alias_name, std::string_view name);
+
   /// Current value of one metric (base + live probes); 0.0 if unknown.
   double value(std::string_view name) const;
 
@@ -160,12 +169,23 @@ class MetricsRegistry {
   void latch(std::size_t slot, std::uint64_t probe_id);
 
   // Name table shared with snapshots; deque keeps element references
-  // stable as the registry grows.
+  // stable as the registry grows. Aliases live only in index_ (mapped to
+  // the canonical slot), never in names_.
   std::shared_ptr<std::deque<std::string>> names_;
   std::vector<Slot> slots_;
   std::map<std::string, std::size_t, std::less<>> index_;
   std::uint64_t next_probe_id_ = 1;
 };
+
+/// Register pull probes for a LogHistogram's quantiles under `prefix`:
+/// `<prefix>.p50_us`, `.p90_us`, `.p99_us` and `.max_us` (nanosecond
+/// samples exported in microseconds, matching the loadgen convention).
+/// Percentiles are per-publisher values — summing them across ranks is
+/// meaningless — so callers pass a rank-qualified prefix when more than
+/// one publisher exists. `hist` must outlive the returned handles.
+std::vector<ProbeHandle> histogram_probes(MetricsRegistry& m,
+                                          const std::string& prefix,
+                                          const LogHistogram* hist);
 
 inline void Counter::add(double delta) {
   if (reg_ != nullptr) reg_->slots_[slot_].base += delta;

@@ -1,0 +1,237 @@
+#pragma once
+
+// Per-request distributed tracing with tail-latency attribution.
+//
+// The serving stack (ibp_rpc / ibp_fabric) reports where each request's
+// time went as a span tree: client issue -> link send -> server
+// admission -> per-tenant queue wait -> worker-track service (with the
+// lock-arbitration time the share-mode model charged) -> response
+// stripe segments -> client reassembly. One RequestTracer hub per
+// cluster owns every record; the layers above translate their own state
+// into the hub's generic (trace id, stage, rank, time) vocabulary, so
+// ibp_telemetry stays below ibp_rpc in the layer order.
+//
+// TraceContext on the wire: a request's membership in the trace stream
+// is carried in the WireHeader flags field (rpc::kFlagTraced — the
+// header's reserved trace-context bit, echoed on responses and
+// propagated through FabricClient stripe segments). The trace id itself
+// never travels: (source rank, destination rank, rpc id) identifies a
+// request uniquely on a link, so both endpoints resolve the same record
+// through the hub's wire index, and stripe segments adopt their fabric
+// parent by the same key. Keeping the id off the wire keeps the header
+// at 24 bytes — wire sizes, and therefore virtual time, are identical
+// with tracing on or off.
+//
+// Stages tile the request's lifetime exactly: each stage_mark() closes
+// the span that began where the previous one ended (the record's
+// cursor), so the per-stage durations of one record always sum to its
+// end-to-end latency — the invariant `ibplace trace-report` checks. The
+// hub never advances virtual time and never touches simulated memory;
+// with the hub absent (RequestTraceConfig::enabled == false) the stack
+// is bit-inert, including wire bits.
+//
+// Tail sampling: every finished record folds into per-stage
+// LogHistograms (surfaced as rpc.stage.* registry probes) and
+// per-tenant/per-class SLO burn counters; full span detail is retained
+// only for the slowest-k requests and for error/retry requests, both in
+// fixed-size rings, so exemplar memory is bounded no matter how many
+// requests a run serves.
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ibp/common/stats.hpp"
+#include "ibp/common/types.hpp"
+#include "ibp/telemetry/registry.hpp"
+
+namespace ibp::sim {
+class Tracer;
+}
+
+namespace ibp::telemetry {
+
+/// Stages of a request's lifetime, in timeline order. The rpc stages
+/// (ClientQueue..NetResponse) tile an rpc-level record; the fabric
+/// stages (Fanout..Reassembly) tile a striped fabric-level record whose
+/// children are rpc-level segment records.
+enum class Stage : std::uint8_t {
+  ClientQueue = 0,  // submit() -> request batch posted to the link
+  NetRequest,       // batch posted -> server admission accept
+  ServerQueue,      // admission accept -> worker track picks it up
+  Service,          // service time + application handler
+  NetResponse,      // handler done -> client parses the response
+  Fanout,           // fabric: stripe segments submitted across links
+  StripeWait,       // fabric: last submit -> last segment arrival
+  Reassembly,       // fabric: segment arrival -> assembled completion
+  kCount
+};
+inline constexpr std::size_t kStageCount =
+    static_cast<std::size_t>(Stage::kCount);
+const char* stage_name(Stage s);
+
+/// One tiled stage span of a request, on the lane of the rank that
+/// executed it.
+struct SpanRec {
+  Stage stage = Stage::ClientQueue;
+  RankId rank = 0;
+  TimePs start = 0;
+  TimePs end = 0;
+};
+
+/// The full span tree of one request (rpc-level, or fabric-level with
+/// children pointing at its stripe segments' records).
+struct RequestRecord {
+  std::uint64_t trace = 0;   // hub-assigned, unique per cluster
+  std::uint64_t parent = 0;  // enclosing fabric trace (0 = root)
+  std::uint16_t seg_index = 0;  // position under the parent stripe
+  RankId origin = 0;            // issuing client rank
+  std::uint32_t tenant = 0;
+  std::uint8_t cls = 0;     // rpc::Class
+  std::uint8_t status = 0;  // rpc::Status at completion
+  std::uint32_t retries = 0;
+  TimePs t0 = 0;
+  TimePs t_end = 0;
+  /// Lock-arbitration time the share-mode model charged the serving
+  /// adapter while this request was in service (SharedLocked only).
+  TimePs arbitration_ps = 0;
+  std::vector<SpanRec> spans;
+  std::vector<std::uint64_t> children;  // stripe segment trace ids
+
+  TimePs latency() const { return t_end - t0; }
+
+  // -- hub-internal bookkeeping --
+  TimePs cursor = 0;  // end of the last tiled span
+  std::array<std::uint64_t, 3> wire{};  // wire-index key while bound
+  bool wire_bound = false;
+  bool in_slowest = false;  // exemplar retention reasons
+  bool in_errors = false;
+};
+
+struct RequestTraceConfig {
+  /// Master switch. Off (the default), core::Cluster creates no hub and
+  /// the serving stack is bit-inert — no wire flag, no virtual-time
+  /// cost, byte-identical outputs.
+  bool enabled = false;
+  /// Full span detail is kept for the slowest-k finished requests...
+  std::uint32_t slowest_k = 32;
+  /// ...and for up to this many error/retry requests (oldest evicted
+  /// first). Everything else folds into the stage histograms only.
+  std::uint32_t error_ring = 64;
+  /// Per-class SLO latency targets. A completion that misses its
+  /// class's target (or failed outright) burns one
+  /// `rpc.slo.t<tenant>.<class>_burn` counter unit.
+  TimePs slo_latency = us(200);
+  TimePs slo_bulk = us(2000);
+};
+
+/// The cluster-wide request-tracing hub. Not thread-safe in host terms,
+/// which is fine: the sim engine runs one rank track at a time. Every
+/// method is host-side only — no virtual time, no simulated memory.
+class RequestTracer {
+ public:
+  RequestTracer(const RequestTraceConfig& cfg, MetricsRegistry* metrics,
+                sim::Tracer* tracer);
+
+  /// False while a loadgen warmup phase mutes the hub: begin() returns 0
+  /// and the whole pipeline no-ops, so only steady state is attributed.
+  bool active() const { return !muted_; }
+  void set_muted(bool m) { muted_ = m; }
+
+  /// Open a record at `t0`. Returns the trace id (0 when muted).
+  std::uint64_t begin(RankId origin, std::uint32_t tenant, std::uint8_t cls,
+                      TimePs t0, std::uint64_t parent = 0);
+
+  /// Publish `trace` in the wire index under (src rank, dst rank,
+  /// rpc id), the in-band identity both endpoints can compute.
+  void bind_wire(std::uint64_t trace, RankId src, RankId dst,
+                 std::uint64_t rpc_id);
+  /// Resolve a wire key to its live trace (0 if unknown/finished).
+  std::uint64_t wire_trace(RankId src, RankId dst,
+                           std::uint64_t rpc_id) const;
+
+  /// Attach a segment record under its fabric parent.
+  void adopt(std::uint64_t child, std::uint64_t parent,
+             std::uint16_t seg_index);
+
+  /// Close stage `stage` at `t`: the span began at the record's cursor
+  /// (t0 for the first stage) and the cursor advances to `t`, so marks
+  /// tile the timeline by construction. Unknown traces, repeated stages
+  /// (a retransmit's duplicate server pass) and non-monotone marks are
+  /// ignored.
+  void stage_mark(std::uint64_t trace, Stage stage, RankId rank, TimePs t);
+
+  /// Attribute share-mode lock-arbitration time observed during the
+  /// request's service window.
+  void add_arbitration(std::uint64_t trace, TimePs ps);
+
+  /// Count a client retransmission (makes the record error-exemplar
+  /// eligible).
+  void retry(std::uint64_t trace);
+
+  /// Finish the record at `t` with rpc::Status `status`: fold stages
+  /// into the histograms, burn SLO counters, emit Chrome async spans,
+  /// and retain or drop span detail per the tail-sampling policy.
+  void end(std::uint64_t trace, std::uint8_t status, TimePs t);
+
+  const LogHistogram& stage_hist(Stage s) const {
+    return stage_hist_[static_cast<std::size_t>(s)];
+  }
+  /// End-to-end latency of finished requests (root and segment records
+  /// alike), nanosecond units.
+  const LogHistogram& e2e_hist() const { return e2e_; }
+  const LogHistogram& arbitration_hist() const { return arb_; }
+
+  std::uint64_t finished() const { return finished_; }
+  std::size_t live() const { return live_.size(); }
+  /// Records currently retained with full span detail (bounded by
+  /// slowest_k + error_ring).
+  std::size_t exemplar_count() const { return exemplars_.size(); }
+  /// The retained exemplar records, keyed by trace id.
+  const std::map<std::uint64_t, RequestRecord>& exemplars() const {
+    return exemplars_;
+  }
+  const RequestTraceConfig& config() const { return cfg_; }
+
+  /// The structured per-request record stream: one JSON object per
+  /// line — a meta line, the exemplar records (sorted by trace id),
+  /// then a stage-summary line over the full population. Byte-identical
+  /// across identical runs.
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  RequestRecord* find_live(std::uint64_t trace);
+  void retain_or_fold(RequestRecord&& rec, bool is_error);
+  void drop_if_unreferenced(std::uint64_t trace);
+  void emit_async(const RequestRecord& rec);
+  Counter& slo_counter(std::uint32_t tenant, std::uint8_t cls);
+
+  RequestTraceConfig cfg_;
+  MetricsRegistry* metrics_;
+  sim::Tracer* tracer_;  // may be null (no Chrome trace requested)
+  bool muted_ = false;
+  std::uint64_t next_trace_ = 1;
+  std::uint64_t finished_ = 0;
+
+  std::map<std::uint64_t, RequestRecord> live_;
+  std::map<std::array<std::uint64_t, 3>, std::uint64_t> wire_;
+
+  // Tail-sampled exemplars: full records by trace id, membership driven
+  // by the slowest-k set (latency-ordered) and the error ring (FIFO).
+  std::map<std::uint64_t, RequestRecord> exemplars_;
+  std::multimap<TimePs, std::uint64_t> slowest_;
+  std::deque<std::uint64_t> errors_;
+
+  std::array<LogHistogram, kStageCount> stage_hist_;
+  LogHistogram e2e_;
+  LogHistogram arb_;
+  std::map<std::pair<std::uint32_t, std::uint8_t>, Counter> slo_;
+  std::vector<ProbeHandle> probes_;
+};
+
+}  // namespace ibp::telemetry

@@ -24,6 +24,15 @@ void MetricsRegistry::add(std::string_view name, double delta) {
   slots_[resolve(name)].base += delta;
 }
 
+void MetricsRegistry::alias(std::string_view alias_name,
+                            std::string_view name) {
+  const std::size_t slot = resolve(name);
+  const auto [it, fresh] = index_.emplace(std::string(alias_name), slot);
+  IBP_CHECK(fresh || it->second == slot,
+            "metric alias '" << alias_name
+                             << "' already names a different metric");
+}
+
 ProbeHandle MetricsRegistry::probe(std::string_view name,
                                    std::function<double()> fn) {
   const std::size_t slot = resolve(name);
@@ -84,6 +93,22 @@ double MetricsDelta::delta_of(std::string_view name) const {
   for (const Entry& e : entries)
     if (e.name == name) return e.delta();
   return 0.0;
+}
+
+std::vector<ProbeHandle> histogram_probes(MetricsRegistry& m,
+                                          const std::string& prefix,
+                                          const LogHistogram* hist) {
+  std::vector<ProbeHandle> out;
+  out.reserve(4);
+  out.push_back(
+      m.probe(prefix + ".p50_us", [hist] { return hist->p50() / 1000.0; }));
+  out.push_back(
+      m.probe(prefix + ".p90_us", [hist] { return hist->p90() / 1000.0; }));
+  out.push_back(
+      m.probe(prefix + ".p99_us", [hist] { return hist->p99() / 1000.0; }));
+  out.push_back(m.probe(prefix + ".max_us",
+                        [hist] { return hist->stats().max() / 1000.0; }));
+  return out;
 }
 
 }  // namespace ibp::telemetry

@@ -1,0 +1,297 @@
+#include "ibp/telemetry/reqtrace.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+#include "ibp/common/check.hpp"
+#include "ibp/sim/tracer.hpp"
+
+namespace ibp::telemetry {
+
+namespace {
+
+const char* kStageNames[kStageCount] = {
+    "client_queue", "net_request", "server_queue", "service",
+    "net_response", "fanout",      "stripe_wait",  "reassembly",
+};
+
+const char* status_name(std::uint8_t s) {
+  switch (s) {
+    case 0: return "ok";
+    case 1: return "overloaded";
+    default: return "error";
+  }
+}
+
+/// The summary fields of one histogram (nanosecond samples, microsecond
+/// reporting), without the surrounding braces so callers can prepend
+/// their own fields. Fixed %.3f formatting keeps the stream
+/// byte-reproducible.
+void json_hist_fields(std::ostream& os, const LogHistogram& h) {
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "\"count\": %llu, \"mean_us\": %.3f, \"p50_us\": %.3f, "
+                "\"p90_us\": %.3f, \"p99_us\": %.3f, \"max_us\": %.3f",
+                static_cast<unsigned long long>(h.count()),
+                h.stats().mean() / 1000.0, h.p50() / 1000.0,
+                h.p90() / 1000.0, h.p99() / 1000.0,
+                h.stats().max() / 1000.0);
+  os << buf;
+}
+
+}  // namespace
+
+const char* stage_name(Stage s) {
+  const auto i = static_cast<std::size_t>(s);
+  IBP_CHECK(i < kStageCount, "bad stage");
+  return kStageNames[i];
+}
+
+RequestTracer::RequestTracer(const RequestTraceConfig& cfg,
+                             MetricsRegistry* metrics, sim::Tracer* tracer)
+    : cfg_(cfg), metrics_(metrics), tracer_(tracer) {
+  if (metrics_ == nullptr) return;
+  MetricsRegistry& m = *metrics_;
+  probes_.push_back(
+      m.probe("rpc.trace.finished", [this] { return double(finished_); }));
+  probes_.push_back(m.probe("rpc.trace.exemplars", [this] {
+    return double(exemplars_.size());
+  }));
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const std::string pre =
+        std::string("rpc.stage.") + kStageNames[i];
+    for (auto& p : histogram_probes(m, pre, &stage_hist_[i]))
+      probes_.push_back(std::move(p));
+  }
+  // The hub is a single per-cluster publisher, so the unqualified names
+  // are safe (no cross-rank percentile summing).
+  for (auto& p : histogram_probes(m, "rpc.latency", &e2e_))
+    probes_.push_back(std::move(p));
+  for (auto& p : histogram_probes(m, "rpc.stage.lock_arbitration", &arb_))
+    probes_.push_back(std::move(p));
+}
+
+RequestRecord* RequestTracer::find_live(std::uint64_t trace) {
+  if (trace == 0) return nullptr;
+  const auto it = live_.find(trace);
+  return it == live_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t RequestTracer::begin(RankId origin, std::uint32_t tenant,
+                                   std::uint8_t cls, TimePs t0,
+                                   std::uint64_t parent) {
+  if (muted_) return 0;
+  const std::uint64_t trace = next_trace_++;
+  RequestRecord rec;
+  rec.trace = trace;
+  rec.parent = parent;
+  rec.origin = origin;
+  rec.tenant = tenant;
+  rec.cls = cls;
+  rec.t0 = t0;
+  rec.cursor = t0;
+  live_.emplace(trace, std::move(rec));
+  return trace;
+}
+
+void RequestTracer::bind_wire(std::uint64_t trace, RankId src, RankId dst,
+                              std::uint64_t rpc_id) {
+  RequestRecord* rec = find_live(trace);
+  if (rec == nullptr) return;
+  const std::array<std::uint64_t, 3> key{static_cast<std::uint64_t>(src),
+                                         static_cast<std::uint64_t>(dst),
+                                         rpc_id};
+  wire_[key] = trace;
+  rec->wire = key;
+  rec->wire_bound = true;
+}
+
+std::uint64_t RequestTracer::wire_trace(RankId src, RankId dst,
+                                        std::uint64_t rpc_id) const {
+  const std::array<std::uint64_t, 3> key{static_cast<std::uint64_t>(src),
+                                         static_cast<std::uint64_t>(dst),
+                                         rpc_id};
+  const auto it = wire_.find(key);
+  return it == wire_.end() ? 0 : it->second;
+}
+
+void RequestTracer::adopt(std::uint64_t child, std::uint64_t parent,
+                          std::uint16_t seg_index) {
+  RequestRecord* c = find_live(child);
+  if (c != nullptr) {
+    c->parent = parent;
+    c->seg_index = seg_index;
+  }
+  RequestRecord* p = find_live(parent);
+  if (p != nullptr) p->children.push_back(child);
+}
+
+void RequestTracer::stage_mark(std::uint64_t trace, Stage stage, RankId rank,
+                               TimePs t) {
+  RequestRecord* rec = find_live(trace);
+  if (rec == nullptr) return;
+  // A retransmit's duplicate server pass replays stages the first copy
+  // already recorded; first wins, so the tiling stays intact.
+  for (const SpanRec& s : rec->spans)
+    if (s.stage == stage) return;
+  if (t < rec->cursor) return;
+  rec->spans.push_back({stage, rank, rec->cursor, t});
+  rec->cursor = t;
+}
+
+void RequestTracer::add_arbitration(std::uint64_t trace, TimePs ps) {
+  RequestRecord* rec = find_live(trace);
+  if (rec != nullptr) rec->arbitration_ps += ps;
+}
+
+void RequestTracer::retry(std::uint64_t trace) {
+  RequestRecord* rec = find_live(trace);
+  if (rec != nullptr) ++rec->retries;
+}
+
+Counter& RequestTracer::slo_counter(std::uint32_t tenant, std::uint8_t cls) {
+  const auto key = std::make_pair(tenant, cls);
+  const auto it = slo_.find(key);
+  if (it != slo_.end()) return it->second;
+  const std::string name = "rpc.slo.t" + std::to_string(tenant) +
+                           (cls == 0 ? ".latency_burn" : ".bulk_burn");
+  return slo_.emplace(key, metrics_->counter(name)).first->second;
+}
+
+void RequestTracer::emit_async(const RequestRecord& rec) {
+  if (tracer_ == nullptr) return;
+  for (const SpanRec& s : rec.spans) {
+    tracer_->async_begin(s.rank, "request", stage_name(s.stage), s.start,
+                         rec.trace);
+    tracer_->async_end(s.rank, "request", stage_name(s.stage), s.end,
+                       rec.trace);
+  }
+}
+
+void RequestTracer::end(std::uint64_t trace, std::uint8_t status, TimePs t) {
+  const auto it = live_.find(trace);
+  if (trace == 0 || it == live_.end()) return;
+  RequestRecord rec = std::move(it->second);
+  live_.erase(it);
+  if (rec.wire_bound) {
+    const auto w = wire_.find(rec.wire);
+    if (w != wire_.end() && w->second == rec.trace) wire_.erase(w);
+    rec.wire_bound = false;
+  }
+  rec.t_end = t;
+  rec.status = status;
+  ++finished_;
+
+  bool served = false;
+  for (const SpanRec& s : rec.spans) {
+    stage_hist_[static_cast<std::size_t>(s.stage)].add(
+        static_cast<std::uint64_t>((s.end - s.start) / 1000));  // ps -> ns
+    served = served || s.stage == Stage::Service;
+  }
+  e2e_.add(static_cast<std::uint64_t>(rec.latency() / 1000));
+  if (served)
+    arb_.add(static_cast<std::uint64_t>(rec.arbitration_ps / 1000));
+  if (metrics_ != nullptr) {
+    const TimePs target = rec.cls == 0 ? cfg_.slo_latency : cfg_.slo_bulk;
+    if (status != 0 || rec.latency() > target)
+      slo_counter(rec.tenant, rec.cls).add(1.0);
+  }
+  emit_async(rec);
+  const bool is_error = status != 0 || rec.retries > 0;
+  retain_or_fold(std::move(rec), is_error);
+}
+
+void RequestTracer::drop_if_unreferenced(std::uint64_t trace) {
+  const auto it = exemplars_.find(trace);
+  if (it != exemplars_.end() && !it->second.in_slowest &&
+      !it->second.in_errors)
+    exemplars_.erase(it);
+}
+
+void RequestTracer::retain_or_fold(RequestRecord&& rec, bool is_error) {
+  const std::uint64_t trace = rec.trace;
+  const TimePs lat = rec.latency();
+  bool keep = false;
+  if (cfg_.slowest_k > 0) {
+    if (slowest_.size() < cfg_.slowest_k) {
+      rec.in_slowest = true;
+      slowest_.emplace(lat, trace);
+      keep = true;
+    } else if (lat > slowest_.begin()->first) {
+      // Strictly-greater replacement: ties keep the incumbent, so the
+      // set is deterministic and bounded at exactly slowest_k.
+      const std::uint64_t evicted = slowest_.begin()->second;
+      slowest_.erase(slowest_.begin());
+      const auto ev = exemplars_.find(evicted);
+      if (ev != exemplars_.end()) {
+        ev->second.in_slowest = false;
+        drop_if_unreferenced(evicted);
+      }
+      rec.in_slowest = true;
+      slowest_.emplace(lat, trace);
+      keep = true;
+    }
+  }
+  if (is_error && cfg_.error_ring > 0) {
+    if (errors_.size() >= cfg_.error_ring) {
+      const std::uint64_t old = errors_.front();
+      errors_.pop_front();
+      const auto ev = exemplars_.find(old);
+      if (ev != exemplars_.end()) {
+        ev->second.in_errors = false;
+        drop_if_unreferenced(old);
+      }
+    }
+    rec.in_errors = true;
+    errors_.push_back(trace);
+    keep = true;
+  }
+  if (keep) exemplars_.emplace(trace, std::move(rec));
+}
+
+void RequestTracer::write_jsonl(std::ostream& os) const {
+  os << "{\"type\": \"meta\", \"requests\": " << finished_
+     << ", \"slowest_k\": " << cfg_.slowest_k
+     << ", \"error_ring\": " << cfg_.error_ring << "}\n";
+  for (const auto& [trace, r] : exemplars_) {
+    os << "{\"type\": \"request\", \"trace\": " << trace
+       << ", \"parent\": " << r.parent
+       << ", \"seg_index\": " << r.seg_index << ", \"origin\": " << r.origin
+       << ", \"tenant\": " << r.tenant << ", \"cls\": \""
+       << (r.cls == 0 ? "latency" : "bulk") << "\", \"status\": \""
+       << status_name(r.status) << "\", \"retries\": " << r.retries
+       << ", \"exemplar\": \""
+       << (r.in_slowest && r.in_errors
+               ? "slowest+error"
+               : r.in_slowest ? "slowest" : "error")
+       << "\", \"t0_ps\": " << r.t0 << ", \"latency_ps\": " << r.latency()
+       << ", \"arbitration_ps\": " << r.arbitration_ps
+       << ", \"children\": [";
+    for (std::size_t i = 0; i < r.children.size(); ++i)
+      os << (i == 0 ? "" : ", ") << r.children[i];
+    os << "], \"spans\": [";
+    for (std::size_t i = 0; i < r.spans.size(); ++i) {
+      const SpanRec& s = r.spans[i];
+      os << (i == 0 ? "" : ", ") << "{\"stage\": \"" << stage_name(s.stage)
+         << "\", \"rank\": " << s.rank << ", \"start_ps\": " << s.start
+         << ", \"dur_ps\": " << (s.end - s.start) << "}";
+    }
+    os << "]}\n";
+  }
+  os << "{\"type\": \"stages\", \"requests\": " << finished_
+     << ", \"e2e\": {";
+  json_hist_fields(os, e2e_);
+  os << "}, \"arbitration\": {";
+  json_hist_fields(os, arb_);
+  os << "}, \"stages\": [";
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    os << (i == 0 ? "" : ", ") << "{\"stage\": \"" << kStageNames[i]
+       << "\", ";
+    json_hist_fields(os, stage_hist_[i]);
+    os << "}";
+  }
+  os << "]}\n";
+}
+
+}  // namespace ibp::telemetry

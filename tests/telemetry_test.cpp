@@ -97,6 +97,38 @@ TEST(MetricsRegistry, SinksSerializeSnapshotAndDelta) {
             "\"delta\": 2}\n}");
 }
 
+TEST(MetricsRegistry, AliasResolvesBothNamesToOneCounter) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("hca.cq_poll_contention_ps");
+  reg.alias("hca.cq_poll_contention", "hca.cq_poll_contention_ps");
+  c.add(3.0);
+  reg.add("hca.cq_poll_contention", 2.0);  // old dotted name, same slot
+  EXPECT_DOUBLE_EQ(reg.value("hca.cq_poll_contention_ps"), 5.0);
+  EXPECT_DOUBLE_EQ(reg.value("hca.cq_poll_contention"), 5.0);
+  // One slot: snapshots carry the canonical name only, so JSON consumers
+  // see no double counting.
+  EXPECT_EQ(reg.size(), 1u);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap.name(0), "hca.cq_poll_contention_ps");
+}
+
+TEST(MetricsRegistry, HistogramProbesExportQuantiles) {
+  MetricsRegistry reg;
+  LogHistogram h;
+  const auto probes = histogram_probes(reg, "rpc.latency", &h);
+  EXPECT_EQ(probes.size(), 4u);
+  EXPECT_DOUBLE_EQ(reg.value("rpc.latency.p99_us"), 0.0);
+  for (std::uint64_t ns = 1000; ns <= 100000; ns += 1000)
+    h.add(ns);  // 1..100 us, uniform
+  // Nanosecond samples surface as microseconds, within the histogram's
+  // <= 12.5 % bucket quantile error.
+  EXPECT_NEAR(reg.value("rpc.latency.p50_us"), 50.0, 50.0 * 0.125);
+  EXPECT_NEAR(reg.value("rpc.latency.p90_us"), 90.0, 90.0 * 0.125);
+  EXPECT_NEAR(reg.value("rpc.latency.p99_us"), 99.0, 99.0 * 0.125);
+  EXPECT_DOUBLE_EQ(reg.value("rpc.latency.max_us"), 100.0);  // exact max
+}
+
 core::ClusterConfig telemetry_cluster(int nodes, int rpn) {
   core::ClusterConfig cfg;
   cfg.nodes = nodes;

@@ -73,6 +73,22 @@ TEST(Tracer, WritesCounterFlowAndMetadataRecords) {
   EXPECT_LT(out.find(R"("ph": "M")"), out.find(R"("ph": "C")"));
 }
 
+// Async ("b"/"e") spans: nestable events Chrome pairs by category + id +
+// name, the form the request-tracing hub emits one per stage span.
+TEST(Tracer, WritesAsyncBeginEndRecords) {
+  sim::Tracer t;
+  t.async_begin(0, "request", "service", us(3), 9);
+  t.async_end(0, "request", "service", us(5), 9);
+  std::ostringstream os;
+  t.write_json(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find(R"("ph": "b", "cat": "request", "name": "service", "ts": 3, "id": 9)"),
+            std::string::npos);
+  EXPECT_NE(out.find(R"("ph": "e", "cat": "request", "name": "service", "ts": 5, "id": 9)"),
+            std::string::npos);
+  EXPECT_LT(out.find(R"("ph": "b")"), out.find(R"("ph": "e")"));
+}
+
 TEST(Tracer, RecordsMpiSpansWhenEnabled) {
   core::ClusterConfig cfg;
   cfg.nodes = 2;

@@ -6,6 +6,7 @@
 //   ibplace reg [opts]                   registration cost sweep
 //   ibplace rpc <open|closed> [opts]     RPC serving layer under load
 //   ibplace fabric [opts]                sharded fabric, striped bulk reads
+//   ibplace trace-report <file>          stage breakdown of a request trace
 //
 // Common options:
 //   --platform=opteron|xeon|systemp   (default opteron)
@@ -29,6 +30,9 @@
 //                                     namespace prefix (e.g. mpi.)
 //   --json=PATH                       rpc/fabric result summary as JSON
 //                                     (one schema family across both)
+//   --request-trace-out=PATH          enable per-request tracing and write
+//                                     the exemplar/stage JSONL stream
+//                                     (read it back with trace-report)
 //
 // Fabric options (ibplace fabric):
 //   --servers=N                       server ranks behind the client
@@ -55,6 +59,7 @@
 #include "ibp/loadgen/loadgen.hpp"
 #include "ibp/placement/placement.hpp"
 #include "ibp/rpc/rpc.hpp"
+#include "ibp/telemetry/reqtrace.hpp"
 #include "ibp/telemetry/sink.hpp"
 #include "ibp/workloads/imb.hpp"
 #include "ibp/workloads/nas.hpp"
@@ -83,6 +88,7 @@ struct Options {
   std::string trace_out;       // Chrome trace JSON
   std::string metrics_filter;  // metric-name prefix for --metrics-out
   std::string json_out;        // rpc/fabric result summary (JSON)
+  std::string request_trace_out;  // per-request trace JSONL (enables hub)
   int servers = 4;             // fabric: server ranks
   int stripe = 4;              // fabric: stripe width
   std::string shard_map = "hash";  // fabric: tenant->server strategy
@@ -103,6 +109,7 @@ struct Options {
                "  ibplace rpc <open|closed> [--options]\n"
                "  ibplace fabric [--servers=N --stripe=W "
                "--shard-map=hash|range|affinity]\n"
+               "  ibplace trace-report <trace.jsonl>\n"
                "  ibplace --list-policies\n"
                "options: --platform=opteron|xeon|systemp --nodes=N --rpn=R\n"
                "         --hugepages=0|1 --lazy=0|1 --patched=0|1\n"
@@ -113,6 +120,7 @@ struct Options {
                "         --recovery=failfast|repost\n"
                "         --metrics-out=PATH --trace-out=PATH\n"
                "         --metrics-filter=PREFIX --json=PATH\n"
+               "         --request-trace-out=PATH\n"
                "fault SPEC: ';'-separated directives, e.g.\n"
                "  drop=0-1:0.01 | corrupt=*-*:0.001:50-200 |\n"
                "  storm=1:100-400 | qpkill=0:2:250 | seed=7\n"
@@ -170,6 +178,8 @@ Options parse_options(int argc, char** argv, int first) {
       o.metrics_filter = v;
     } else if (parse_flag(argv[i], "--json", &v)) {
       o.json_out = v;
+    } else if (parse_flag(argv[i], "--request-trace-out", &v)) {
+      o.request_trace_out = v;
     } else if (parse_flag(argv[i], "--servers", &v)) {
       o.servers = std::atoi(v.c_str());
     } else if (parse_flag(argv[i], "--stripe", &v)) {
@@ -232,11 +242,18 @@ core::ClusterConfig cluster_config(const Options& o) {
   if (!spec.empty()) cfg.fault = fault::parse_fault_plan(spec);
   if (!o.metrics_out.empty() || !o.trace_out.empty())
     cfg.telemetry.enabled = true;
+  if (!o.request_trace_out.empty()) cfg.request_trace.enabled = true;
   return cfg;
 }
 
 /// Write --metrics-out / --trace-out files for a finished run.
 void write_telemetry_outputs(core::Cluster& cluster, const Options& o) {
+  if (!o.request_trace_out.empty()) {
+    std::ofstream out(o.request_trace_out);
+    if (!out) usage(("cannot open " + o.request_trace_out).c_str());
+    telemetry::RequestTracer* hub = cluster.request_tracer();
+    if (hub != nullptr) hub->write_jsonl(out);
+  }
   if (o.metrics_out.empty() && o.trace_out.empty()) return;
   const telemetry::MetricsSnapshot snap = cluster.metrics().snapshot();
   telemetry::RunTelemetry run;
@@ -657,6 +674,107 @@ int cmd_fabric(const Options& o) {
   return 0;
 }
 
+/// Minimal field extraction over the hub's own JSONL output. The writer
+/// uses fixed `"key": value` formatting, so plain string search is exact
+/// for this reader (it is not a general JSON parser).
+double jsonl_num(const std::string& line, const std::string& key,
+                 std::size_t from = 0) {
+  const std::string pat = "\"" + key + "\": ";
+  const std::size_t p = line.find(pat, from);
+  return p == std::string::npos ? 0.0 : std::atof(line.c_str() + p + pat.size());
+}
+
+/// Per-stage queueing-vs-service-vs-transfer breakdown of a
+/// --request-trace-out stream.
+int cmd_trace_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) usage(("cannot open " + path).c_str());
+  std::string line, stages_line, slowest_line;
+  std::uint64_t requests = 0, exemplars = 0;
+  double slowest_ps = -1.0;
+  while (std::getline(in, line)) {
+    if (line.find("\"type\": \"meta\"") != std::string::npos) {
+      requests = static_cast<std::uint64_t>(jsonl_num(line, "requests"));
+    } else if (line.find("\"type\": \"request\"") != std::string::npos) {
+      ++exemplars;
+      const double lat = jsonl_num(line, "latency_ps");
+      if (lat > slowest_ps) {
+        slowest_ps = lat;
+        slowest_line = line;
+      }
+    } else if (line.find("\"type\": \"stages\"") != std::string::npos) {
+      stages_line = line;
+    }
+  }
+  if (stages_line.empty())
+    usage(("no stage summary in " + path +
+           " (is it a --request-trace-out file?)").c_str());
+
+  std::printf("trace report: %s\n", path.c_str());
+  std::printf("requests: %llu   exemplars kept: %llu\n\n",
+              static_cast<unsigned long long>(requests),
+              static_cast<unsigned long long>(exemplars));
+
+  TextTable t({"stage", "count", "mean [us]", "p50 [us]", "p90 [us]",
+               "p99 [us]", "max [us]"});
+  const auto hist_row = [&](const char* label, const std::string& src,
+                            std::size_t from) {
+    t.add_row(label,
+              static_cast<std::uint64_t>(jsonl_num(src, "count", from)),
+              jsonl_num(src, "mean_us", from), jsonl_num(src, "p50_us", from),
+              jsonl_num(src, "p90_us", from), jsonl_num(src, "p99_us", from),
+              jsonl_num(src, "max_us", from));
+  };
+  // Walk the stage objects in order; each opens with {"stage": "<name>".
+  double stage_weighted_us = 0.0;
+  const std::string open = "{\"stage\": \"";
+  std::size_t p = stages_line.find("\"stages\": [");
+  while (p != std::string::npos &&
+         (p = stages_line.find(open, p)) != std::string::npos) {
+    const std::size_t name0 = p + open.size();
+    const std::size_t name1 = stages_line.find('"', name0);
+    const std::string name = stages_line.substr(name0, name1 - name0);
+    hist_row(name.c_str(), stages_line, name1);
+    stage_weighted_us += jsonl_num(stages_line, "count", name1) *
+                         jsonl_num(stages_line, "mean_us", name1);
+    p = name1;
+  }
+  hist_row("lock_arbitration", stages_line,
+           stages_line.find("\"arbitration\": {"));
+  hist_row("end-to-end", stages_line, stages_line.find("\"e2e\": {"));
+  t.print();
+
+  const std::size_t e2e = stages_line.find("\"e2e\": {");
+  const double e2e_weighted_us = jsonl_num(stages_line, "count", e2e) *
+                                 jsonl_num(stages_line, "mean_us", e2e);
+  const double delta =
+      e2e_weighted_us > 0.0
+          ? (stage_weighted_us - e2e_weighted_us) / e2e_weighted_us * 100.0
+          : 0.0;
+  std::printf("\nbreakdown: stage total %.1f us vs end-to-end %.1f us "
+              "(delta %+.2f %%)\n",
+              stage_weighted_us, e2e_weighted_us, delta);
+
+  if (!slowest_line.empty()) {
+    std::printf("slowest exemplar: trace %llu, %.1f us:",
+                static_cast<unsigned long long>(
+                    jsonl_num(slowest_line, "trace")),
+                slowest_ps / 1e6);
+    std::size_t s = slowest_line.find("\"spans\": [");
+    while (s != std::string::npos &&
+           (s = slowest_line.find(open, s)) != std::string::npos) {
+      const std::size_t n0 = s + open.size();
+      const std::size_t n1 = slowest_line.find('"', n0);
+      std::printf(" %s=%.1fus",
+                  slowest_line.substr(n0, n1 - n0).c_str(),
+                  jsonl_num(slowest_line, "dur_ps", n1) / 1e6);
+      s = n1;
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 int cmd_list_policies() {
   for (const placement::PolicyInfo& info :
        placement::registered_policies()) {
@@ -693,6 +811,10 @@ int main(int argc, char** argv) {
       return cmd_rpc(argv[2], o);
     }
     if (cmd == "fabric") return cmd_fabric(parse_options(argc, argv, 2));
+    if (cmd == "trace-report") {
+      if (argc < 3) usage("trace-report needs a trace JSONL file");
+      return cmd_trace_report(argv[2]);
+    }
   } catch (const SimError& e) {
     std::fprintf(stderr, "simulation error: %s\n", e.what());
     return 1;
