@@ -23,6 +23,12 @@
 //   --placement=POLICY      plan every buffer with the named policy
 //                           (hugepage library on)
 //   --shard-map=STRAT       hash | range | affinity (default hash)
+//   --fault=SPEC            fault-plan DSL applied to the sweep runs
+//                           (the golden pair always runs fault-free);
+//                           a plan with crash directives arms the
+//                           client health monitor
+//   --fault-file=PATH       fault plan from a file (appended to --fault)
+//   --recovery=MODE         failfast | repost transport recovery
 //   --short                 fewer requests (CI smoke mode)
 //   --json=PATH             also write results as JSON
 //   --request-trace-out=PATH  enable per-request tracing; the file holds
@@ -31,11 +37,13 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "ibp/fabric/fabric.hpp"
+#include "ibp/fault/fault.hpp"
 #include "ibp/loadgen/loadgen.hpp"
 #include "ibp/telemetry/reqtrace.hpp"
 
@@ -46,6 +54,8 @@ namespace {
 constexpr std::uint32_t kBulkBytes = 64 * kKiB;  // striped response size
 
 std::string g_trace_out;  // --request-trace-out (empty = tracing off)
+fault::FaultPlan g_plan;  // --fault / --fault-file (sweep runs only)
+bool g_repost = false;    // --recovery=repost
 
 struct RunOut {
   loadgen::GenResult gen;
@@ -53,6 +63,7 @@ struct RunOut {
   rpc::ClientStats links;
   std::uint32_t servers = 0;
   std::uint32_t width = 0;
+  std::uint32_t epoch = 0;
   double shed_total_metric = 0.0;
 
   double bulk_mbps() const {
@@ -62,7 +73,8 @@ struct RunOut {
   }
 };
 
-core::ClusterConfig cluster_config(int servers, const std::string& policy) {
+core::ClusterConfig cluster_config(int servers, const std::string& policy,
+                                   bool faulted) {
   core::ClusterConfig cfg;
   cfg.platform = platform::opteron_pcie_infinihost();
   cfg.nodes = servers + 1;  // rank 0 is the client
@@ -71,6 +83,7 @@ core::ClusterConfig cluster_config(int servers, const std::string& policy) {
     cfg.placement_policy = policy;
     cfg.hugepage_library = true;
   }
+  if (faulted) cfg.fault = g_plan;
   if (!g_trace_out.empty()) cfg.request_trace.enabled = true;
   return cfg;
 }
@@ -81,6 +94,14 @@ fabric::FabricConfig fabric_config(std::uint32_t width,
   fc.stripe_threshold = 8 * kKiB;
   fc.stripe_width = width;
   fc.shard_strategy = strategy;
+  if (!g_plan.crashes.empty()) {
+    // A crash directive arms the health monitor: requests that the dead
+    // server black-holes must time out and fail over instead of hanging
+    // the closed loop forever.
+    fc.fail_after = 2;
+    fc.rpc.request_timeout = us(4000);
+    fc.rpc.max_retries = 1;
+  }
   return fc;
 }
 
@@ -88,13 +109,15 @@ fabric::FabricConfig fabric_config(std::uint32_t width,
 RunOut run_fabric(std::uint32_t servers, std::uint32_t width,
                   std::uint64_t requests, fabric::ShardStrategy strategy,
                   const std::string& policy) {
-  core::Cluster cluster(cluster_config(static_cast<int>(servers), policy));
+  core::Cluster cluster(
+      cluster_config(static_cast<int>(servers), policy, true));
   RunOut out;
   out.servers = servers;
   out.width = width;
   cluster.run([&](core::RankEnv& env) {
     mpi::CommConfig mc;
     mc.sge_gather = true;
+    if (g_repost) mc.recovery = mpi::CommConfig::Recovery::Repost;
     mpi::Comm comm(env, mc);
     const fabric::FabricConfig fc = fabric_config(width, strategy);
     if (env.rank() != 0) {
@@ -119,6 +142,7 @@ RunOut run_fabric(std::uint32_t servers, std::uint32_t width,
     out.gen = loadgen::run_closed_loop(client, w, cc);
     out.fab = client.stats();
     out.links = client.link_stats();
+    out.epoch = client.shard_map().epoch();
     client.close();
   });
   out.shed_total_metric = cluster.metrics().value("rpc.shed_total");
@@ -153,7 +177,7 @@ GoldenOut run_golden(std::uint64_t requests, const std::string& policy) {
   cc.seed = 17;
 
   {
-    core::Cluster cluster(cluster_config(1, policy));
+    core::Cluster cluster(cluster_config(1, policy, false));
     cluster.run([&](core::RankEnv& env) {
       mpi::CommConfig mc;
       mc.sge_gather = true;
@@ -170,7 +194,7 @@ GoldenOut run_golden(std::uint64_t requests, const std::string& policy) {
     });
   }
   {
-    core::Cluster cluster(cluster_config(1, policy));
+    core::Cluster cluster(cluster_config(1, policy, false));
     cluster.run([&](core::RankEnv& env) {
       mpi::CommConfig mc;
       mc.sge_gather = true;
@@ -222,20 +246,37 @@ void json_result(std::ofstream& out, const RunOut& r, const char* indent) {
       << static_cast<std::uint64_t>(r.shed_total_metric)
       << ", \"credit_stalls\": " << r.links.credit_stalls
       << ", \"qos_stalls\": " << r.links.qos_stalls
-      << ", \"retries\": " << r.links.retries
-      << ", \"trace_hash\": \"" << hash << "\"}";
+      << ", \"retries\": " << r.links.retries;
+  if (!g_plan.empty()) {
+    // Failover fields only appear on faulted runs, keeping the default
+    // fault-free JSON byte-identical to what older runs produced.
+    out << ",\n"
+        << indent << " \"epoch\": " << r.epoch
+        << ", \"failovers\": " << r.fab.failovers
+        << ", \"rerouted\": " << r.fab.rerouted
+        << ", \"lost\": " << r.gen.timed_out
+        << ", \"readmissions\": " << r.fab.readmissions;
+  }
+  out << ", \"trace_hash\": \"" << hash << "\"}";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string placement, json_path, shard = "hash";
+  std::string fault_spec, fault_file, recovery;
   bool short_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--placement=", 12) == 0) {
       placement = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--shard-map=", 12) == 0) {
       shard = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--fault=", 8) == 0) {
+      fault_spec = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--fault-file=", 13) == 0) {
+      fault_file = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--recovery=", 11) == 0) {
+      recovery = argv[i] + 11;
     } else if (std::strcmp(argv[i], "--short") == 0) {
       short_mode = true;
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
@@ -252,9 +293,33 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad --shard-map (hash|range|affinity)\n");
     return 2;
   }
+  if (!fault_file.empty()) {
+    std::ifstream in(fault_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open fault file %s\n",
+                   fault_file.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (!fault_spec.empty()) fault_spec += ';';
+    fault_spec += ss.str();
+  }
+  if (!fault_spec.empty()) g_plan = fault::parse_fault_plan(fault_spec);
+  if (!recovery.empty()) {
+    if (recovery == "repost") {
+      g_repost = true;
+    } else if (recovery != "failfast") {
+      std::fprintf(stderr, "bad --recovery (failfast|repost)\n");
+      return 2;
+    }
+  }
 
   std::printf("EXT-FABRIC — sharded serving fabric, striped bulk reads%s\n\n",
               placement.empty() ? "" : (" [" + placement + "]").c_str());
+  if (!g_plan.empty())
+    std::printf("fault plan (sweeps only, golden stays clean): %s\n\n",
+                fault::describe(g_plan).c_str());
 
   const std::uint64_t requests = short_mode ? 48 : 160;
   const std::uint32_t kWidth = 4;
@@ -333,7 +398,9 @@ int main(int argc, char** argv) {
                  "FAIL: 1-server fabric diverged from the RpcServer path\n");
     return 1;
   }
-  if (mbps1 > 0 && scaling < 2.0) {
+  // A seeded fault can legitimately destroy scaling (that is the point
+  // of injecting it), so the perf floor only binds fault-free runs.
+  if (g_plan.empty() && mbps1 > 0 && scaling < 2.0) {
     std::fprintf(stderr, "FAIL: 4-server scaling %.2fx < 2x\n", scaling);
     return 1;
   }

@@ -60,15 +60,33 @@ const char* shard_strategy_name(ShardStrategy s);
 std::optional<ShardStrategy> shard_strategy_from_name(std::string_view name);
 
 /// Deterministic tenant -> server routing. Pure function of
-/// (servers, strategy, seed, epoch): every client computes the same map
-/// with no coordination, and a reshard is an explicit epoch bump.
+/// (servers, strategy, seed, excluded set): every client computes the
+/// same map with no coordination. The epoch counts handoffs — every
+/// exclude()/readmit() bumps it — so two endpoints can cheaply agree
+/// they are on the same revision via digest().
+///
+/// Remapping is minimal by construction: a tenant's home is its
+/// base-strategy home whenever that server is alive, so excluding one
+/// server moves only the tenants homed there (displaced tenants rehash
+/// deterministically over the survivors, whole affinity groups moving
+/// together), and readmitting it restores the original homes exactly.
 class ShardMap {
  public:
   ShardMap(std::uint32_t servers, ShardStrategy strategy = ShardStrategy::Hash,
            std::uint64_t seed = 42, std::uint32_t epoch = 0);
 
-  /// The server index (0..servers-1) owning `tenant`.
+  /// The server index (0..servers-1) owning `tenant`. Never an excluded
+  /// server.
   std::uint32_t home(std::uint32_t tenant) const;
+
+  /// Remove a server from the rotation (failover) / return it (recovery).
+  /// Both bump the epoch. At least one server must stay alive.
+  void exclude(std::uint32_t server);
+  void readmit(std::uint32_t server);
+  bool excluded(std::uint32_t server) const {
+    return !excluded_.empty() && excluded_[server];
+  }
+  std::uint32_t alive() const;
 
   std::uint32_t servers() const { return servers_; }
   ShardStrategy strategy() const { return strategy_; }
@@ -76,15 +94,19 @@ class ShardMap {
   std::uint32_t epoch() const { return epoch_; }
 
   /// Deterministic fingerprint of the routing function (FNV-1a over the
-  /// homes of a fixed tenant sample) — what tests and benches compare to
-  /// assert two endpoints agree on the map.
+  /// homes of a fixed tenant sample, the epoch and the exclusion mask) —
+  /// what tests and benches compare to assert two endpoints agree on the
+  /// map.
   std::uint64_t digest() const;
 
  private:
+  std::uint32_t base_home(std::uint32_t tenant) const;
+
   std::uint32_t servers_;
   ShardStrategy strategy_;
   std::uint64_t seed_;
   std::uint32_t epoch_;
+  std::vector<bool> excluded_;  // empty until the first exclude()
 };
 
 // ---------------------------------------------------------------------------
@@ -142,6 +164,32 @@ struct FabricConfig {
   ShardStrategy shard_strategy = ShardStrategy::Hash;
   std::uint64_t shard_seed = 42;
   std::uint32_t shard_epoch = 0;
+
+  // --- Failure recovery (fail_after == 0 disables all of it: the legacy
+  // single-epoch behaviour, bit-exact with earlier runs) ---
+
+  /// Consecutive TimedOut losses on one link after which the health
+  /// monitor declares its server dead: the link is abandoned, the shard
+  /// map excludes the server (epoch bump) and every in-flight
+  /// sub-request fails over to the survivors. Requires a nonzero
+  /// rpc.request_timeout; the per-link RPC config is armed with
+  /// fail_timed_out automatically.
+  std::uint32_t fail_after = 0;
+  /// Probe a dead server for re-admission (brownout recovery). The first
+  /// probe fires probe_backoff after the death; each unanswered probe
+  /// doubles the interval, capped at probe_backoff_max.
+  bool readmit = true;
+  TimePs probe_backoff = us(200);
+  TimePs probe_backoff_max = us(3200);
+  /// Per-request failover budget: a request (or stripe segment) rerouted
+  /// more than this many times completes with Status::TimedOut instead
+  /// of bouncing between sick servers forever.
+  std::uint32_t reroute_cap = 8;
+  /// Graceful degradation while short-handed: with any server dead,
+  /// Bulk-class submits shed locally (Status::Overloaded) once the
+  /// aggregate link backlog reaches this bound, preserving Latency-class
+  /// headroom on the survivors. 0 = never shed.
+  std::uint32_t degrade_outstanding = 0;
 };
 
 struct FabricClientStats {
@@ -154,7 +202,21 @@ struct FabricClientStats {
   std::uint64_t segments = 0;     // stripe sub-requests issued
   std::uint64_t reassembled_bytes = 0;
   std::uint64_t adaptive_skips = 0;  // links skipped as congested
+  // --- failure recovery (all zero unless FabricConfig::fail_after) ---
+  std::uint64_t failovers = 0;      // servers declared dead
+  std::uint64_t rerouted = 0;       // sub-requests re-issued on survivors
+  std::uint64_t timed_out = 0;      // fabric completions lost for good
+  std::uint64_t degraded_shed = 0;  // bulk submits shed while degraded
+  std::uint64_t probes = 0;         // re-admission probes issued
+  std::uint64_t readmissions = 0;   // servers readmitted after recovery
 };
+
+/// Health-monitor verdict for one link (see DESIGN.md, "Failure
+/// recovery"): Healthy -> Suspect on the first loss, Suspect -> Dead at
+/// fail_after consecutive losses, Dead -> Readmitted when a probe
+/// answers, Readmitted -> Healthy on the first regular completion.
+enum class LinkHealth : std::uint8_t { Healthy, Suspect, Dead, Readmitted };
+const char* link_health_name(LinkHealth h);
 
 // ---------------------------------------------------------------------------
 // FabricClient
@@ -202,11 +264,32 @@ class FabricClient {
   /// Latency of Ok fabric completions, nanosecond units.
   const LogHistogram& latency() const { return lat_; }
 
+  /// Health-monitor verdict for link `i` (always Healthy when the
+  /// monitor is disarmed, i.e. cfg.fail_after == 0).
+  LinkHealth link_health(std::uint32_t i) const {
+    return health_.empty() ? LinkHealth::Healthy : health_[i];
+  }
+  /// Virtual time from the first server death to the first Ok completion
+  /// after it (0 until both happened) — the recovery-time probe the
+  /// failover bench asserts on.
+  TimePs recovery_time() const { return recovery_ps_; }
+
  private:
   struct SubKey {
     std::uint64_t fabric_id = 0;
     std::uint16_t seg_index = 0;
     bool striped = false;
+    bool probe = false;  // re-admission probe, not application work
+  };
+  /// Passthrough retry state, kept only while the health monitor is
+  /// armed: everything needed to re-issue the request on a survivor.
+  struct PendingReq {
+    std::vector<std::uint8_t> payload;
+    std::uint32_t response_cap = 0;
+    rpc::Class cls = rpc::Class::Latency;
+    std::uint32_t tenant = 0;
+    std::uint32_t attempts = 1;
+    TimePs t0 = 0;
   };
   struct Stripe {
     std::uint32_t total = 0;
@@ -214,10 +297,13 @@ class FabricClient {
     std::uint16_t seg_count = 0;
     std::uint16_t remaining = 0;
     std::uint32_t tenant = 0;
+    rpc::Class cls = rpc::Class::Latency;
     VirtAddr buf = 0;  // Role::StripeSegment reassembly buffer
     TimePs t0 = 0;
     rpc::Status status = rpc::Status::Ok;
     std::uint64_t trace = 0;  // fabric-level request-trace id (0 = off)
+    /// Per-segment issue counts (failover armed only; empty otherwise).
+    std::vector<std::uint32_t> attempts;
   };
 
   /// Non-blocking: poll every link, route arrived sub-completions.
@@ -240,6 +326,29 @@ class FabricClient {
   void emit(rpc::Completion&& c);
   void register_metrics();
 
+  // --- failure recovery (no-ops unless cfg_.fail_after > 0) ---
+  bool failover_armed() const { return cfg_.fail_after > 0; }
+  bool degraded() const;
+  /// A link answered (anything but TimedOut): reset its loss streak.
+  void note_link_alive(std::uint32_t link);
+  /// A sub-request on `link` timed out: advance the health state machine
+  /// and queue the work for re-issue on a survivor.
+  void on_timeout(std::uint32_t link, const SubKey& key);
+  void on_probe(std::uint32_t link, rpc::Status status);
+  void declare_dead(std::uint32_t link);
+  /// Re-issue queued-for-reroute work and due re-admission probes.
+  /// Non-blocking; a survivor refusing the submit leaves it queued.
+  void pump_failover();
+  /// Returns false when the survivor's queue refused the re-submit (the
+  /// work stays queued for the next pump).
+  bool reroute_passthrough(std::uint64_t fid);
+  bool reroute_segment(std::uint64_t fid, std::uint16_t seg_index);
+  /// Blocking step while armed: flush every link and sleep until a
+  /// response arrival, transport event, link timeout deadline or due
+  /// probe — whichever is earliest — then pump. Never blocks inside the
+  /// transport, so timeouts fire even against a dead server.
+  void failover_block();
+
   mpi::Comm* comm_;
   std::vector<int> servers_;
   FabricConfig cfg_;
@@ -258,6 +367,19 @@ class FabricClient {
   LogHistogram lat_;
   std::vector<telemetry::ProbeHandle> probes_;
   bool closed_ = false;
+
+  // --- health monitor (sized only when cfg_.fail_after > 0) ---
+  std::vector<LinkHealth> health_;
+  std::vector<std::uint32_t> losses_;      // consecutive TimedOut streak
+  std::vector<TimePs> next_probe_;         // 0 = no probe scheduled
+  std::vector<TimePs> probe_backoff_;      // current per-link backoff
+  std::map<std::uint64_t, PendingReq> pending_;  // fid -> retry state
+  std::deque<std::uint64_t> retry_pass_;   // passthrough fids to re-issue
+  std::deque<std::pair<std::uint64_t, std::uint16_t>> retry_seg_;
+  bool probes_muted_ = false;  // drain(): stop re-arming probes
+  TimePs death_t_ = 0;
+  bool recovered_ = true;
+  TimePs recovery_ps_ = 0;
 };
 
 // ---------------------------------------------------------------------------

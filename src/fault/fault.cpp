@@ -84,6 +84,28 @@ bool FaultInjector::qp_error_due(NodeId node, std::uint32_t qp_num,
   return false;
 }
 
+bool FaultInjector::server_crashed(NodeId node, TimePs when) const {
+  // The node is crashed iff the latest crash event at or before `when` is
+  // strictly later than the latest recover event at or before `when`.
+  TimePs last_crash = 0;
+  bool crashed_seen = false;
+  for (const auto& e : plan_.crashes) {
+    if ((e.node == kAnyNode || e.node == node) && e.at <= when &&
+        (!crashed_seen || e.at > last_crash)) {
+      last_crash = e.at;
+      crashed_seen = true;
+    }
+  }
+  if (!crashed_seen) return false;
+  for (const auto& e : plan_.recoveries) {
+    if ((e.node == kAnyNode || e.node == node) && e.at <= when &&
+        e.at >= last_crash) {
+      return false;
+    }
+  }
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // Plan parsing
 
@@ -158,6 +180,20 @@ void parse_link_fault(const std::string& value, bool corrupt,
   plan->links.push_back(lf);
 }
 
+/// "NODE@AT" (microseconds; ':' accepted as a legacy separator).
+ServerEvent parse_server_event(const std::string& key,
+                               const std::string& value) {
+  const char sep = value.find('@') != std::string::npos ? '@' : ':';
+  const auto fields = split(value, sep);
+  IBP_CHECK(fields.size() == 2,
+            "fault plan: expected NODE@AT for '" << key << "', got '" << value
+                                                 << "'");
+  ServerEvent e;
+  e.node = parse_node(fields[0]);
+  e.at = us(static_cast<std::uint64_t>(std::stoull(fields[1])));
+  return e;
+}
+
 }  // namespace
 
 FaultPlan parse_fault_plan(const std::string& spec) {
@@ -204,6 +240,10 @@ FaultPlan parse_fault_plan(const std::string& spec) {
                      : static_cast<std::uint32_t>(std::stoul(fields[1]));
       e.at = us(static_cast<std::uint64_t>(std::stoull(fields[2])));
       plan.qp_errors.push_back(e);
+    } else if (key == "crash") {
+      plan.crashes.push_back(parse_server_event(key, value));
+    } else if (key == "recover") {
+      plan.recoveries.push_back(parse_server_event(key, value));
     } else if (key == "seed") {
       plan.seed = static_cast<std::uint64_t>(std::stoull(value));
     } else {
@@ -217,7 +257,100 @@ std::string describe(const FaultPlan& plan) {
   std::ostringstream os;
   os << plan.links.size() << " link fault(s), " << plan.storms.size()
      << " ATT storm(s), " << plan.qp_errors.size() << " QP error(s)";
+  if (!plan.crashes.empty() || !plan.recoveries.empty())
+    os << ", " << plan.crashes.size() << " crash(es), "
+       << plan.recoveries.size() << " recover(s)";
   if (plan.seed != 0) os << ", seed " << plan.seed;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Canonical plan formatting
+
+namespace {
+
+/// Shortest decimal form that parses back to exactly `p`.
+std::string format_prob(double p) {
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::ostringstream os;
+    os.precision(prec);
+    os << p;
+    if (std::stod(os.str()) == p) return os.str();
+  }
+  IBP_FAIL("unreachable: 17 digits round-trip any double");
+}
+
+std::string format_node(NodeId n) {
+  return n == kAnyNode ? "*" : std::to_string(n);
+}
+
+/// Times in the DSL are whole microseconds; reject anything finer.
+std::uint64_t as_us(TimePs t) {
+  IBP_CHECK(t % us(1) == 0,
+            "fault plan: time " << t << " ps is not a whole microsecond");
+  return static_cast<std::uint64_t>(t / us(1));
+}
+
+std::string format_window(TimePs from, TimePs until) {
+  std::ostringstream os;
+  os << as_us(from) << '-';
+  if (until == 0)
+    os << '*';
+  else
+    os << as_us(until);
+  return os.str();
+}
+
+}  // namespace
+
+std::string format_fault_plan(const FaultPlan& plan) {
+  std::ostringstream os;
+  const char* sep = "";
+  auto next = [&]() {
+    os << sep;
+    sep = "; ";
+  };
+  for (const auto& lf : plan.links) {
+    // A LinkFault carries both probabilities; emit one directive per
+    // nonzero channel (both when both are set) so parse-back rebuilds the
+    // same composed behavior. An all-zero fault round-trips as drop=0.
+    const bool emit_drop = lf.drop_prob != 0.0 || lf.corrupt_prob == 0.0;
+    for (int corrupt = 0; corrupt < 2; ++corrupt) {
+      const double p = corrupt ? lf.corrupt_prob : lf.drop_prob;
+      if (corrupt ? p == 0.0 : !emit_drop) continue;
+      next();
+      os << (corrupt ? "corrupt=" : "drop=") << format_node(lf.src) << '-'
+         << format_node(lf.dst) << ':' << format_prob(p);
+      if (lf.from != 0 || lf.until != 0)
+        os << ':' << format_window(lf.from, lf.until);
+    }
+  }
+  for (const auto& s : plan.storms) {
+    next();
+    os << "storm=" << format_node(s.node) << ':'
+       << format_window(s.from, s.until);
+  }
+  for (const auto& e : plan.qp_errors) {
+    next();
+    os << "qpkill=" << format_node(e.node) << ':';
+    if (e.qp_num == 0)
+      os << '*';
+    else
+      os << e.qp_num;
+    os << ':' << as_us(e.at);
+  }
+  for (const auto& e : plan.crashes) {
+    next();
+    os << "crash=" << format_node(e.node) << '@' << as_us(e.at);
+  }
+  for (const auto& e : plan.recoveries) {
+    next();
+    os << "recover=" << format_node(e.node) << '@' << as_us(e.at);
+  }
+  if (plan.seed != 0) {
+    next();
+    os << "seed=" << plan.seed;
+  }
   return os.str();
 }
 

@@ -70,15 +70,29 @@ struct QpError {
   TimePs at = 0;
 };
 
+/// Server-process lifecycle event: at `at` the rank on `node` either
+/// crashes (permanent QP kill: it stops serving and silently discards
+/// every request record it ingests) or recovers (a brownout window ends
+/// and it serves again). A node's state at time t is decided by the
+/// latest crash/recover event at or before t; a bare crash with no
+/// matching recover is permanent.
+struct ServerEvent {
+  NodeId node = kAnyNode;
+  TimePs at = 0;
+};
+
 struct FaultPlan {
   std::vector<LinkFault> links;
   std::vector<AttStorm> storms;
   std::vector<QpError> qp_errors;
+  std::vector<ServerEvent> crashes;
+  std::vector<ServerEvent> recoveries;
   /// When nonzero, overrides the cluster seed for the injector's streams.
   std::uint64_t seed = 0;
 
   bool empty() const {
-    return links.empty() && storms.empty() && qp_errors.empty();
+    return links.empty() && storms.empty() && qp_errors.empty() &&
+           crashes.empty() && recoveries.empty();
   }
 };
 
@@ -90,14 +104,25 @@ struct FaultPlan {
 ///   corrupt=SRC-DST:PROB[:FROM-UNTIL]  packet corruption probability
 ///   storm=NODE:FROM-UNTIL              ATT miss storm on an adapter
 ///   qpkill=NODE:QP:AT                  one-shot QP error (QP may be '*')
+///   crash=NODE@AT                      permanent server kill at AT
+///   recover=NODE@AT                    server rejoins at AT (ends a crash)
 ///   seed=N                             override the injector seed
 ///
 /// An omitted window (or UNTIL of '*') is open-ended. Example:
-///   "drop=0-1:0.01; storm=1:100-500; qpkill=0:*:250"
+///   "drop=0-1:0.01; storm=1:100-500; qpkill=0:*:250; crash=2@800"
 FaultPlan parse_fault_plan(const std::string& spec);
 
 /// One-line human summary ("2 link fault(s), 1 storm(s), ...").
 std::string describe(const FaultPlan& plan);
+
+/// Canonical textual form of a plan: parse_fault_plan(format_fault_plan(p))
+/// rebuilds a behaviorally identical plan, and format_fault_plan is a
+/// fixed point over parse (format(parse(format(p))) == format(p)).
+/// Probabilities print with round-trip precision; a LinkFault carrying
+/// both drop and corrupt splits into one directive per channel, which
+/// composes to the same packet fate. Sub-microsecond times are not
+/// representable in the DSL and are rejected.
+std::string format_fault_plan(const FaultPlan& plan);
 
 enum class PacketVerdict : std::uint8_t { Deliver, Drop, Corrupt };
 
@@ -125,6 +150,16 @@ class FaultInjector {
   /// Consume a pending one-shot QP error for (node, qp_num) due by `now`.
   /// Returns true at most once per plan entry.
   bool qp_error_due(NodeId node, std::uint32_t qp_num, TimePs now);
+
+  /// Is the server process on `node` crashed at `when`? Decided by the
+  /// latest matching crash/recover event at or before `when` (a crash and
+  /// a recover at the same instant resolve to recovered). Pure query — no
+  /// stream state, safe to call from any layer.
+  bool server_crashed(NodeId node, TimePs when) const;
+
+  /// Does the plan contain any crash directive at all? Lets the serving
+  /// layers skip per-item checks on fault-free and crash-free plans.
+  bool has_crashes() const { return !plan_.crashes.empty(); }
 
   /// Event sink for fault/retry tracing. `kind` is a static string such as
   /// "drop", "corrupt", "retransmit", "rnr_nak" or "qp_error"; `node` is

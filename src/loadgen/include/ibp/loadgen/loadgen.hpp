@@ -65,16 +65,33 @@ struct ClosedLoopConfig {
   /// legacy single-track state machine, bit-exact with earlier runs.
   /// RpcClient only; FabricClient rejects it.
   bool tracked_workers = false;
+  /// Bucket completions into goodput windows of this virtual-time width
+  /// (GenResult::window_ok / window_lost), locating a failure and the
+  /// recovery in time. 0 (the default) keeps the result window-free —
+  /// pure bookkeeping either way, bit-inert on the run itself.
+  TimePs window = 0;
 };
 
 struct GenResult {
   std::uint64_t issued = 0;
   std::uint64_t ok = 0;
-  std::uint64_t shed = 0;      // completed with Status::Overloaded
+  std::uint64_t shed = 0;       // completed with Status::Overloaded
+  std::uint64_t timed_out = 0;  // completed with Status::TimedOut (lost)
+  /// Lost requests that were Latency class — the count the failover
+  /// bench asserts is zero (closed loop only; open loop leaves it 0).
+  std::uint64_t lost_latency = 0;
   std::uint64_t rejected = 0;  // client queue full at submit
   TimePs span = 0;             // first submit to last completion drained
+  /// Absolute virtual time of the first measured submit — the origin of
+  /// the goodput windows, letting callers map absolute event times (a
+  /// fault plan's crash directive) onto window indices.
+  TimePs start = 0;
   LogHistogram latency_ns;  // Ok completions only
   std::uint64_t trace_hash = 0;     // FNV-1a over (id, status, latency)
+  /// Per-window completion counts (ClosedLoopConfig::window > 0 only):
+  /// index i covers virtual time [start + i*window, start + (i+1)*window).
+  std::vector<std::uint64_t> window_ok;
+  std::vector<std::uint64_t> window_lost;  // TimedOut completions
 
   double achieved_rps() const {
     return span > 0 ? static_cast<double>(ok) * 1e12 /

@@ -61,9 +61,24 @@ void record(GenResult& res, const rpc::Completion& c) {
   if (c.status == rpc::Status::Ok) {
     ++res.ok;
     res.latency_ns.add(static_cast<std::uint64_t>(c.latency / 1000));
+  } else if (c.status == rpc::Status::TimedOut) {
+    ++res.timed_out;
   } else {
     ++res.shed;
   }
+}
+
+/// Bucket a completion into its goodput window (window == 0: off).
+void bucket(GenResult& res, const rpc::Completion& c, TimePs window,
+            TimePs start, TimePs now) {
+  if (window == 0) return;
+  const auto w = static_cast<std::size_t>((now - start) / window);
+  if (res.window_ok.size() <= w) {
+    res.window_ok.resize(w + 1, 0);
+    res.window_lost.resize(w + 1, 0);
+  }
+  if (c.status == rpc::Status::Ok) ++res.window_ok[w];
+  else if (c.status == rpc::Status::TimedOut) ++res.window_lost[w];
 }
 
 // The drivers are client-type generic: FabricClient mirrors RpcClient's
@@ -115,6 +130,7 @@ GenResult open_loop(Client& client, const Workload& w,
   client.drain();
   for (const rpc::Completion& c : client.take_completions()) record(res, c);
   res.span = env.now() - start;
+  res.start = start;
   return res;
 }
 
@@ -146,7 +162,7 @@ GenResult closed_loop(Client& client, const Workload& w,
   // ordered by (wake time, worker), outstanding ids mapped back to the
   // worker that issued them.
   std::set<std::pair<TimePs, std::uint32_t>> ready;
-  std::map<std::uint64_t, std::uint32_t> owner;
+  std::map<std::uint64_t, std::pair<std::uint32_t, rpc::Class>> owner;
   for (std::uint32_t wk = 0; wk < cfg.workers; ++wk)
     if (budget[wk] > 0) ready.insert({start, wk});
 
@@ -168,7 +184,7 @@ GenResult closed_loop(Client& client, const Workload& w,
       ++budget[wk];
       ready.insert({env.now() + client.config().flush_timeout, wk});
     } else {
-      owner.emplace(id, wk);
+      owner.emplace(id, std::make_pair(wk, cls));
     }
   };
 
@@ -187,15 +203,19 @@ GenResult closed_loop(Client& client, const Workload& w,
     client.wait_some();
     for (const rpc::Completion& c : client.take_completions()) {
       record(res, c);
+      bucket(res, c, cfg.window, start, env.now());
       const auto it = owner.find(c.id);
       IBP_CHECK(it != owner.end(), "completion for unknown worker");
-      const std::uint32_t wk = it->second;
+      const auto [wk, cls] = it->second;
+      if (c.status == rpc::Status::TimedOut && cls == rpc::Class::Latency)
+        ++res.lost_latency;
       owner.erase(it);
       if (budget[wk] > 0) ready.insert({env.now() + cfg.think, wk});
     }
   }
   client.drain();
   res.span = env.now() - start;
+  res.start = start;
   return res;
 }
 
@@ -293,6 +313,7 @@ GenResult closed_loop_tracked(rpc::RpcClient& client, const Workload& w,
   for (const rpc::Completion& c : client.take_completions()) record(res, c);
   client.drain();
   res.span = env.now() - start;
+  res.start = start;
   return res;
 }
 

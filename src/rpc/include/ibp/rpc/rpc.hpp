@@ -59,6 +59,11 @@ enum class Status : std::uint8_t {
   /// queue was at RpcConfig::server_queue_cap, so instead of queueing
   /// without bound it answered immediately with this status.
   Overloaded = 1,
+  /// The client gave up on the request: it exhausted its retransmission
+  /// budget without a response (RpcConfig::fail_timed_out), or the link
+  /// was abandoned after its server was declared dead (the fabric
+  /// failover path). Local verdict — the server never answered.
+  TimedOut = 2,
 };
 
 /// On-the-wire record header (request and response direction). A batch
@@ -141,6 +146,13 @@ struct RpcConfig {
   /// timeouts, the legacy behaviour.
   TimePs request_timeout = 0;
   std::uint32_t max_retries = 1;
+  /// With request_timeout armed: a request that exhausts max_retries
+  /// without a response completes locally with Status::TimedOut (credits
+  /// freed, a late response dropped as a duplicate) instead of waiting
+  /// for the transport forever. The failure-detection primitive the
+  /// fabric health monitor builds on; off (the default) preserves the
+  /// legacy wait-forever behaviour bit-exactly.
+  bool fail_timed_out = false;
   /// Dispatcher-fed worker pool: with N > 0 the server rank spawns N sim
   /// tracks that pull parsed requests from the admission queue and run
   /// service + handler concurrently (in virtual time), while the calling
@@ -180,6 +192,7 @@ struct ClientStats {
                                     // per-tenant class credits
   std::uint64_t retries = 0;        // timed-out requests retransmitted
   std::uint64_t duplicates = 0;     // late responses dropped after a retry
+  std::uint64_t timed_out = 0;      // requests failed with Status::TimedOut
 };
 
 struct ServerStats {
@@ -194,6 +207,7 @@ struct ServerStats {
   std::uint64_t large_responses = 0;
   std::uint64_t queue_peak = 0;
   std::uint64_t closes = 0;
+  std::uint64_t discarded = 0;  // records dropped while crashed (no reply)
 };
 
 /// What the server hands the application handler.
@@ -288,6 +302,19 @@ class RpcClient {
   /// links answered" with one waitany instead of serialising on one link.
   const mpi::Req& response_req() const { return rsp_req_; }
 
+  /// Fail every queued and inflight request locally with Status::TimedOut,
+  /// right now — the fabric drain step after its health monitor declares
+  /// this link's server dead. Requires fail_timed_out. The link stays
+  /// usable (the transport is healthy; only the peer process is gone), so
+  /// re-admission probes and close() still work.
+  void abandon();
+
+  /// Earliest armed retransmit/expiry deadline among inflight requests,
+  /// or nullopt. Side-effect free — a multi-link caller's wait_until
+  /// predicate uses it so link timeouts fire even when no transport event
+  /// is pending (a dead server produces none).
+  std::optional<TimePs> next_deadline() const;
+
  private:
   struct Pending {
     std::uint64_t id = 0;
@@ -327,6 +354,12 @@ class RpcClient {
   bool class_credit_ok(const Pending& p, int cls) const;
   /// Retransmit inflight requests whose timeout deadline passed.
   void check_timeouts();
+  /// Complete inflight request `id` locally with Status::TimedOut.
+  void expire(std::uint64_t id);
+  /// Block until a response arrival, transport event or timeout deadline
+  /// (whichever is earliest), then ingest non-blockingly. The
+  /// fail_timed_out replacement for blocking inside the transport.
+  void progress_block();
   void ensure_rsp_posted();
   /// Ingest one arrived response batch; returns false if none arrived.
   bool try_ingest(bool blocking);
@@ -356,9 +389,11 @@ class RpcClient {
   /// Request records put on the wire / response records parsed. With
   /// retries armed these diverge by the duplicate responses still in
   /// flight; drain() waits until they match so no response batch is left
-  /// unreceived at teardown.
+  /// unreceived at teardown. Records expired with Status::TimedOut are
+  /// forgiven (expired_records_) — a dead server never answers them.
   std::uint64_t flushed_records_ = 0;
   std::uint64_t parsed_records_ = 0;
+  std::uint64_t expired_records_ = 0;
   std::uint64_t next_id_ = 1;
   std::map<std::uint64_t, Completion> done_;
   std::deque<const Completion*> fresh_;  // completion order, not yet taken
@@ -453,6 +488,13 @@ class RpcServer {
   /// returning their slots/buffers. Non-blocking.
   void reclaim_sent();
   void register_metrics();
+  /// Is this rank's server process crashed right now (a fault-plan
+  /// crash directive without a later recover)? While crashed the server
+  /// ingests wire traffic (the transport below is healthy — only the
+  /// process is gone) but discards every request silently: no response,
+  /// no shed, exactly the black hole a failed peer looks like. Close
+  /// records are still honoured so runs terminate deterministically.
+  bool crashed_now() const;
 
   /// Legacy inline loop (cfg_.server_workers == 0): the calling track
   /// ingests, serves and flushes by itself.

@@ -4,6 +4,7 @@
 
 #include "ibp/common/check.hpp"
 #include "ibp/core/cluster.hpp"
+#include "ibp/fault/fault.hpp"
 #include "ibp/telemetry/reqtrace.hpp"
 
 namespace ibp::rpc {
@@ -257,10 +258,15 @@ void RpcClient::check_timeouts() {
   if (cfg_.request_timeout == 0) return;
   core::RankEnv& env = comm_->env();
   const TimePs now = env.now();
+  std::vector<std::uint64_t> expired;
   for (auto& [id, inf] : inflight_) {
     if (inf.deadline == 0 || now < inf.deadline) continue;
     if (inf.attempts > cfg_.max_retries) {
-      inf.deadline = 0;  // out of retries; the transport will deliver
+      if (cfg_.fail_timed_out) {
+        expired.push_back(id);  // completes TimedOut below the loop
+      } else {
+        inf.deadline = 0;  // out of retries; the transport will deliver
+      }
       continue;
     }
     if (free_slots_.empty()) return;  // retry on the next poll instead
@@ -287,13 +293,98 @@ void RpcClient::check_timeouts() {
     ++stats_.retries;
     if (hub_ != nullptr) hub_->retry(inf.trace);
   }
+  for (std::uint64_t id : expired) expire(id);
+}
+
+void RpcClient::expire(std::uint64_t id) {
+  core::RankEnv& env = comm_->env();
+  const auto it = inflight_.find(id);
+  IBP_CHECK(it != inflight_.end(), "expiring a request not inflight");
+  Inflight& inf = it->second;
+  Completion c;
+  c.id = id;
+  c.status = Status::TimedOut;
+  c.latency = env.now() - inf.t0;
+  // The server will never answer the flushed copies; forgive them so
+  // drain() does not wait for response records that cannot arrive. A
+  // late response (the server was merely slow) still lands safely in the
+  // duplicate path — the id stays in done_.
+  expired_records_ += inf.attempts;
+  if (cfg_.latency_credits != 0 || cfg_.bulk_credits != 0) {
+    const auto ci = class_inflight_.find({inf.tenant, inf.cls});
+    if (ci != class_inflight_.end() && --ci->second == 0)
+      class_inflight_.erase(ci);
+  }
+  if (inf.trace != 0) {
+    hub_->stage_mark(inf.trace, telemetry::Stage::NetResponse, comm_->rank(),
+                     env.now());
+    hub_->end(inf.trace, static_cast<std::uint8_t>(Status::TimedOut),
+              env.now());
+  }
+  inflight_.erase(it);
+  ++stats_.timed_out;
+  ++stats_.completed;
+  auto [pos, fresh] = done_.emplace(id, std::move(c));
+  IBP_CHECK(fresh, "duplicate response id");
+  fresh_.push_back(&pos->second);
+}
+
+void RpcClient::abandon() {
+  IBP_CHECK(cfg_.fail_timed_out,
+            "abandon() requires RpcConfig::fail_timed_out");
+  core::RankEnv& env = comm_->env();
+  // Queued-but-unsent requests first: retransmit copies just drop (their
+  // inflight entry is expired below), fresh requests complete TimedOut
+  // without ever touching the wire.
+  for (auto& q : queued_) {
+    while (!q.empty()) {
+      const Pending p = std::move(q.front());
+      q.pop_front();
+      queued_bytes_ -= p.wire;
+      free_slots_.push_back(p.slot);
+      if (p.retry) continue;
+      const WireHeader h = load_header(env, slot_va(p.slot));
+      Completion c;
+      c.id = p.id;
+      c.status = Status::TimedOut;
+      c.latency = env.now() - p.t;
+      if (hub_ != nullptr && (h.flags & kFlagTraced) != 0) {
+        const std::uint64_t tr =
+            hub_->wire_trace(comm_->rank(), server_, p.id);
+        if (tr != 0) {
+          hub_->stage_mark(tr, telemetry::Stage::NetResponse, comm_->rank(),
+                           env.now());
+          hub_->end(tr, static_cast<std::uint8_t>(Status::TimedOut),
+                    env.now());
+        }
+      }
+      ++stats_.timed_out;
+      ++stats_.completed;
+      auto [pos, fresh] = done_.emplace(p.id, std::move(c));
+      IBP_CHECK(fresh, "duplicate response id");
+      fresh_.push_back(&pos->second);
+    }
+  }
+  while (!inflight_.empty()) expire(inflight_.begin()->first);
+}
+
+std::optional<TimePs> RpcClient::next_deadline() const {
+  if (cfg_.request_timeout == 0) return std::nullopt;
+  std::optional<TimePs> best;
+  for (const auto& [id, inf] : inflight_) {
+    if (inf.deadline != 0 && (!best || inf.deadline < *best))
+      best = inf.deadline;
+  }
+  return best;
 }
 
 void RpcClient::ensure_rsp_posted() {
   // Post while any wire record still owes a response — inflight requests,
-  // plus duplicate responses a retransmit provoked.
+  // plus duplicate responses a retransmit provoked. Expired records are
+  // forgiven: their server is presumed gone and will not answer.
   if (rsp_req_ == nullptr &&
-      (!inflight_.empty() || parsed_records_ < flushed_records_))
+      (!inflight_.empty() ||
+       parsed_records_ + expired_records_ < flushed_records_))
     rsp_req_ = comm_->irecv(rspbuf_, rsp_cap_, server_, kRspTag);
 }
 
@@ -397,11 +488,35 @@ void RpcClient::poll() {
   }
 }
 
+void RpcClient::progress_block() {
+  // Block until the next thing that can change client state: a response
+  // arrival, any transport event, or the earliest retransmit/expiry
+  // deadline. Never blocks inside the transport itself, so timeouts keep
+  // firing against a server that will never answer (fail_timed_out).
+  ensure_rsp_posted();
+  comm_->env().sim().wait_until([this]() -> std::optional<TimePs> {
+    std::optional<TimePs> best;
+    if (rsp_req_ != nullptr && rsp_req_->done()) best = rsp_req_->done_at;
+    const std::optional<TimePs> ev = comm_->earliest_event_time();
+    if (ev && (!best || *ev < *best)) best = ev;
+    const std::optional<TimePs> dl = next_deadline();
+    if (dl && (!best || *dl < *best)) best = dl;
+    return best;
+  });
+  while (try_ingest(false)) {
+  }
+}
+
 const Completion& RpcClient::wait(std::uint64_t id) {
   while (!completed(id)) {
     reclaim_batches();
     check_timeouts();
     maybe_flush(true);
+    if (cfg_.fail_timed_out) {
+      if (completed(id)) break;
+      progress_block();
+      continue;
+    }
     IBP_CHECK(!inflight_.empty(), "waiting on an id that was never submitted");
     try_ingest(true);
   }
@@ -414,6 +529,11 @@ void RpcClient::wait_some() {
     reclaim_batches();
     check_timeouts();
     maybe_flush(true);
+    if (cfg_.fail_timed_out) {
+      if (!fresh_.empty()) break;
+      progress_block();
+      continue;
+    }
     try_ingest(true);
   }
 }
@@ -433,12 +553,36 @@ void RpcClient::flush() {
 }
 
 void RpcClient::drain() {
+  if (cfg_.fail_timed_out) {
+    // Failure-aware drain: wait for queued and inflight requests only —
+    // every one of them resolves (response or local TimedOut expiry).
+    // Response records still owed by the wire (duplicate copies a dead
+    // server discarded) are not waited for; the receive stays posted so
+    // a straggler from a merely-slow server still has a landing buffer.
+    for (;;) {
+      reclaim_batches();
+      check_timeouts();
+      maybe_flush(true);
+      while (try_ingest(false)) {
+      }
+      if (queued_[0].empty() && queued_[1].empty() && inflight_.empty())
+        break;
+      progress_block();
+    }
+    for (auto& b : sent_) {
+      comm_->wait(b.req);
+      for (std::uint32_t s : b.slots) free_slots_.push_back(s);
+    }
+    sent_.clear();
+    return;
+  }
   while (!queued_[0].empty() || !queued_[1].empty() || !inflight_.empty() ||
-         parsed_records_ < flushed_records_) {
+         parsed_records_ + expired_records_ < flushed_records_) {
     reclaim_batches();
     check_timeouts();
     maybe_flush(true);
-    if (!inflight_.empty() || parsed_records_ < flushed_records_)
+    if (!inflight_.empty() ||
+        parsed_records_ + expired_records_ < flushed_records_)
       try_ingest(true);
   }
   for (auto& b : sent_) {
@@ -579,6 +723,13 @@ void RpcServer::post_recv(std::uint32_t client) {
       comm_->irecv(recv_va(client), recv_cap_, clients_[client], kReqTag);
 }
 
+bool RpcServer::crashed_now() const {
+  core::RankEnv& env = comm_->env();
+  fault::FaultInjector* inj = env.cluster().fault();
+  if (inj == nullptr || !inj->has_crashes()) return false;
+  return inj->server_crashed(env.node(), env.now());
+}
+
 void RpcServer::ingest() {
   for (std::uint32_t i = 0; i < clients_.size(); ++i) {
     while (rreqs_[i] != nullptr && comm_->test(rreqs_[i])) {
@@ -592,6 +743,7 @@ void RpcServer::ingest() {
 void RpcServer::parse_batch(std::uint32_t client, std::uint64_t len) {
   core::RankEnv& env = comm_->env();
   ++stats_.batches_in;
+  const bool crashed = crashed_now();
   std::uint64_t off = 0;
   while (off < len) {
     const WireHeader h = load_header(env, recv_va(client) + off);
@@ -608,6 +760,13 @@ void RpcServer::parse_batch(std::uint32_t client, std::uint64_t len) {
     }
     ++stats_.requests_in;
     stats_.bytes_in += sizeof(WireHeader) + h.payload;
+    if (crashed) {
+      // The process is gone; the adapter below keeps completing wire
+      // transfers but nothing consumes them. Silently discard — no
+      // response, no shed — exactly the black hole a failed peer is.
+      ++stats_.discarded;
+      continue;
+    }
     std::uint64_t trace = 0;
     if (hub_ != nullptr && (h.flags & kFlagTraced) != 0) {
       // Server admission: the net_request stage ends here whether the
@@ -676,6 +835,12 @@ bool RpcServer::pop_next(Item& out) {
 void RpcServer::serve_one() {
   Item it;
   if (!pop_next(it)) return;
+  if (crashed_now()) {
+    // Accepted before the crash, never served: the queue died with the
+    // process.
+    ++stats_.discarded;
+    return;
+  }
   serve_item(it, scratch_, lanes_[0], /*via_dispatcher=*/false);
 }
 
@@ -805,6 +970,15 @@ void RpcServer::enqueue_response(RspLane& lane, std::uint32_t client,
 void RpcServer::flush_client(RspLane& lane, std::uint32_t client, bool force) {
   const std::uint32_t nmax = cfg_.batching ? cfg_.max_batch_requests : 1;
   auto& pend = lane.pending[client];
+  if (!pend.empty() && crashed_now()) {
+    // Responses still in the process's send queue die with it. Whatever
+    // was already handed to the adapter (lane.sent) completes normally.
+    for (const RspRec& r : pend) lane.free_slots.push_back(r.slot);
+    stats_.discarded += pend.size();
+    lane.pending_bytes[client] = 0;
+    pend.clear();
+    return;
+  }
   for (;;) {
     if (pend.empty()) return;
     const bool due = force || !cfg_.batching || pend.size() >= nmax ||
@@ -1022,6 +1196,11 @@ void RpcServer::worker_main(sim::Context& sc, std::uint32_t w) {
     if (!pop_next(it)) {
       if (stopping_) break;
       continue;  // a lower-id worker won the race for this item
+    }
+    if (crashed_now()) {
+      ++stats_.discarded;
+      if (worker_event_ == 0) worker_event_ = sc.now();
+      continue;
     }
     ++busy_workers_;
     serve_item(it, wscratch_[w], lane,

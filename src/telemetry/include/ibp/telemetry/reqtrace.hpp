@@ -95,6 +95,9 @@ struct RequestRecord {
   std::uint8_t cls = 0;     // rpc::Class
   std::uint8_t status = 0;  // rpc::Status at completion
   std::uint32_t retries = 0;
+  /// Failover hops: times the request (or one of its stripe segments)
+  /// was re-issued on a surviving server after a shard-map epoch bump.
+  std::uint32_t failover_hops = 0;
   TimePs t0 = 0;
   TimePs t_end = 0;
   /// Lock-arbitration time the share-mode model charged the serving
@@ -173,6 +176,11 @@ class RequestTracer {
   /// Count a client retransmission (makes the record error-exemplar
   /// eligible).
   void retry(std::uint64_t trace);
+
+  /// Count a failover hop: the fabric re-issued the request on a
+  /// surviving server after declaring its home dead. Error-exemplar
+  /// eligible like retry() — a rerouted request is worth keeping.
+  void failover(std::uint64_t trace);
 
   /// Finish the record at `t` with rpc::Status `status`: fold stages
   /// into the histograms, burn SLO counters, emit Chrome async spans,

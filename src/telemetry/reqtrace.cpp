@@ -20,6 +20,7 @@ const char* status_name(std::uint8_t s) {
   switch (s) {
     case 0: return "ok";
     case 1: return "overloaded";
+    case 2: return "timed_out";
     default: return "error";
   }
 }
@@ -150,6 +151,11 @@ void RequestTracer::retry(std::uint64_t trace) {
   if (rec != nullptr) ++rec->retries;
 }
 
+void RequestTracer::failover(std::uint64_t trace) {
+  RequestRecord* rec = find_live(trace);
+  if (rec != nullptr) ++rec->failover_hops;
+}
+
 Counter& RequestTracer::slo_counter(std::uint32_t tenant, std::uint8_t cls) {
   const auto key = std::make_pair(tenant, cls);
   const auto it = slo_.find(key);
@@ -198,7 +204,7 @@ void RequestTracer::end(std::uint64_t trace, std::uint8_t status, TimePs t) {
       slo_counter(rec.tenant, rec.cls).add(1.0);
   }
   emit_async(rec);
-  const bool is_error = status != 0 || rec.retries > 0;
+  const bool is_error = status != 0 || rec.retries > 0 || rec.failover_hops > 0;
   retain_or_fold(std::move(rec), is_error);
 }
 
@@ -261,7 +267,7 @@ void RequestTracer::write_jsonl(std::ostream& os) const {
        << ", \"tenant\": " << r.tenant << ", \"cls\": \""
        << (r.cls == 0 ? "latency" : "bulk") << "\", \"status\": \""
        << status_name(r.status) << "\", \"retries\": " << r.retries
-       << ", \"exemplar\": \""
+       << ", \"failovers\": " << r.failover_hops << ", \"exemplar\": \""
        << (r.in_slowest && r.in_errors
                ? "slowest+error"
                : r.in_slowest ? "slowest" : "error")

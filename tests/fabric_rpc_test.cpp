@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdlib>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -234,6 +237,253 @@ TEST(ServingFabric, OneServerFabricMatchesBareRpcByteForByte) {
   EXPECT_EQ(bare.trace_hash, wrapped.trace_hash);
   EXPECT_EQ(bare.span, wrapped.span);
   EXPECT_EQ(bare.ok, wrapped.ok);
+}
+
+// ---------------------------------------------------------------------------
+// Failure recovery
+
+/// Like with_fabric, but servers count application executions of real
+/// (non-probe) requests and report what the crashed process discarded,
+/// and the hub's JSONL stream is captured when tracing is on — the
+/// instrumentation the exactly-once assertions need.
+struct FailoverOut {
+  std::vector<std::uint64_t> served;     // handler executions, by rank
+  std::vector<std::uint64_t> discarded;  // crash-discarded, by rank
+  std::string trace_jsonl;
+};
+
+void with_failover_fabric(
+    std::uint32_t servers, const FabricConfig& fc,
+    const std::string& fault_spec,
+    const std::function<void(FabricClient&, core::RankEnv&)>& client_fn,
+    FailoverOut* out = nullptr, bool trace = false) {
+  core::ClusterConfig cfg;
+  cfg.nodes = static_cast<int>(servers) + 1;
+  cfg.ranks_per_node = 1;
+  if (!fault_spec.empty()) cfg.fault = fault::parse_fault_plan(fault_spec);
+  if (trace) cfg.request_trace.enabled = true;
+  core::Cluster cluster(cfg);
+  std::vector<std::uint64_t> served(cfg.nodes, 0);
+  std::vector<std::uint64_t> discarded(cfg.nodes, 0);
+  cluster.run([&](core::RankEnv& env) {
+    mpi::CommConfig mc;
+    mc.sge_gather = true;
+    mc.recovery = mpi::CommConfig::Recovery::Repost;
+    mpi::Comm comm(env, mc);
+    if (env.rank() != 0) {
+      const std::size_t me = static_cast<std::size_t>(env.rank());
+      const rpc::Handler echo = rpc::default_handler();
+      const rpc::Handler counting = [&served, me, &echo](
+                                        const rpc::RequestView& rq,
+                                        std::uint8_t* buf,
+                                        std::uint32_t cap) {
+        if (rq.payload_len > 0) ++served[me];  // health probes are empty
+        return echo(rq, buf, cap);
+      };
+      FabricServer server(comm, {0}, fc, counting);
+      server.serve();
+      discarded[me] = server.stats().discarded;
+      return;
+    }
+    std::vector<int> ranks;
+    for (std::uint32_t s = 1; s <= servers; ++s)
+      ranks.push_back(static_cast<int>(s));
+    FabricClient client(comm, ranks, fc);
+    client_fn(client, env);
+    client.close();
+  });
+  if (out != nullptr) {
+    out->served = served;
+    out->discarded = discarded;
+    if (trace && cluster.request_tracer() != nullptr) {
+      std::ostringstream os;
+      cluster.request_tracer()->write_jsonl(os);
+      out->trace_jsonl = os.str();
+    }
+  }
+}
+
+FabricConfig failover_config() {
+  FabricConfig fc;
+  fc.fail_after = 2;
+  // Above the first-touch warmup (~2 ms to the first completion), so a
+  // slow cold server is never mistaken for a dead one.
+  fc.rpc.request_timeout = us(4000);
+  fc.rpc.max_retries = 0;
+  fc.probe_backoff = us(1000);
+  fc.probe_backoff_max = us(8000);
+  return fc;
+}
+
+/// Largest "failovers" value in the hub's JSONL stream.
+std::uint32_t max_traced_failovers(const std::string& jsonl) {
+  std::uint32_t best = 0;
+  const std::string key = "\"failovers\": ";
+  for (std::size_t p = jsonl.find(key); p != std::string::npos;
+       p = jsonl.find(key, p + key.size())) {
+    best = std::max(best, static_cast<std::uint32_t>(std::atoi(
+                              jsonl.c_str() + p + key.size())));
+  }
+  return best;
+}
+
+TEST(FabricFailover, CrashedServerFailsOverExactlyOnce) {
+  // One of two servers dies mid-run. Every request must still complete
+  // Ok — rerouted across the epoch bump — and the application handler
+  // must run exactly once per request: the corpse discards what it
+  // accepted but never served, the survivor executes the rerouted copy,
+  // and link-level dedupe would drop any late original.
+  const FabricConfig fc = failover_config();
+  FailoverOut out;
+  FabricClientStats stats;
+  std::uint32_t epoch = 0;
+  std::uint32_t total = 0;
+  with_failover_fabric(
+      2, fc, "crash=1@2500",
+      [&](FabricClient& c, core::RankEnv&) {
+        const std::vector<std::uint8_t> msg{1, 2, 3};
+        const auto roundtrip = [&](std::uint32_t i) {
+          const std::uint64_t id =
+              c.submit(msg, 0, rpc::Class::Latency, i % 6);
+          ASSERT_NE(id, 0u);
+          const rpc::Completion& done = c.wait(id);
+          ASSERT_EQ(done.status, rpc::Status::Ok)
+              << "request " << i << " lost across the failover";
+          ASSERT_EQ(done.payload, msg);
+        };
+        // Serve traffic through the crash until the monitor declares it.
+        std::uint32_t n = 0;
+        while (c.stats().failovers == 0) {
+          ASSERT_LT(n, 1000u) << "failover never detected";
+          roundtrip(n);
+          if (testing::Test::HasFatalFailure()) return;
+          ++n;
+        }
+        // A dozen more rides on the new epoch.
+        for (std::uint32_t i = 0; i < 12; ++i, ++n) {
+          roundtrip(n);
+          if (testing::Test::HasFatalFailure()) return;
+        }
+        c.drain();
+        total = n;
+        stats = c.stats();
+        epoch = c.shard_map().epoch();
+        EXPECT_EQ(c.link_health(0), LinkHealth::Dead);
+      },
+      &out, /*trace=*/true);
+  ASSERT_GT(total, 0u);
+  EXPECT_EQ(stats.failovers, 1u);
+  EXPECT_GE(stats.rerouted, 1u);
+  EXPECT_EQ(epoch, 1u);
+  // Exactly-once: total application executions equal completed requests.
+  EXPECT_EQ(out.served[1] + out.served[2], total);
+  EXPECT_GT(out.served[1], 0u) << "some requests ran before the crash";
+  EXPECT_GT(out.discarded[1], 0u) << "the corpse must discard, not serve";
+  // The hub recorded the failover hop(s) of the rerouted request.
+  EXPECT_GE(max_traced_failovers(out.trace_jsonl), 1u);
+}
+
+TEST(FabricFailover, BrownoutReadmitsAfterRecovery) {
+  FabricConfig fc = failover_config();
+  fc.probe_backoff_max = us(4000);  // probe often enough to catch recovery
+  FabricClientStats stats;
+  std::uint32_t epoch = 0;
+  std::array<LinkHealth, 2> health{};
+  // Crash lands after warmup; detection needs two 4 ms losses (~10.5 ms);
+  // the server recovers at 12 ms and the doubling probe finds it shortly
+  // after. Traffic keeps flowing well past that so regular completions
+  // can walk the readmitted link back to Healthy.
+  with_failover_fabric(
+      2, fc, "crash=1@2500; recover=1@12000",
+      [&](FabricClient& c, core::RankEnv& env) {
+        const std::vector<std::uint8_t> msg{7};
+        std::uint32_t i = 0;
+        while (env.now() < us(18000) || i < 60) {
+          const std::uint64_t id =
+              c.submit(msg, 0, rpc::Class::Latency, i % 6);
+          ASSERT_NE(id, 0u);
+          ASSERT_EQ(c.wait(id).status, rpc::Status::Ok);
+          ++i;
+        }
+        c.drain();
+        stats = c.stats();
+        epoch = c.shard_map().epoch();
+        health = {c.link_health(0), c.link_health(1)};
+      });
+  EXPECT_EQ(stats.failovers, 1u);
+  EXPECT_EQ(stats.readmissions, 1u);
+  EXPECT_GT(stats.probes, 0u);
+  EXPECT_EQ(epoch, 2u) << "exclude + readmit = two handoffs";
+  EXPECT_EQ(health[0], LinkHealth::Healthy)
+      << "post-readmission traffic must mark the link healthy again";
+  EXPECT_EQ(health[1], LinkHealth::Healthy);
+}
+
+TEST(FabricFailover, StripedSegmentsRerouteAroundDeadServer) {
+  // Bulk responses striped across three servers; one dies. The orphaned
+  // segments must be adopted and re-issued on the survivors, and every
+  // reassembled payload must still verify byte-for-byte.
+  FabricConfig fc = failover_config();
+  fc.stripe_width = 3;
+  FabricClientStats stats;
+  with_failover_fabric(
+      3, fc, "crash=2@2500",
+      [&](FabricClient& c, core::RankEnv&) {
+        std::vector<std::uint64_t> ids;
+        std::vector<std::uint32_t> tenants;
+        for (std::uint32_t i = 0; i < 8; ++i) {
+          const std::uint32_t tenant = i % 5;
+          const std::uint64_t id =
+              c.submit({}, 24 * kKiB, rpc::Class::Bulk, tenant);
+          ASSERT_NE(id, 0u);
+          ids.push_back(id);
+          tenants.push_back(tenant);
+          // Serial: each stripe completes (possibly after a segment
+          // reroute) before the next is issued.
+          const rpc::Completion& done = c.wait(id);
+          ASSERT_EQ(done.status, rpc::Status::Ok);
+          ASSERT_EQ(done.payload.size(), 24 * kKiB);
+          expect_stripe_payload(done, tenant);
+        }
+        c.drain();
+        stats = c.stats();
+      });
+  EXPECT_EQ(stats.failovers, 1u);
+  EXPECT_GE(stats.rerouted, 1u) << "orphaned segments must be re-issued";
+}
+
+TEST(FabricFailover, DegradationShedsBulkWhileShortHanded) {
+  FabricConfig fc = failover_config();
+  fc.readmit = false;  // the kill is permanent; do not probe
+  fc.degrade_outstanding = 1;
+  FabricClientStats stats;
+  with_failover_fabric(
+      2, fc, "crash=1@50",
+      [&](FabricClient& c, core::RankEnv&) {
+        const std::vector<std::uint8_t> msg{4};
+        // Drive until the health monitor declares the death.
+        for (std::uint32_t i = 0; i < 40 && c.stats().failovers == 0;
+             ++i) {
+          const std::uint64_t id =
+              c.submit(msg, 0, rpc::Class::Latency, i % 6);
+          ASSERT_NE(id, 0u);
+          (void)c.wait(id);
+        }
+        ASSERT_EQ(c.stats().failovers, 1u);
+        EXPECT_EQ(c.link_health(0), LinkHealth::Dead);
+        // Short-handed with work outstanding: Bulk sheds, Latency lands.
+        const std::uint64_t lat = c.submit(msg, 0, rpc::Class::Latency, 1);
+        ASSERT_NE(lat, 0u);
+        const std::uint64_t bulk = c.submit(msg, 256, rpc::Class::Bulk, 2);
+        ASSERT_NE(bulk, 0u);
+        EXPECT_EQ(c.wait(bulk).status, rpc::Status::Overloaded)
+            << "Bulk class must shed before Latency class degrades";
+        EXPECT_EQ(c.wait(lat).status, rpc::Status::Ok);
+        c.drain();
+        stats = c.stats();
+      });
+  EXPECT_GE(stats.degraded_shed, 1u);
+  EXPECT_EQ(stats.failovers, 1u);
 }
 
 TEST(ServingFabric, StripedClosedLoopReplayIsDeterministic) {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "ibp/fabric/fabric.hpp"
 #include "ibp/hca/fabric.hpp"
 #include "ibp/mpi/comm.hpp"
 #include "ibp/workloads/nas.hpp"
@@ -93,6 +94,54 @@ TEST(Fabric, NasRunsAcrossPods) {
   core::Cluster cluster(cfg);
   const auto r = workloads::run_nas("mg", cluster);
   EXPECT_TRUE(r.verified);
+}
+
+// Failover resharding contract: an epoch bump that excludes one server
+// moves ONLY the tenants homed on it. Every strategy must satisfy it —
+// before the fix the affinity strategy folded the epoch into its group
+// hash and reshuffled every tenant on any bump.
+TEST(Fabric, ShardMapExcludeRemapsMinimally) {
+  for (fabric::ShardStrategy s :
+       {fabric::ShardStrategy::Hash, fabric::ShardStrategy::Range,
+        fabric::ShardStrategy::Affinity}) {
+    const fabric::ShardMap before(4, s, 42, 0);
+    fabric::ShardMap after(4, s, 42, 0);
+    after.exclude(2);
+    EXPECT_EQ(after.epoch(), 1u);
+    EXPECT_EQ(after.alive(), 3u);
+    EXPECT_NE(after.digest(), before.digest());
+    for (std::uint32_t t = 0; t < 4096; ++t) {
+      const std::uint32_t old_home = before.home(t);
+      if (old_home != 2) {
+        ASSERT_EQ(after.home(t), old_home)
+            << fabric::shard_strategy_name(s) << " moved tenant " << t
+            << " whose home survived the exclusion";
+      } else {
+        ASSERT_NE(after.home(t), 2u)
+            << "tenant " << t << " still routed to the excluded server";
+      }
+    }
+
+    // Readmission restores the original routing exactly (the epoch keeps
+    // counting handoffs, so the digest still reflects the history).
+    after.readmit(2);
+    EXPECT_EQ(after.epoch(), 2u);
+    EXPECT_EQ(after.alive(), 4u);
+    for (std::uint32_t t = 0; t < 4096; ++t)
+      ASSERT_EQ(after.home(t), before.home(t));
+
+    // Displaced affinity groups must stay whole on their fallback server.
+    if (s == fabric::ShardStrategy::Affinity) {
+      fabric::ShardMap excl(4, s, 42, 0);
+      excl.exclude(2);
+      for (std::uint32_t group = 0; group < 64; ++group) {
+        const std::uint32_t head = excl.home(group << 4);
+        for (std::uint32_t i = 1; i < 16; ++i)
+          ASSERT_EQ(excl.home((group << 4) | i), head)
+              << "group " << group << " split by the exclusion";
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -57,6 +57,58 @@ TEST(FaultPlan, RejectsMalformed) {
   EXPECT_THROW(fault::parse_fault_plan("bogus=1"), SimError);
   EXPECT_THROW(fault::parse_fault_plan("storm=1:30-20"), SimError);
   EXPECT_THROW(fault::parse_fault_plan("no directive here"), SimError);
+  EXPECT_THROW(fault::parse_fault_plan("crash=2"), SimError);
+  EXPECT_THROW(fault::parse_fault_plan("recover=@100"), SimError);
+}
+
+TEST(FaultPlan, ParsesCrashAndRecoverDirectives) {
+  const FaultPlan plan =
+      fault::parse_fault_plan("crash=2@1500; recover=2@4000; crash=*:250");
+  ASSERT_EQ(plan.crashes.size(), 2u);
+  EXPECT_EQ(plan.crashes[0].node, 2);
+  EXPECT_EQ(plan.crashes[0].at, us(1500));
+  EXPECT_EQ(plan.crashes[1].node, fault::kAnyNode);  // ':' separator too
+  EXPECT_EQ(plan.crashes[1].at, us(250));
+  ASSERT_EQ(plan.recoveries.size(), 1u);
+  EXPECT_EQ(plan.recoveries[0].node, 2);
+  EXPECT_EQ(plan.recoveries[0].at, us(4000));
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlan, CrashRecoverFormatRoundTrips) {
+  // The canonical form lists every crash before any recover.
+  const char* spec = "crash=2@1500; crash=*@9000; recover=2@4000";
+  const FaultPlan parsed = fault::parse_fault_plan(spec);
+  const std::string formatted = fault::format_fault_plan(parsed);
+  EXPECT_EQ(formatted, spec) << "canonical form must be stable";
+  // Parsing tolerates interleaving and ':' separators; formatting folds
+  // them onto the same canonical spelling.
+  EXPECT_EQ(fault::format_fault_plan(fault::parse_fault_plan(
+                "crash=2:1500; recover=2:4000; crash=*:9000")),
+            spec);
+  // Fixed point: formatting the re-parsed plan changes nothing.
+  EXPECT_EQ(fault::format_fault_plan(fault::parse_fault_plan(formatted)),
+            formatted);
+}
+
+TEST(FaultInjectorTest, ServerCrashedWindows) {
+  // crash@1000 .. recover@3000 .. crash@5000 (permanent).
+  const FaultPlan plan = fault::parse_fault_plan(
+      "crash=2@1000; recover=2@3000; crash=2@5000");
+  const FaultInjector inj(plan, 7);
+  EXPECT_TRUE(inj.has_crashes());
+  EXPECT_FALSE(inj.server_crashed(2, us(999)));
+  EXPECT_TRUE(inj.server_crashed(2, us(1000)));
+  EXPECT_TRUE(inj.server_crashed(2, us(2999)));
+  EXPECT_FALSE(inj.server_crashed(2, us(3000)));  // equal time = recovered
+  EXPECT_FALSE(inj.server_crashed(2, us(4999)));
+  EXPECT_TRUE(inj.server_crashed(2, us(5000)));
+  EXPECT_TRUE(inj.server_crashed(2, us(1) << 32));  // permanent
+  EXPECT_FALSE(inj.server_crashed(3, us(2000)));  // other nodes untouched
+
+  const FaultInjector any(fault::parse_fault_plan("crash=*@100"), 7);
+  EXPECT_TRUE(any.server_crashed(0, us(100)));
+  EXPECT_TRUE(any.server_crashed(9, us(100)));
 }
 
 // ---------------------------------------------------------------------------

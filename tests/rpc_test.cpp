@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ibp/core/cluster.hpp"
+#include "ibp/fault/fault.hpp"
 #include "ibp/loadgen/loadgen.hpp"
 #include "ibp/mpi/comm.hpp"
 
@@ -333,6 +334,110 @@ TEST(Rpc, ZeroTimeoutIsBitInert) {
   EXPECT_EQ(off.trace_hash, armed.trace_hash)
       << "a never-firing timeout must not perturb the wire schedule";
   EXPECT_EQ(off.span, armed.span);
+}
+
+TEST(Rpc, ServerCrashFailsRequestsOverTimeout) {
+  // The server's node dies mid-run: requests it accepted but never served
+  // are discarded silently, and the client — out of retries — must
+  // complete them locally as TimedOut instead of blocking forever.
+  RpcConfig rc;
+  // The deadline must clear the first-touch warmup (~2 ms before the
+  // first response lands); service pacing then spreads the 40 requests
+  // across the crash so both sides of it are populated.
+  rc.request_timeout = us(4000);
+  rc.max_retries = 1;
+  rc.fail_timed_out = true;
+  rc.service_base = us(100);
+  core::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  cfg.fault = fault::parse_fault_plan("crash=0@4000");  // server is rank 0
+  core::Cluster cluster(cfg);
+  ServerStats ss;
+  ClientStats cs;
+  std::uint64_t ok = 0, lost = 0;
+  cluster.run([&](core::RankEnv& env) {
+    mpi::CommConfig mc;
+    mc.sge_gather = true;
+    mc.recovery = mpi::CommConfig::Recovery::Repost;
+    mpi::Comm comm(env, mc);
+    if (env.rank() == 0) {
+      RpcServer server(comm, {1}, rc);
+      server.serve();
+      ss = server.stats();
+      return;
+    }
+    RpcClient client(comm, 0, rc);
+    const auto msg = bytes({1, 2, 3});
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 40; ++i) ids.push_back(client.submit(msg));
+    for (std::uint64_t id : ids) {
+      client.wait(id).status == Status::Ok ? ++ok : ++lost;
+    }
+    client.drain();
+    cs = client.stats();
+    client.close();
+  });
+  EXPECT_EQ(ok + lost, 40u);
+  EXPECT_GT(ok, 0u) << "requests served before the crash still complete";
+  EXPECT_GT(lost, 0u) << "requests the corpse swallowed must time out";
+  EXPECT_EQ(cs.timed_out, lost);
+  EXPECT_GT(ss.discarded, 0u);
+}
+
+TEST(Rpc, AbandonCompletesOutstandingAsTimedOut) {
+  RpcConfig rc;
+  rc.request_timeout = us(500);
+  rc.fail_timed_out = true;
+  rc.service_base = us(50);  // slow enough that everything is in flight
+  ClientStats cs;
+  with_rpc(rc, [&](RpcClient& c) {
+    const auto msg = bytes({9});
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 6; ++i) ids.push_back(c.submit(msg));
+    c.abandon();
+    for (std::uint64_t id : ids)
+      EXPECT_EQ(c.wait(id).status, Status::TimedOut)
+          << "abandon must fail every queued and inflight request";
+    c.drain();  // forgiven records: returns without the responses
+    cs = c.stats();
+  });
+  EXPECT_EQ(cs.timed_out, 6u);
+  EXPECT_EQ(cs.completed, 6u);
+}
+
+TEST(Rpc, LateResponseAfterRetryIsDeduplicated) {
+  // Service latency sits beyond the request deadline, so the client
+  // retransmits while the genuine response is still on its way. The
+  // original completes the id; the retry's response must then hit the
+  // duplicate path instead of re-completing it.
+  RpcConfig rc;
+  rc.service_base = us(60);
+  rc.request_timeout = us(30);
+  rc.max_retries = 2;
+  const auto run = [&] {
+    ClientStats stats;
+    std::uint64_t ok = 0;
+    with_rpc(rc, [&](RpcClient& c) {
+      const std::vector<std::uint8_t> msg(rc.max_payload, 6);
+      std::vector<std::uint64_t> ids;
+      for (int i = 0; i < 12; ++i) ids.push_back(c.submit(msg));
+      for (std::uint64_t id : ids)
+        if (c.wait(id).status == Status::Ok) ++ok;
+      c.drain();
+      stats = c.stats();
+    });
+    EXPECT_EQ(ok, 12u) << "the race must stay invisible to the caller";
+    return stats;
+  };
+  const ClientStats a = run();
+  EXPECT_GT(a.retries, 0u);
+  EXPECT_GT(a.duplicates, 0u)
+      << "the late response still arrives and must be dropped";
+  EXPECT_EQ(a.timed_out, 0u);
+  const ClientStats b = run();
+  EXPECT_EQ(a.retries, b.retries) << "the race must be deterministic";
+  EXPECT_EQ(a.duplicates, b.duplicates);
 }
 
 // ---------------------------------------------------------------------------

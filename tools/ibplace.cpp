@@ -91,6 +91,9 @@ struct Options {
   std::string request_trace_out;  // per-request trace JSONL (enables hub)
   int servers = 4;             // fabric: server ranks
   int stripe = 4;              // fabric: stripe width
+  int fail_after = -1;         // fabric: consecutive losses before a link
+                               // is declared dead (-1 = auto: 2 when the
+                               // fault plan has crash directives, else off)
   std::string shard_map = "hash";  // fabric: tenant->server strategy
   int threads = 0;                 // rpc: server worker tracks (0 = inline)
   hca::ShareMode share_mode = hca::ShareMode::SharedLocked;  // rpc: QP/CQ
@@ -108,7 +111,8 @@ struct Options {
                "  ibplace reg [--platform=P]\n"
                "  ibplace rpc <open|closed> [--options]\n"
                "  ibplace fabric [--servers=N --stripe=W "
-               "--shard-map=hash|range|affinity]\n"
+               "--shard-map=hash|range|affinity\n"
+               "                  --fail-after=K]\n"
                "  ibplace trace-report <trace.jsonl>\n"
                "  ibplace --list-policies\n"
                "options: --platform=opteron|xeon|systemp --nodes=N --rpn=R\n"
@@ -123,7 +127,8 @@ struct Options {
                "         --request-trace-out=PATH\n"
                "fault SPEC: ';'-separated directives, e.g.\n"
                "  drop=0-1:0.01 | corrupt=*-*:0.001:50-200 |\n"
-               "  storm=1:100-400 | qpkill=0:2:250 | seed=7\n"
+               "  storm=1:100-400 | qpkill=0:2:250 |\n"
+               "  crash=2:1500 | recover=2:4000 | seed=7\n"
                "  (times in us; '*' = any node / open-ended window)\n");
   std::exit(2);
 }
@@ -163,6 +168,8 @@ Options parse_options(int argc, char** argv, int first) {
       o.fault_file = v;
     } else if (parse_flag(argv[i], "--recovery", &v)) {
       o.recovery = v;
+    } else if (parse_flag(argv[i], "--fail-after", &v)) {
+      o.fail_after = std::atoi(v.c_str());
     } else if (parse_flag(argv[i], "--placement-role", &v)) {
       const std::size_t eq = v.find('=');
       if (eq == std::string::npos || eq == 0 || eq + 1 == v.size())
@@ -597,11 +604,20 @@ int cmd_fabric(const Options& o) {
   cfg.ranks_per_node = 1;
   core::Cluster cluster(cfg);
 
+  // Health monitor: explicit --fail-after wins; otherwise it arms itself
+  // exactly when the fault plan can kill a server (a crashed server
+  // black-holes requests, so without failover the closed loop hangs).
+  const std::uint32_t fail_after =
+      o.fail_after >= 0 ? static_cast<std::uint32_t>(o.fail_after)
+                        : (cfg.fault.crashes.empty() ? 0u : 2u);
+
   constexpr std::uint32_t kBulkBytes = 64 * kKiB;
   loadgen::GenResult gen;
   fabric::FabricClientStats fs;
   rpc::ClientStats cs;
   std::uint64_t digest = 0;
+  std::uint32_t epoch = 0;
+  TimePs recovery_ps = 0;
   cluster.run([&](core::RankEnv& env) {
     mpi::CommConfig mc;
     mc.sge_gather = true;
@@ -611,6 +627,11 @@ int cmd_fabric(const Options& o) {
     fabric::FabricConfig fc;
     fc.stripe_width = static_cast<std::uint32_t>(o.stripe);
     fc.shard_strategy = *strategy;
+    if (fail_after > 0) {
+      fc.fail_after = fail_after;
+      fc.rpc.request_timeout = us(4000);
+      fc.rpc.max_retries = 1;
+    }
     if (env.rank() != 0) {
       fabric::FabricServer server(comm, {0}, fc);
       server.serve();
@@ -633,6 +654,8 @@ int cmd_fabric(const Options& o) {
     gen = loadgen::run_closed_loop(client, w, cc);
     fs = client.stats();
     cs = client.link_stats();
+    epoch = client.shard_map().epoch();
+    recovery_ps = client.recovery_time();
     client.close();
   });
   const double shed_total = cluster.metrics().value("rpc.shed_total");
@@ -647,10 +670,20 @@ int cmd_fabric(const Options& o) {
             gen.latency_ns.p50() / 1000.0, gen.latency_ns.p99() / 1000.0,
             fs.stripes, fs.segments);
   t.print();
-  std::printf("\nshard map: %s epoch 0 digest 0x%016llx  "
+  std::printf("\nshard map: %s epoch %u digest 0x%016llx  "
               "adaptive skips %llu\n",
-              o.shard_map.c_str(), static_cast<unsigned long long>(digest),
+              o.shard_map.c_str(), epoch,
+              static_cast<unsigned long long>(digest),
               static_cast<unsigned long long>(fs.adaptive_skips));
+  if (fail_after > 0)
+    std::printf("failover: failovers %llu rerouted %llu lost %llu "
+                "probes %llu readmissions %llu recovery %.1f us\n",
+                static_cast<unsigned long long>(fs.failovers),
+                static_cast<unsigned long long>(fs.rerouted),
+                static_cast<unsigned long long>(gen.timed_out),
+                static_cast<unsigned long long>(fs.probes),
+                static_cast<unsigned long long>(fs.readmissions),
+                static_cast<double>(recovery_ps) / 1e6);
 
   if (!o.json_out.empty()) {
     std::ofstream out(o.json_out);
@@ -661,13 +694,23 @@ int cmd_fabric(const Options& o) {
     out << "{\n  \"tool\": \"ibplace fabric\",\n  \"servers\": " << o.servers
         << ", \"width\": " << o.stripe << ", \"bulk_bytes\": " << kBulkBytes
         << ",\n  \"shard_map\": {\"strategy\": \"" << o.shard_map
-        << "\", \"epoch\": 0, \"digest\": \"" << dg << "\"},\n";
+        << "\", \"epoch\": " << epoch << ", \"digest\": \"" << dg
+        << "\"},\n";
     json_gen_record(out, "closed", gen, cs, shed_total, "  ");
     out << ",\n  \"bulk_mbps\": " << static_cast<std::uint64_t>(mbps)
         << ", \"stripes\": " << fs.stripes
         << ", \"segments\": " << fs.segments
         << ", \"reassembled_bytes\": " << fs.reassembled_bytes
-        << ", \"adaptive_skips\": " << fs.adaptive_skips << "\n}\n";
+        << ", \"adaptive_skips\": " << fs.adaptive_skips;
+    if (fail_after > 0)
+      out << ",\n  \"failover\": {\"fail_after\": " << fail_after
+          << ", \"failovers\": " << fs.failovers
+          << ", \"rerouted\": " << fs.rerouted
+          << ", \"lost\": " << gen.timed_out
+          << ", \"probes\": " << fs.probes
+          << ", \"readmissions\": " << fs.readmissions
+          << ", \"recovery_us\": " << recovery_ps / 1000000 << "}";
+    out << "\n}\n";
   }
   print_fault_summary(cluster);
   write_telemetry_outputs(cluster, o);
