@@ -690,6 +690,7 @@ void FabricClient::failover_block() {
     for (const auto& l : links_) {
       if (l->response_req() != nullptr && l->response_req()->done())
         upd(l->response_req()->done_at);
+      upd(l->next_ring_visible());
       upd(l->next_deadline());
     }
     upd(comm_->earliest_event_time());
@@ -703,9 +704,32 @@ void FabricClient::failover_block() {
 
 void FabricClient::block_any() {
   std::vector<mpi::Req> reqs;
+  bool ring = false;
   for (auto& l : links_) {
     l->flush();
     if (l->response_req() != nullptr) reqs.push_back(l->response_req());
+    ring = ring || l->ring_enabled();
+  }
+  if (ring) {
+    // Ring responses land in client memory without completing any recv,
+    // so a waitany on response receives alone would sleep through them.
+    // Block on the composite instead: a finished recv, a ring record
+    // becoming visible, or any transport event.
+    comm_->env().sim().wait_until([this]() -> std::optional<TimePs> {
+      std::optional<TimePs> best;
+      const auto upd = [&best](std::optional<TimePs> t) {
+        if (t && (!best || *t < *best)) best = t;
+      };
+      for (const auto& l : links_) {
+        if (l->response_req() != nullptr && l->response_req()->done())
+          upd(l->response_req()->done_at);
+        upd(l->next_ring_visible());
+      }
+      upd(comm_->earliest_event_time());
+      return best;
+    });
+    pump();
+    return;
   }
   IBP_CHECK(!reqs.empty(), "blocking with no link awaiting a response");
   comm_->waitany(reqs);

@@ -325,23 +325,31 @@ TimePs QueuePair::post_send(const SendWr& wr, TimePs now) {
   const AdapterConfig& cfg = hca.cfg_;
   const auto mrs = hca.validate_sges(wr.sges);
   const std::uint64_t bytes = wr.total_length();
+  const bool inline_post = wr.inline_data;
+  IBP_CHECK(!inline_post || bytes <= cfg.inline_max,
+            "inline WR of " << bytes << " bytes exceeds inline_max "
+                            << cfg.inline_max);
 
   // CPU side: build the WQE, ring the doorbell. Roughly constant; each
   // extra SGE adds a small increment (paper §4: 128 SGEs ≈ 3× one SGE).
+  // Inline data is copied into the WQE here, at a per-byte cost.
   const std::uint64_t nsges = std::max<std::size_t>(wr.sges.size(), 1);
-  const TimePs cpu_cost = cfg.post_base + (nsges - 1) * cfg.post_per_sge;
+  TimePs cpu_cost = cfg.post_base + (nsges - 1) * cfg.post_per_sge;
+  if (inline_post) cpu_cost += bytes * cfg.post_inline_per_byte;
 
   // NIC side: fetch the WQE, set up one DMA descriptor per SGE, then
   // gather the payload. Payload gather pipelines with wire streaming, so
-  // the transfer takes max(dma, wire).
+  // the transfer takes max(dma, wire). An inline WR carries its payload
+  // in the WQE itself: no descriptors, no gather, no sender-side ATT.
   const TimePs nic_start = std::max(now + cpu_cost, nic_busy_until_);
   TimePs dma = 0;
-  for (std::size_t i = 0; i < wr.sges.size(); ++i)
-    dma += hca.dma_sge_cost(*mrs[i], wr.sges[i].addr, wr.sges[i].length,
-                            nic_start)
-               .total();
+  if (!inline_post)
+    for (std::size_t i = 0; i < wr.sges.size(); ++i)
+      dma += hca.dma_sge_cost(*mrs[i], wr.sges[i].addr, wr.sges[i].length,
+                              nic_start)
+                 .total();
   const TimePs nic_proc =
-      cfg.wqe_fetch + wr.sges.size() * cfg.dma_setup;
+      cfg.wqe_fetch + (inline_post ? 0 : wr.sges.size() * cfg.dma_setup);
 
   // One-sided placement also runs the *remote* DMA engine (bus writes +
   // ATT traffic on the receiving adapter); it pipelines with the wire the
@@ -459,8 +467,21 @@ TimePs QueuePair::post_send(const SendWr& wr, TimePs now) {
   } else {
     hca.stats_.rdma_writes_posted += 1;
     if (bytes != 0) {
-      auto dst = rmr->space->host_span(wr.remote_addr, bytes);
-      std::copy(msg.data.begin(), msg.data.end(), dst.begin());
+      auto placed = rmr->space->host_span(wr.remote_addr, bytes);
+      std::copy(msg.data.begin(), msg.data.end(), placed.begin());
+    }
+    // A monitored target learns when the write becomes visible in virtual
+    // time (fatally lost writes return above: no bytes, no event).
+    if (rmr->monitor != nullptr)
+      rmr->monitor->push({wr.remote_addr, static_cast<std::uint32_t>(bytes),
+                          wr.has_imm, wr.imm, msg.arrival});
+    if (wr.has_imm) {
+      // Write-with-immediate: the payload is already placed; a posted
+      // receive at the peer is consumed to surface the immediate.
+      msg.write_imm = true;
+      msg.write_len = static_cast<std::uint32_t>(bytes);
+      msg.data.clear();
+      dst->deliver(std::move(msg));
     }
   }
 
@@ -779,7 +800,11 @@ void QueuePair::try_match() {
     cqe.qp_num = qp_num_;
     cqe.has_imm = msg.has_imm;
     cqe.imm = msg.imm;
-    cqe.byte_len = static_cast<std::uint32_t>(msg.data.size());
+    // Write-with-immediate placed its payload one-sided; the receive
+    // reports the write length but scatters nothing (msg.data is empty).
+    cqe.byte_len = msg.write_imm
+                       ? msg.write_len
+                       : static_cast<std::uint32_t>(msg.data.size());
 
     if (msg.data.size() > pr.wr.total_length()) {
       // Real RC would move the QP to error state; a per-WR error CQE keeps

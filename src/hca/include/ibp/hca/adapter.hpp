@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -34,6 +35,62 @@ namespace ibp::hca {
 
 class Adapter;
 
+/// Visibility gate for one-sided writes into a monitored memory region.
+///
+/// The simulation stages RDMA-write payload bytes into the target host
+/// memory synchronously at post time, while the transfer's virtual arrival
+/// is later. A two-sided receiver never notices (it reads only after its
+/// completion), but a memory-*polling* receiver — a ring channel that
+/// discovers records by inspecting ring bytes, with no posted receive —
+/// would read the future. Attaching a WriteMonitor to the target MR closes
+/// the gap: every successful inbound RDMA write records an event carrying
+/// its virtual arrival time, and the poller consumes events only once
+/// `now` has reached them, then reads the (already placed) real bytes.
+///
+/// A write that dies fatally in the fault injector (retry budget
+/// exhausted) copies nothing and records nothing, so replaying the same
+/// record at the same ring offset is idempotent.
+class WriteMonitor {
+ public:
+  struct Event {
+    VirtAddr addr = 0;
+    std::uint32_t len = 0;
+    bool has_imm = false;
+    std::uint32_t imm = 0;
+    TimePs visible_at = 0;  // transfer's virtual arrival at this adapter
+  };
+
+  /// Record one completed inbound write (insertion keeps visibility
+  /// order; a single writer produces monotone arrivals already).
+  void push(const Event& e) {
+    auto it = events_.end();
+    while (it != events_.begin() && (it - 1)->visible_at > e.visible_at) --it;
+    events_.insert(it, e);
+  }
+
+  /// Earliest pending visibility time, if any — feeds the owner's
+  /// blocking-wait predicate so the engine can sleep until it.
+  std::optional<TimePs> next_visible() const {
+    if (events_.empty()) return std::nullopt;
+    return events_.front().visible_at;
+  }
+
+  /// Pop every event visible at or before `now`, oldest first.
+  std::vector<Event> take_visible(TimePs now) {
+    std::vector<Event> out;
+    while (!events_.empty() && events_.front().visible_at <= now) {
+      out.push_back(events_.front());
+      events_.pop_front();
+    }
+    return out;
+  }
+
+  std::size_t pending() const { return events_.size(); }
+
+ private:
+  std::deque<Event> events_;
+};
+
 /// A registered memory region. lkey doubles as rkey.
 struct MemoryRegion {
   std::uint32_t lkey = 0;
@@ -44,6 +101,7 @@ struct MemoryRegion {
   std::uint64_t trans_page_size = 0;  // granularity shipped to the NIC
   std::uint64_t npages = 0;           // OS pages pinned
   std::uint64_t ntrans = 0;           // translation entries shipped
+  WriteMonitor* monitor = nullptr;    // visibility gate for one-sided writes
 
   bool contains(VirtAddr a, std::uint64_t len) const {
     return a >= addr && len <= length && a - addr <= length - len;
@@ -117,6 +175,11 @@ class QueuePair {
     TimePs arrival = 0;  // fully received at the peer HCA
     bool has_imm = false;
     std::uint32_t imm = 0;
+    // Write-with-immediate: the payload was already placed one-sided; the
+    // matched receive completes with the immediate and byte_len only —
+    // nothing is scattered through its SGEs.
+    bool write_imm = false;
+    std::uint32_t write_len = 0;
     // Reliable (ACK-gated) delivery, set when the sending adapter has a
     // fault injector: the sender's CQE is generated at match time, after
     // any RNR backoff rounds.
@@ -234,6 +297,14 @@ class Adapter {
   TimePs dereg_mr(std::uint32_t lkey);
 
   const MemoryRegion* find_mr(std::uint32_t key) const;
+
+  /// Attach a write monitor to a registered region (nullptr detaches).
+  /// Inbound RDMA writes landing in the region record visibility events.
+  void set_write_monitor(std::uint32_t lkey, WriteMonitor* mon) {
+    auto it = mrs_.find(lkey);
+    IBP_CHECK(it != mrs_.end(), "write monitor on unknown lkey " << lkey);
+    it->second->monitor = mon;
+  }
 
   QueuePair& create_qp(CompletionQueue* send_cq, CompletionQueue* recv_cq,
                        QpType type = QpType::RC);

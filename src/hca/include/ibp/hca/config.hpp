@@ -35,6 +35,13 @@ struct AdapterConfig {
   TimePs poll_cqe = ns(120);         // successful poll of one CQE
   TimePs poll_empty = ns(60);        // unsuccessful poll probe
 
+  // --- inline sends (IBV_SEND_INLINE) ---
+  // Payload copied into the WQE at post time: the CPU pays per-byte copy
+  // cost, the NIC skips per-SGE DMA setup and the sender-side gather/ATT
+  // path entirely. The era's adapters took ~a quarter KB of inline data.
+  std::uint32_t inline_max = 256;     // bytes accepted inline per WR
+  TimePs post_inline_per_byte = 500;  // 0.5 ns per inlined byte (CPU copy)
+
   // --- NIC work-request processing ---
   TimePs wqe_fetch = ns(350);        // NIC fetches the WQE across the bus
   TimePs dma_setup = ns(110);        // per-SGE DMA descriptor setup

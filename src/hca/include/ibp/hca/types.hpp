@@ -39,9 +39,18 @@ struct SendWr {
   std::uint64_t atomic_arg = 0;
   std::uint64_t atomic_compare = 0;
   // Optional 32-bit immediate delivered with the message (used by the MPI
-  // layer to tag eager packets without touching payload bytes).
+  // layer to tag eager packets without touching payload bytes). On an
+  // RdmaWrite this selects write-with-immediate semantics: the payload is
+  // placed one-sided, but a posted receive at the peer is consumed and
+  // completes with the immediate (byte_len = write length, nothing
+  // scattered through the receive SGEs).
   bool has_imm = false;
   std::uint32_t imm = 0;
+  // Inline the payload into the WQE (IBV_SEND_INLINE): the NIC skips the
+  // per-SGE DMA gather — no descriptor setup, no sender-side ATT traffic —
+  // and the CPU pays a per-byte copy at post time instead. Only valid up
+  // to AdapterConfig::inline_max bytes.
+  bool inline_data = false;
 
   std::uint64_t total_length() const {
     std::uint64_t n = 0;

@@ -19,6 +19,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "ibp/mpi/message.hpp"
 #include "ibp/mpi/profiler.hpp"
 #include "ibp/mpi/request.hpp"
+#include "ibp/ringchan/ringchan.hpp"
 
 namespace ibp::mpi {
 
@@ -52,6 +54,18 @@ struct CommConfig {
   /// traffic stays on the RC paths. Sequence numbers restore envelope
   /// order across the mixed transports.
   bool ud_eager = false;
+  /// One-sided ring channels (EXT-RDMA): eligible eager messages are
+  /// framed into a persistent, receiver-owned ring slab the sender
+  /// RDMA-writes — no preposted receive, no recv-CQ poll on the hot
+  /// path; the receiver discovers arrivals by polling ring memory and
+  /// returns credit by RDMA-writing its consumed-up-to counter into a
+  /// sender-owned control word. Messages that exceed ring.max_record or
+  /// find the ring out of credit fall back to the two-sided eager path
+  /// (envelope order is restored by the per-source sequence numbers).
+  /// Mutually exclusive with ud_eager.
+  bool rdma_eager = false;
+  /// Per-peer ring geometry used when rdma_eager is on.
+  ringchan::RingConfig ring;
   /// What to do when the transport reports an error completion (only
   /// possible with a cluster fault plan; a healthy fabric never errors).
   enum class Recovery : std::uint8_t {
@@ -89,6 +103,12 @@ struct CommStats {
   std::uint64_t gather_sends = 0;
   std::uint64_t sge_splits = 0;  // gathers split to honour plan.max_sges
   std::uint64_t ud_sent = 0;
+  std::uint64_t rdma_eager_sent = 0;   // messages placed via ring write
+  std::uint64_t rdma_eager_bytes = 0;  // user payload bytes over the rings
+  /// Ring-eligible sends pushed back to the two-sided path because the
+  /// ring was out of credit at post time.
+  std::uint64_t rdma_eager_fallbacks = 0;
+  std::uint64_t rdma_credit_returns = 0;  // consumed-counter writebacks
   std::uint64_t reordered = 0;  // arrivals stashed for sequencing
   // Transport reliability (refreshed from the QP counters by stats()).
   std::uint64_t retransmits = 0;  // NIC-level packet retransmissions
@@ -237,6 +257,17 @@ class Comm {
   void progress_block();
   std::optional<TimePs> earliest_event() const;
 
+  // One-sided ring channels (cfg.rdma_eager).
+  void setup_rings();
+  /// Frame [mpi header | payload] into the peer's ring and post the
+  /// write(s). Returns false — without consuming a sequence number —
+  /// when the ring is not usable (unconnected, record too large, out of
+  /// credit), in which case the caller falls back to two-sided eager.
+  bool try_ring_send(int dst, Header& hdr, VirtAddr buf, std::uint64_t len);
+  /// Parse newly visible ring records, return due credit, sweep credit
+  /// writebacks. Sets `*again` when any record was ingested.
+  void poll_rings(bool* again);
+
  public:
   /// Earliest virtual time at which an unconsumed transport event (ready
   /// CQE, shm arrival) exists, or nullopt. Side-effect free, so callers
@@ -246,6 +277,17 @@ class Comm {
   std::optional<TimePs> earliest_event_time() const {
     return earliest_event();
   }
+
+  /// Post a one-sided work request on the RC QP to `peer` under this
+  /// Comm's send-CQE bookkeeping: the WR is stored for Repost-policy
+  /// replays, and a success CQE simply retires it. The referenced local
+  /// memory must stay valid until the CQE (ring staging slabs qualify —
+  /// their bytes survive until the slab space is credited back). Used by
+  /// the rdma-eager tier and by the RPC response fast path. With
+  /// `tracked`, returns a Request that finishes at the success CQE
+  /// (surviving Repost replays) so the caller can drain its one-sided
+  /// writes; untracked posts return null and retire silently.
+  Req post_one_sided(int peer, hca::SendWr wr, bool tracked = false);
 
  private:
   /// Sequencing front-end: delivers in per-source order, stashing early
@@ -345,6 +387,14 @@ class Comm {
   TimePs send_slot_free_t_ = 0;
   std::vector<int> ib_peers_;            // ranks reached via the HCA
   std::vector<std::uint64_t> peer_idx_;  // rank -> dense ib peer index
+
+  // One-sided ring channels, dense-ib-peer indexed (empty unless
+  // cfg.rdma_eager): ring_rx_[i] is the slab peer i writes into,
+  // ring_tx_[i] the staging mirror + credit word for sends to peer i.
+  std::vector<std::unique_ptr<ringchan::RingReceiver>> ring_rx_;
+  std::vector<std::unique_ptr<ringchan::RingSender>> ring_tx_;
+  bool ring_polling_ = false;  // reentrancy guard (progress re-entered
+                               // from a handler keeps release order)
 
   // Matching.
   std::deque<Req> posted_;

@@ -18,6 +18,17 @@
 
 namespace ibp::mpi {
 
+/// One-sided traffic counters, exported to the cluster metrics registry
+/// as mpi.window.* for the window's lifetime (latched at destruction).
+struct WindowStats {
+  std::uint64_t puts = 0;
+  std::uint64_t put_bytes = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t get_bytes = 0;
+  std::uint64_t atomics = 0;      // fetch_add + compare_swap
+  std::uint64_t fence_waits = 0;  // outstanding ops drained by fence()
+};
+
 class Window {
  public:
   /// Collective: every rank exposes [base, base+len). Registers the local
@@ -52,8 +63,10 @@ class Window {
   void fence();
 
   std::uint64_t size() const { return len_; }
+  const WindowStats& stats() const { return stats_; }
 
  private:
+  void register_metrics();
   hca::SendWr make_rdma(int target, std::uint64_t target_off,
                         std::uint64_t len) const;
   void post_tracked(int target, hca::SendWr wr);
@@ -67,6 +80,8 @@ class Window {
   std::vector<VirtAddr> bases_;        // per rank
   std::vector<std::uint32_t> rkeys_;   // per rank (0 for shm peers/self)
   std::vector<Req> outstanding_;
+  WindowStats stats_;
+  std::vector<telemetry::ProbeHandle> probes_;
 };
 
 }  // namespace ibp::mpi

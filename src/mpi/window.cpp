@@ -28,6 +28,21 @@ Window::Window(Comm& comm, VirtAddr base, std::uint64_t len)
         static_cast<std::uint32_t>(all[2 * p + 1]);
   }
   env.dealloc(xchg);
+  register_metrics();
+}
+
+void Window::register_metrics() {
+  telemetry::MetricsRegistry& m = comm_->env().cluster().metrics();
+  auto probe = [&](std::string_view name, std::function<double()> fn) {
+    probes_.push_back(m.probe(name, std::move(fn)));
+  };
+  probe("mpi.window.puts", [this] { return double(stats_.puts); });
+  probe("mpi.window.put_bytes", [this] { return double(stats_.put_bytes); });
+  probe("mpi.window.gets", [this] { return double(stats_.gets); });
+  probe("mpi.window.get_bytes", [this] { return double(stats_.get_bytes); });
+  probe("mpi.window.atomics", [this] { return double(stats_.atomics); });
+  probe("mpi.window.fence_waits",
+        [this] { return double(stats_.fence_waits); });
 }
 
 Window::~Window() {
@@ -65,6 +80,8 @@ void Window::post_tracked(int target, hca::SendWr wr) {
 void Window::put(VirtAddr local, std::uint64_t len, int target,
                  std::uint64_t target_off) {
   core::RankEnv& env = comm_->env();
+  ++stats_.puts;
+  stats_.put_bytes += len;
   if (target == comm_->rank() || comm_->same_node(target)) {
     // Shared-memory path: direct placement plus a copy-cost charge.
     core::RankState& tgt = env.cluster().rank(target);
@@ -87,6 +104,8 @@ void Window::put(VirtAddr local, std::uint64_t len, int target,
 void Window::get(VirtAddr local, std::uint64_t len, int target,
                  std::uint64_t target_off) {
   core::RankEnv& env = comm_->env();
+  ++stats_.gets;
+  stats_.get_bytes += len;
   if (target == comm_->rank() || comm_->same_node(target)) {
     core::RankState& tgt = env.cluster().rank(target);
     auto from = tgt.space.host_span(
@@ -108,6 +127,7 @@ void Window::get(VirtAddr local, std::uint64_t len, int target,
 std::uint64_t Window::fetch_add(int target, std::uint64_t target_off,
                                 std::uint64_t value) {
   core::RankEnv& env = comm_->env();
+  ++stats_.atomics;
   IBP_CHECK(target_off % 8 == 0 && target_off + 8 <= len_,
             "atomic outside the window");
   if (target == comm_->rank() || comm_->same_node(target)) {
@@ -136,6 +156,7 @@ std::uint64_t Window::compare_swap(int target, std::uint64_t target_off,
                                    std::uint64_t expected,
                                    std::uint64_t desired) {
   core::RankEnv& env = comm_->env();
+  ++stats_.atomics;
   IBP_CHECK(target_off % 8 == 0 && target_off + 8 <= len_,
             "atomic outside the window");
   if (target == comm_->rank() || comm_->same_node(target)) {
@@ -161,6 +182,7 @@ std::uint64_t Window::compare_swap(int target, std::uint64_t target_off,
 }
 
 void Window::fence() {
+  stats_.fence_waits += outstanding_.size();
   for (const Req& r : outstanding_) comm_->wait(r);
   outstanding_.clear();
   comm_->barrier();

@@ -51,8 +51,10 @@ enum class Role : std::uint8_t {
   RpcResponse,   // RPC response payload buffers (eager or rendezvous)
   RpcShard,      // per-shard resident data a fabric server serves from
   StripeSegment, // striped bulk-response segments / reassembly buffers
+  RingSlab,      // persistent one-sided ring slabs (RDMA-written records)
+  RingSlot,      // per-record ring residency / credit-word control slots
 };
-inline constexpr int kRoleCount = 8;
+inline constexpr int kRoleCount = 10;
 
 /// How a buffer's memory registration is managed.
 enum class RegStrategy : std::uint8_t {

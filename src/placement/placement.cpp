@@ -24,6 +24,8 @@ const char* role_name(Role r) {
     case Role::RpcResponse: return "rpc-response";
     case Role::RpcShard: return "rpc-shard";
     case Role::StripeSegment: return "stripe-segment";
+    case Role::RingSlab: return "ring-slab";
+    case Role::RingSlot: return "ring-slot";
   }
   return "?";
 }

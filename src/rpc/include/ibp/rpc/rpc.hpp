@@ -31,6 +31,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -39,6 +40,7 @@
 #include "ibp/common/types.hpp"
 #include "ibp/hca/config.hpp"
 #include "ibp/mpi/comm.hpp"
+#include "ibp/ringchan/ringchan.hpp"
 #include "ibp/sim/engine.hpp"
 #include "ibp/telemetry/registry.hpp"
 
@@ -92,6 +94,13 @@ inline constexpr std::uint16_t kFlagStripe = 4; // payload starts with a
 /// record through the hub's wire index — so the header stays 24 bytes
 /// and timing is identical with tracing on or off.
 inline constexpr std::uint16_t kFlagTraced = 8;
+/// Ring-channel control record (RpcConfig::rdma_response). Request
+/// direction: the payload is the client's response-ring descriptor
+/// (ringchan::RingDescriptor). Response direction: the payload is the
+/// server's credit-word descriptor (ringchan::CreditDescriptor). Control
+/// records bypass admission, stats and the request/response drain
+/// accounting.
+inline constexpr std::uint16_t kFlagRing = 16;
 
 inline constexpr int kReqTag = 0x21000000;
 inline constexpr int kRspTag = 0x22000000;
@@ -169,6 +178,18 @@ struct RpcConfig {
   /// Hand-off cost per response pushed from a worker track to the
   /// dispatcher track (ShareMode::Dispatcher only): queue write + wakeup.
   TimePs dispatcher_handoff = ns(400);
+  /// One-sided response fast path (EXT-RDMA): the client owns a
+  /// placement-planned ring slab (Role::RingSlab) the server RDMA-writes
+  /// response records into; the client discovers them by polling ring
+  /// memory — no response batching, no posted receive on the hot path —
+  /// and returns credit by RDMA-writing its consumed-up-to counter.
+  /// Responses that find the ring out of credit fall back to the batched
+  /// two-sided path. Off (the default) is bit-inert.
+  bool rdma_response = false;
+  /// Response-ring slab bytes per (client, server) pair when
+  /// rdma_response is on (grown automatically if the largest response
+  /// record would not leave credit slack).
+  std::uint64_t response_ring_bytes = 64 * kKiB;
 };
 
 /// One completed request, as observed by the client.
@@ -193,6 +214,8 @@ struct ClientStats {
   std::uint64_t retries = 0;        // timed-out requests retransmitted
   std::uint64_t duplicates = 0;     // late responses dropped after a retry
   std::uint64_t timed_out = 0;      // requests failed with Status::TimedOut
+  std::uint64_t ring_completions = 0;  // responses parsed from the ring
+  std::uint64_t ring_credit_returns = 0;  // credit words RDMA-written back
 };
 
 struct ServerStats {
@@ -208,6 +231,8 @@ struct ServerStats {
   std::uint64_t queue_peak = 0;
   std::uint64_t closes = 0;
   std::uint64_t discarded = 0;  // records dropped while crashed (no reply)
+  std::uint64_t ring_responses = 0;   // responses RDMA-written into rings
+  std::uint64_t ring_fallbacks = 0;   // ring out of credit -> batched path
 };
 
 /// What the server hands the application handler.
@@ -315,6 +340,18 @@ class RpcClient {
   /// is pending (a dead server produces none).
   std::optional<TimePs> next_deadline() const;
 
+  /// Whether the one-sided response ring is active on this link. A
+  /// multi-link caller must then block with a wait_until composite
+  /// (response_req + next_ring_visible + transport events) instead of
+  /// waitany on response_req alone: ring responses never complete a recv.
+  bool ring_enabled() const { return ring_rx_ != nullptr; }
+
+  /// Virtual arrival time of the earliest ring record not yet visible,
+  /// or nullopt (also when the tier is off). Side-effect free.
+  std::optional<TimePs> next_ring_visible() const {
+    return ring_rx_ != nullptr ? ring_rx_->next_visible() : std::nullopt;
+  }
+
  private:
   struct Pending {
     std::uint64_t id = 0;
@@ -364,6 +401,14 @@ class RpcClient {
   /// Ingest one arrived response batch; returns false if none arrived.
   bool try_ingest(bool blocking);
   void parse_responses(std::uint64_t len);
+  /// Parse one response record at `rec` (header + body), shared between
+  /// the batched two-sided path and the ring fast path so completion,
+  /// duplicate, large-response and trace handling are identical.
+  void parse_one(VirtAddr rec);
+  /// Sweep the response ring: parse every visible record, release ring
+  /// space and RDMA-write the credit word back when due. Returns true if
+  /// anything was parsed.
+  bool try_ring_ingest();
   void register_metrics();
 
   mpi::Comm* comm_;
@@ -401,6 +446,10 @@ class RpcClient {
   LogHistogram lat_;
   std::vector<telemetry::ProbeHandle> probes_;
   bool closed_ = false;
+  /// Response ring (cfg_.rdma_response): receiver half owned here, the
+  /// server RDMA-writes response records in. Null when the tier is off.
+  std::unique_ptr<ringchan::RingReceiver> ring_rx_;
+  std::vector<ringchan::RingReceiver::Record> ring_recs_;  // poll scratch
 };
 
 class RpcServer {
@@ -481,6 +530,13 @@ class RpcServer {
                   RspLane& lane, bool via_dispatcher);
   void enqueue_response(RspLane& lane, std::uint32_t client,
                         const WireHeader& hdr, const std::uint8_t* payload);
+  /// Ring fast path (cfg_.rdma_response): RDMA-write the response record
+  /// straight into the client's ring slab, bypassing the slot/batch
+  /// machinery. Returns false (caller falls back to the batched path)
+  /// when the client never sent a ring descriptor, the ring is out of
+  /// credit, or the server is crashed.
+  bool try_ring_response(std::uint32_t client, const WireHeader& hdr,
+                         const std::uint8_t* payload);
   std::uint32_t take_rsp_slot(RspLane& lane);
   void flush_client(RspLane& lane, std::uint32_t client, bool force);
   void flush_all(bool force);
@@ -539,6 +595,10 @@ class RpcServer {
   TimePs worker_event_ = 0;  // earliest un-acknowledged worker signal
   ServerStats stats_;
   std::vector<telemetry::ProbeHandle> probes_;
+  /// Per-client ring sender halves (cfg_.rdma_response); an entry stays
+  /// null until that client's kFlagRing descriptor record arrives.
+  std::vector<std::unique_ptr<ringchan::RingSender>> ring_tx_;
+  std::vector<mpi::Req> ring_writes_;  // outstanding one-sided responses
 };
 
 }  // namespace ibp::rpc

@@ -23,6 +23,21 @@ WireHeader load_header(core::RankEnv& env, VirtAddr va) {
   return h;
 }
 
+/// Ring geometry for the response fast path: every response record
+/// ([WireHeader | payload]) must fit, and the slab must leave the
+/// credit-slack headroom ringchan::check_config demands. Both endpoints
+/// derive it from the same RpcConfig, so descriptors always agree.
+ringchan::RingConfig response_ring_cfg(const RpcConfig& cfg) {
+  ringchan::RingConfig rc;
+  rc.max_record =
+      static_cast<std::uint32_t>(sizeof(WireHeader)) + cfg.max_payload;
+  rc.slab_bytes = cfg.response_ring_bytes;
+  const std::uint64_t rec = ringchan::record_bytes(rc.max_record);
+  while (rc.slab_bytes - rc.slab_bytes / rc.credit_div < rec)
+    rc.slab_bytes *= 2;
+  return rc;
+}
+
 }  // namespace
 
 Handler default_handler() {
@@ -62,6 +77,33 @@ RpcClient::RpcClient(mpi::Comm& comm, int server, RpcConfig cfg)
   free_slots_.reserve(nslots_);
   for (std::uint32_t s = nslots_; s > 0; --s) free_slots_.push_back(s - 1);
   register_metrics();
+  if (cfg_.rdma_response) {
+    // One-sided response fast path: allocate the receiver half and tell
+    // the server where to write with a kFlagRing control record — the
+    // first record on the request stream, so the server connects its
+    // sender half before any response is generated. The server answers
+    // with its credit-word descriptor, parsed in parse_one() whichever
+    // path it arrives on.
+    IBP_CHECK(cfg_.max_payload >= sizeof(ringchan::RingDescriptor),
+              "max_payload too small for the ring handshake record");
+    ring_rx_ = std::make_unique<ringchan::RingReceiver>(
+        env, response_ring_cfg(cfg_));
+    const ringchan::RingDescriptor rd = ring_rx_->descriptor();
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    WireHeader h;
+    h.payload = sizeof(rd);
+    h.flags = kFlagRing;
+    const VirtAddr va = slot_va(slot);
+    store_header(env, va, h);
+    std::memcpy(
+        env.host_ptr<std::uint8_t>(va + sizeof(WireHeader), sizeof(rd)), &rd,
+        sizeof(rd));
+    env.touch_stream(va, sizeof(WireHeader) + sizeof(rd));
+    comm_->wait(comm_->isend_gather({{va, sizeof(WireHeader) + sizeof(rd)}},
+                                    server_, kReqTag));
+    free_slots_.push_back(slot);
+  }
 }
 
 RpcClient::~RpcClient() {
@@ -390,17 +432,59 @@ void RpcClient::ensure_rsp_posted() {
 
 bool RpcClient::try_ingest(bool blocking) {
   ensure_rsp_posted();
-  if (rsp_req_ == nullptr) return false;
-  if (blocking) {
-    comm_->wait(rsp_req_);
-  } else if (!comm_->test(rsp_req_)) {
-    return false;
+  if (ring_rx_ == nullptr) {
+    if (rsp_req_ == nullptr) return false;
+    if (blocking) {
+      comm_->wait(rsp_req_);
+    } else if (!comm_->test(rsp_req_)) {
+      return false;
+    }
+    const std::uint64_t len = rsp_req_->received;
+    rsp_req_.reset();
+    parse_responses(len);
+    ensure_rsp_posted();
+    return true;
   }
-  const std::uint64_t len = rsp_req_->received;
-  rsp_req_.reset();
-  parse_responses(len);
-  ensure_rsp_posted();
-  return true;
+  // Ring fast path armed: responses may arrive one-sided (ring memory
+  // turning visible) or two-sided (fallback batches). Blocking inside
+  // the transport would miss the former, so block on whichever event is
+  // earliest and re-sweep.
+  for (;;) {
+    bool got = try_ring_ingest();
+    if (rsp_req_ != nullptr && comm_->test(rsp_req_)) {
+      const std::uint64_t len = rsp_req_->received;
+      rsp_req_.reset();
+      parse_responses(len);
+      ensure_rsp_posted();
+      got = true;
+    }
+    if (got || !blocking) return got;
+    comm_->env().sim().wait_until([this]() -> std::optional<TimePs> {
+      std::optional<TimePs> best;
+      if (rsp_req_ != nullptr && rsp_req_->done()) best = rsp_req_->done_at;
+      const std::optional<TimePs> vis = ring_rx_->next_visible();
+      if (vis && (!best || *vis < *best)) best = vis;
+      const std::optional<TimePs> ev = comm_->earliest_event_time();
+      if (ev && (!best || *ev < *best)) best = ev;
+      return best;
+    });
+  }
+}
+
+bool RpcClient::try_ring_ingest() {
+  if (ring_rx_ == nullptr) return false;
+  ring_recs_.clear();
+  ring_rx_->poll(comm_->env().now(), ring_recs_);
+  for (const ringchan::RingReceiver::Record& rec : ring_recs_) {
+    parse_one(rec.payload);
+    ring_rx_->release(rec);
+    ++stats_.ring_completions;
+  }
+  if (ring_rx_->credit_due()) {
+    comm_->post_one_sided(server_, ring_rx_->make_credit_wr());
+    ++stats_.ring_credit_returns;
+  }
+  return !ring_recs_.empty();
 }
 
 void RpcClient::parse_responses(std::uint64_t len) {
@@ -408,75 +492,91 @@ void RpcClient::parse_responses(std::uint64_t len) {
   std::uint64_t off = 0;
   while (off < len) {
     const WireHeader h = load_header(env, rspbuf_ + off);
-    const VirtAddr body = rspbuf_ + off + sizeof(WireHeader);
+    parse_one(rspbuf_ + off);
     off += sizeof(WireHeader) + h.payload;
     IBP_CHECK(off <= len, "malformed response batch");
-    ++parsed_records_;
+  }
+}
 
-    auto it = inflight_.find(h.id);
-    if (it == inflight_.end()) {
-      // A retransmit raced the original response; this copy is the
-      // duplicate. Drop it (draining any out-of-band body so the
-      // server's send completes).
-      IBP_CHECK(done_.count(h.id) != 0, "response for unknown request id");
-      ++stats_.duplicates;
-      if ((h.flags & kFlagLarge) != 0) {
-        const std::uint64_t blen = h.response_cap;
-        const VirtAddr buf = env.alloc(std::max<std::uint64_t>(blen, 64),
-                                       placement::Role::RpcResponse);
-        comm_->recv(buf, blen, server_, large_tag(h.id));
-        env.dealloc(buf);
-      }
-      continue;
-    }
-    const TimePs t0 = it->second.t0;
-    const std::uint64_t trace = it->second.trace;
-    if (cfg_.latency_credits != 0 || cfg_.bulk_credits != 0) {
-      const auto ci =
-          class_inflight_.find({it->second.tenant, it->second.cls});
-      if (ci != class_inflight_.end() && --ci->second == 0)
-        class_inflight_.erase(ci);
-    }
-    inflight_.erase(it);
-    Completion c;
-    c.id = h.id;
-    c.status = static_cast<Status>(h.status);
-    c.latency = env.now() - t0;
+void RpcClient::parse_one(VirtAddr rec) {
+  core::RankEnv& env = comm_->env();
+  const WireHeader h = load_header(env, rec);
+  const VirtAddr body = rec + sizeof(WireHeader);
+  if ((h.flags & kFlagRing) != 0) {
+    // Control response: the server's credit-word descriptor. Not an
+    // application record — no drain accounting, no completion.
+    ringchan::CreditDescriptor cd;
+    IBP_CHECK(h.payload == sizeof(cd), "malformed ring control response");
+    std::memcpy(&cd, env.host_ptr<std::uint8_t>(body, sizeof(cd)),
+                sizeof(cd));
+    ring_rx_->connect_credit(cd);
+    return;
+  }
+  ++parsed_records_;
 
+  auto it = inflight_.find(h.id);
+  if (it == inflight_.end()) {
+    // A retransmit raced the original response; this copy is the
+    // duplicate. Drop it (draining any out-of-band body so the
+    // server's send completes).
+    IBP_CHECK(done_.count(h.id) != 0, "response for unknown request id");
+    ++stats_.duplicates;
     if ((h.flags & kFlagLarge) != 0) {
-      // Body travels out-of-band on its own tag; sized above the slot
-      // cap it takes the rendezvous path on a Role::RpcResponse buffer.
       const std::uint64_t blen = h.response_cap;
       const VirtAddr buf = env.alloc(std::max<std::uint64_t>(blen, 64),
                                      placement::Role::RpcResponse);
       comm_->recv(buf, blen, server_, large_tag(h.id));
-      c.payload.resize(blen);
-      std::memcpy(c.payload.data(), env.host_ptr<std::uint8_t>(buf, blen),
-                  blen);
-      env.touch_stream(buf, blen);  // the application reads the response
       env.dealloc(buf);
-      c.latency = env.now() - t0;  // body transfer counts toward latency
-      ++stats_.large_responses;
-    } else if (h.payload != 0) {
-      const auto* p = env.host_ptr<std::uint8_t>(body, h.payload);
-      c.payload.assign(p, p + h.payload);
     }
-
-    if (trace != 0) {
-      hub_->stage_mark(trace, telemetry::Stage::NetResponse, comm_->rank(),
-                       env.now());
-      hub_->end(trace, h.status, env.now());
-    }
-    if (c.status == Status::Ok) {
-      lat_.add(static_cast<std::uint64_t>(c.latency / 1000));  // ps -> ns
-    } else {
-      ++stats_.shed;
-    }
-    ++stats_.completed;
-    auto [pos, fresh] = done_.emplace(h.id, std::move(c));
-    IBP_CHECK(fresh, "duplicate response id");
-    fresh_.push_back(&pos->second);
+    return;
   }
+  const TimePs t0 = it->second.t0;
+  const std::uint64_t trace = it->second.trace;
+  if (cfg_.latency_credits != 0 || cfg_.bulk_credits != 0) {
+    const auto ci =
+        class_inflight_.find({it->second.tenant, it->second.cls});
+    if (ci != class_inflight_.end() && --ci->second == 0)
+      class_inflight_.erase(ci);
+  }
+  inflight_.erase(it);
+  Completion c;
+  c.id = h.id;
+  c.status = static_cast<Status>(h.status);
+  c.latency = env.now() - t0;
+
+  if ((h.flags & kFlagLarge) != 0) {
+    // Body travels out-of-band on its own tag; sized above the slot
+    // cap it takes the rendezvous path on a Role::RpcResponse buffer.
+    const std::uint64_t blen = h.response_cap;
+    const VirtAddr buf = env.alloc(std::max<std::uint64_t>(blen, 64),
+                                   placement::Role::RpcResponse);
+    comm_->recv(buf, blen, server_, large_tag(h.id));
+    c.payload.resize(blen);
+    std::memcpy(c.payload.data(), env.host_ptr<std::uint8_t>(buf, blen),
+                blen);
+    env.touch_stream(buf, blen);  // the application reads the response
+    env.dealloc(buf);
+    c.latency = env.now() - t0;  // body transfer counts toward latency
+    ++stats_.large_responses;
+  } else if (h.payload != 0) {
+    const auto* p = env.host_ptr<std::uint8_t>(body, h.payload);
+    c.payload.assign(p, p + h.payload);
+  }
+
+  if (trace != 0) {
+    hub_->stage_mark(trace, telemetry::Stage::NetResponse, comm_->rank(),
+                     env.now());
+    hub_->end(trace, h.status, env.now());
+  }
+  if (c.status == Status::Ok) {
+    lat_.add(static_cast<std::uint64_t>(c.latency / 1000));  // ps -> ns
+  } else {
+    ++stats_.shed;
+  }
+  ++stats_.completed;
+  auto [pos, fresh] = done_.emplace(h.id, std::move(c));
+  IBP_CHECK(fresh, "duplicate response id");
+  fresh_.push_back(&pos->second);
 }
 
 void RpcClient::poll() {
@@ -497,6 +597,10 @@ void RpcClient::progress_block() {
   comm_->env().sim().wait_until([this]() -> std::optional<TimePs> {
     std::optional<TimePs> best;
     if (rsp_req_ != nullptr && rsp_req_->done()) best = rsp_req_->done_at;
+    if (ring_rx_ != nullptr) {
+      const std::optional<TimePs> vis = ring_rx_->next_visible();
+      if (vis && (!best || *vis < *best)) best = vis;
+    }
     const std::optional<TimePs> ev = comm_->earliest_event_time();
     if (ev && (!best || *ev < *best)) best = ev;
     const std::optional<TimePs> dl = next_deadline();
@@ -645,6 +749,16 @@ void RpcClient::register_metrics() {
   // loadgen --json reports.
   for (auto& p : telemetry::histogram_probes(m, pre + "latency", &lat_))
     probes_.push_back(std::move(p));
+  if (cfg_.rdma_response) {
+    // Registered only with the tier on, keeping default metric
+    // snapshots byte-identical.
+    probes_.push_back(m.probe("rpc.ring_completions", [this] {
+      return double(stats_.ring_completions);
+    }));
+    probes_.push_back(m.probe("rpc.ring_credit_returns", [this] {
+      return double(stats_.ring_credit_returns);
+    }));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -673,6 +787,7 @@ RpcServer::RpcServer(mpi::Comm& comm, std::vector<int> clients, RpcConfig cfg,
   open_.assign(clients_.size(), true);
   open_clients_ = static_cast<std::uint32_t>(clients_.size());
   for (std::uint32_t i = 0; i < clients_.size(); ++i) post_recv(i);
+  if (cfg_.rdma_response) ring_tx_.resize(clients_.size());
   register_metrics();
 }
 
@@ -756,6 +871,28 @@ void RpcServer::parse_batch(std::uint32_t client, std::uint64_t len) {
       open_[client] = false;
       --open_clients_;
       ++stats_.closes;
+      continue;
+    }
+    if ((h.flags & kFlagRing) != 0) {
+      // Ring handshake: the payload is the client's response-ring
+      // descriptor. Connect a sender half and answer with the credit
+      // word the client RDMA-writes its consumed-up-to counter into.
+      // Control records bypass admission and the request stats.
+      ringchan::RingDescriptor rd;
+      IBP_CHECK(!ring_tx_.empty() && h.payload == sizeof(rd),
+                "malformed ring handshake record");
+      std::memcpy(&rd, env.host_ptr<std::uint8_t>(body, sizeof(rd)),
+                  sizeof(rd));
+      auto tx =
+          std::make_unique<ringchan::RingSender>(env, response_ring_cfg(cfg_));
+      tx->connect(rd);
+      const ringchan::CreditDescriptor cd = tx->credit_descriptor();
+      ring_tx_[client] = std::move(tx);
+      WireHeader rsp;
+      rsp.payload = sizeof(cd);
+      rsp.flags = kFlagRing;
+      enqueue_response(lanes_[0], client, rsp,
+                       reinterpret_cast<const std::uint8_t*>(&cd));
       continue;
     }
     ++stats_.requests_in;
@@ -946,9 +1083,40 @@ std::uint32_t RpcServer::take_rsp_slot(RspLane& lane) {
   return s;
 }
 
+bool RpcServer::try_ring_response(std::uint32_t client, const WireHeader& hdr,
+                                  const std::uint8_t* payload) {
+  if (ring_tx_.empty() || ring_tx_[client] == nullptr) return false;
+  // Crashed: fall through to the batched path, whose pending queue
+  // discards responses exactly like a dead process's send queue would.
+  if (crashed_now()) return false;
+  core::RankEnv& env = comm_->env();
+  ringchan::RingSender& tx = *ring_tx_[client];
+  const std::uint32_t wire =
+      static_cast<std::uint32_t>(sizeof(WireHeader)) + hdr.payload;
+  if (!tx.can_send(wire)) {
+    tx.poll_credit(env.now());
+    if (!tx.can_send(wire)) {
+      ++stats_.ring_fallbacks;
+      return false;
+    }
+  }
+  IBP_CHECK(hdr.payload == 0 || payload != nullptr,
+            "response record without body");
+  std::uint8_t hb[sizeof(WireHeader)];
+  std::memcpy(hb, &hdr, sizeof(WireHeader));
+  auto wrs = tx.prepare(hb, sizeof(WireHeader), payload, hdr.payload);
+  for (hca::SendWr& wr : wrs)
+    ring_writes_.push_back(
+        comm_->post_one_sided(clients_[client], std::move(wr), true));
+  ++stats_.responses;
+  ++stats_.ring_responses;
+  return true;
+}
+
 void RpcServer::enqueue_response(RspLane& lane, std::uint32_t client,
                                  const WireHeader& hdr,
                                  const std::uint8_t* payload) {
+  if (try_ring_response(client, hdr, payload)) return;
   core::RankEnv& env = comm_->env();
   const std::uint32_t slot = take_rsp_slot(lane);
   const VirtAddr va = rsp_slot_va(lane, slot);
@@ -1041,6 +1209,16 @@ void RpcServer::reclaim_sent() {
       ++i;
     }
   }
+  i = 0;
+  while (i < ring_writes_.size()) {
+    const mpi::Req req = ring_writes_[i];
+    if (comm_->test(req)) {
+      ring_writes_.erase(ring_writes_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
   reclaiming_ = false;
 }
 
@@ -1088,6 +1266,11 @@ void RpcServer::serve() {
     comm_->env().dealloc(l.buf);
   }
   large_.clear();
+  // One-sided response writes must retire before teardown: an error CQE
+  // arriving after serve() returns would never be replayed, and the
+  // client would wait on a record that was silently lost.
+  for (auto& r : ring_writes_) comm_->wait(r);
+  ring_writes_.clear();
   while (lanes_.size() > 1) {
     drop_lane(lanes_.back());
     lanes_.pop_back();
@@ -1251,6 +1434,14 @@ void RpcServer::register_metrics() {
       m.probe("rpc.queue_peak", [this] { return double(stats_.queue_peak); }));
   probes_.push_back(
       m.probe("rpc.closes", [this] { return double(stats_.closes); }));
+  if (cfg_.rdma_response) {
+    probes_.push_back(m.probe("rpc.ring_responses", [this] {
+      return double(stats_.ring_responses);
+    }));
+    probes_.push_back(m.probe("rpc.ring_fallbacks", [this] {
+      return double(stats_.ring_fallbacks);
+    }));
+  }
   if (cfg_.server_workers > 0) {
     // Arbitration counters exist only for multi-threaded servers so that
     // single-threaded runs keep their metric snapshots byte-identical.

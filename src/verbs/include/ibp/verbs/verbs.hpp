@@ -115,6 +115,14 @@ class Context {
 
   void dereg_mr(const Mr& mr) { sc_->advance(hca_->dereg_mr(mr.lkey)); }
 
+  /// Attach a visibility monitor to a registered region (nullptr
+  /// detaches): inbound one-sided writes into it record events with their
+  /// virtual arrival time, so a memory-polling receiver (ring channels)
+  /// observes bytes no earlier than the wire delivered them.
+  void set_write_monitor(const Mr& mr, hca::WriteMonitor* mon) {
+    hca_->set_write_monitor(mr.lkey, mon);
+  }
+
   Qp create_qp() {
     hca::QueuePair& qp = hca_->create_qp(send_cq_p_, recv_cq_p_);
     qp.set_attrs(drv_.qp);

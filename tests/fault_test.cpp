@@ -12,6 +12,7 @@
 #include "ibp/core/cluster.hpp"
 #include "ibp/hca/adapter.hpp"
 #include "ibp/mpi/comm.hpp"
+#include "ibp/rpc/rpc.hpp"
 
 namespace ibp {
 namespace {
@@ -468,6 +469,172 @@ TEST(MpiFault, QpKillRecoveredByRepostPolicy) {
   });
   EXPECT_EQ(cluster.fault()->stats().qp_errors_fired, 1u);
   EXPECT_GT(recoveries[0] + recoveries[1], 0u);  // and the run completed
+}
+
+// A fatally lost one-sided write (retry budget exhausted) must place no
+// bytes and record no monitor event: the ring replays the same record at
+// the same offset after recovery, so a half-applied write would corrupt
+// framing.
+TEST(Reliability, FatalWriteLeavesMonitorAndMemoryUntouched) {
+  FaultPlan plan = lossy_link_plan(1.0);  // total loss: every retry dies
+  FaultedPair t(std::move(plan));
+  hca::QpAttrs attrs;
+  attrs.retry_cnt = 1;
+  attrs.retransmit_timeout = us(10);
+  t.qa->set_attrs(attrs);
+  t.fill_payload(4096);
+
+  hca::WriteMonitor mon;
+  t.b.set_write_monitor(t.rb->lkey, &mon);
+  auto dst = t.as_b.host_span(t.mb->va_base, 4096);
+  std::fill(dst.begin(), dst.end(), static_cast<std::uint8_t>(0xee));
+
+  hca::SendWr wr;
+  wr.wr_id = 91;
+  wr.opcode = hca::Opcode::RdmaWrite;
+  wr.sges = {{t.ma->va_base, 4096, t.ra->lkey}};
+  wr.remote_addr = t.mb->va_base;
+  wr.rkey = t.rb->lkey;
+  t.qa->post_send(wr, 0);
+
+  const auto cqe = t.a_scq.poll(ms(100));
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->wr_id, 91u);
+  EXPECT_EQ(cqe->status, hca::WcStatus::RetryExceeded);
+  EXPECT_FALSE(mon.next_visible().has_value()) << "no event for a dead write";
+  for (std::size_t i = 0; i < dst.size(); ++i)
+    ASSERT_EQ(dst[i], 0xee) << "no bytes placed for a dead write";
+}
+
+// ---------------------------------------------------------------------------
+// rdma-eager (one-sided ring channel) x fault crossings
+
+// Small messages ride the one-sided ring over a lossy link in both
+// directions. Dropped RDMA writes must be retransmitted by the RC layer
+// and the ring's credit accounting must survive the replays: every
+// payload arrives intact, in order, and the run terminates (a lost or
+// double-counted credit would wedge the sender at the credit wall).
+TEST(MpiFault, RdmaEagerLossyRingRetransmitsAndKeepsCredit) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  cfg.fault = fault::parse_fault_plan("drop=0-1:0.03;drop=1-0:0.03");
+  core::Cluster cluster(cfg);
+
+  constexpr int kIters = 120;
+  constexpr std::uint64_t kLen = 768;  // below eager_threshold: rides ring
+  std::vector<mpi::CommStats> st(2);
+  cluster.run([&](core::RankEnv& env) {
+    mpi::CommConfig mc;
+    mc.rdma_eager = true;
+    mc.ring.slab_bytes = 8 * kKiB;  // wraps many times under replay
+    mc.ring.max_record = 1024;
+    mpi::Comm comm(env, mc);
+    const int me = comm.rank();
+    const int other = 1 - me;
+    const VirtAddr sbuf = env.alloc(kLen);
+    const VirtAddr rbuf = env.alloc(kLen);
+    for (int it = 0; it < kIters; ++it) {
+      auto sb = env.space().host_span(sbuf, kLen);
+      for (std::uint64_t i = 0; i < kLen; ++i)
+        sb[i] = static_cast<std::uint8_t>(i * 17 + it + me);
+      comm.sendrecv(sbuf, kLen, other, it, rbuf, kLen, other, it);
+      auto rb = env.space().host_span(rbuf, kLen);
+      for (std::uint64_t i = 0; i < kLen; ++i)
+        ASSERT_EQ(rb[i], static_cast<std::uint8_t>(i * 17 + it + other))
+            << "iter " << it << " byte " << i;
+    }
+    comm.barrier();
+    st[static_cast<std::size_t>(me)] = comm.stats();
+  });
+  EXPECT_GT(cluster.fault()->stats().packets_dropped, 0u);
+  EXPECT_GT(st[0].retransmits + st[1].retransmits, 0u);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_GT(st[static_cast<std::size_t>(r)].rdma_eager_sent, 100u)
+        << "rank " << r << ": traffic must actually ride the ring";
+    EXPECT_GT(st[static_cast<std::size_t>(r)].rdma_credit_returns, 0u)
+        << "rank " << r << ": credit flow survived the loss";
+  }
+}
+
+// Corrupted (ICRC-failed) one-sided writes behave like drops: the ring
+// payload is only made visible by the retransmitted copy, so receivers
+// never parse a mangled record and framing stays consistent.
+TEST(MpiFault, RdmaEagerCorruptedWritesReplayCleanly) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  cfg.fault = fault::parse_fault_plan("corrupt=*-*:0.03");
+  core::Cluster cluster(cfg);
+
+  constexpr int kIters = 80;
+  constexpr std::uint64_t kLen = 1024;
+  std::vector<mpi::CommStats> st(2);
+  cluster.run([&](core::RankEnv& env) {
+    mpi::CommConfig mc;
+    mc.rdma_eager = true;
+    mpi::Comm comm(env, mc);
+    const int me = comm.rank();
+    const int other = 1 - me;
+    const VirtAddr sbuf = env.alloc(kLen);
+    const VirtAddr rbuf = env.alloc(kLen);
+    for (int it = 0; it < kIters; ++it) {
+      auto sb = env.space().host_span(sbuf, kLen);
+      for (std::uint64_t i = 0; i < kLen; ++i)
+        sb[i] = static_cast<std::uint8_t>(i * 29 + it * 3 + me);
+      comm.sendrecv(sbuf, kLen, other, it, rbuf, kLen, other, it);
+      auto rb = env.space().host_span(rbuf, kLen);
+      for (std::uint64_t i = 0; i < kLen; ++i)
+        ASSERT_EQ(rb[i], static_cast<std::uint8_t>(i * 29 + it * 3 + other))
+            << "iter " << it << " byte " << i;
+    }
+    comm.barrier();
+    st[static_cast<std::size_t>(me)] = comm.stats();
+  });
+  EXPECT_GT(cluster.fault()->stats().packets_corrupted, 0u);
+  EXPECT_GT(st[0].retransmits + st[1].retransmits, 0u);
+  EXPECT_GT(st[0].rdma_eager_sent + st[1].rdma_eager_sent, 100u);
+}
+
+// The RPC response ring under a lossy server->client link: responses are
+// RDMA-written into the client's ring, dropped writes replay, and every
+// request still completes with the right payload while the ring tier
+// stays engaged.
+TEST(MpiFault, RpcResponseRingSurvivesLossyLink) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.ranks_per_node = 1;
+  cfg.fault = fault::parse_fault_plan("drop=0-1:0.02");
+  core::Cluster cluster(cfg);
+
+  rpc::RpcConfig rc;
+  rc.rdma_response = true;
+  rpc::ServerStats ss;
+  rpc::ClientStats cs;
+  cluster.run([&](core::RankEnv& env) {
+    mpi::Comm comm(env);
+    if (env.rank() == 0) {
+      rpc::RpcServer server(comm, {1}, rc);
+      server.serve();
+      ss = server.stats();
+      return;
+    }
+    rpc::RpcClient client(comm, 0, rc);
+    std::vector<std::uint8_t> msg = {7, 6, 5, 4, 3, 2, 1};
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 48; ++i) ids.push_back(client.submit(msg));
+    for (std::uint64_t id : ids) {
+      const rpc::Completion& done = client.wait(id);
+      ASSERT_EQ(done.status, rpc::Status::Ok);
+      ASSERT_EQ(done.payload, msg);
+    }
+    client.close();
+    cs = client.stats();
+  });
+  EXPECT_GT(cluster.fault()->stats().packets_dropped, 0u);
+  EXPECT_GT(ss.ring_responses, 0u);
+  EXPECT_EQ(cs.completed, 48u);
+  EXPECT_GT(cs.ring_completions, 0u);
 }
 
 }  // namespace

@@ -276,6 +276,99 @@ TEST(RdmaWrite, PlacesBytesRemotely) {
     ASSERT_EQ(dst[i], static_cast<std::uint8_t>(i ^ (i >> 8)));
 }
 
+TEST(RdmaWrite, MonitorGatesVisibilityAtArrival) {
+  TwoNodes t;
+  auto& ma = t.as_a.map(64 * kKiB, mem::PageKind::Small);
+  auto& mb = t.as_b.map(64 * kKiB, mem::PageKind::Small);
+  const auto ra = t.a.reg_mr(t.as_a, ma.va_base, 64 * kKiB, kSmallPageSize);
+  const auto rb = t.b.reg_mr(t.as_b, mb.va_base, 64 * kKiB, kSmallPageSize);
+  WriteMonitor mon;
+  t.b.set_write_monitor(rb.mr->lkey, &mon);
+
+  auto src = t.as_a.host_span(ma.va_base, 4096);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = static_cast<std::uint8_t>(i * 5 + 1);
+  SendWr wr;
+  wr.opcode = Opcode::RdmaWrite;
+  wr.sges = {{ma.va_base, 4096, ra.mr->lkey}};
+  wr.remote_addr = mb.va_base + 512;
+  wr.rkey = rb.mr->lkey;
+  t.qa->post_send(wr, 0);
+
+  // The event exists immediately (sim placement is eager) but is gated
+  // behind the transfer's virtual arrival — a poll "before" sees nothing.
+  const auto vis = mon.next_visible();
+  ASSERT_TRUE(vis.has_value());
+  EXPECT_GT(*vis, t.cfg.wire_latency);
+  EXPECT_TRUE(mon.take_visible(*vis - 1).empty());
+  const auto evs = mon.take_visible(*vis);
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].addr, mb.va_base + 512);
+  EXPECT_EQ(evs[0].len, 4096u);
+  EXPECT_FALSE(evs[0].has_imm);
+  EXPECT_EQ(evs[0].visible_at, *vis);
+  EXPECT_FALSE(mon.next_visible().has_value());
+  auto dst = t.as_b.host_span(mb.va_base + 512, 4096);
+  for (std::size_t i = 0; i < dst.size(); ++i)
+    ASSERT_EQ(dst[i], static_cast<std::uint8_t>(i * 5 + 1));
+}
+
+TEST(RdmaWrite, WriteWithImmediateConsumesAReceive) {
+  TwoNodes t;
+  auto& ma = t.as_a.map(64 * kKiB, mem::PageKind::Small);
+  auto& mb = t.as_b.map(64 * kKiB, mem::PageKind::Small);
+  const auto ra = t.a.reg_mr(t.as_a, ma.va_base, 64 * kKiB, kSmallPageSize);
+  const auto rb = t.b.reg_mr(t.as_b, mb.va_base, 64 * kKiB, kSmallPageSize);
+
+  RecvWr rwr;
+  rwr.wr_id = 70;
+  rwr.sges = {{mb.va_base, 64, rb.mr->lkey}};
+  t.qb->post_recv(rwr, 0);
+
+  SendWr wr;
+  wr.opcode = Opcode::RdmaWrite;
+  wr.has_imm = true;
+  wr.imm = 0x5151;
+  wr.sges = {{ma.va_base, 2048, ra.mr->lkey}};
+  wr.remote_addr = mb.va_base + 4096;
+  wr.rkey = rb.mr->lkey;
+  t.qa->post_send(wr, 0);
+
+  const auto rcqe = t.b_rcq.poll(ms(10));
+  ASSERT_TRUE(rcqe);
+  EXPECT_EQ(rcqe->wr_id, 70u);
+  EXPECT_TRUE(rcqe->has_imm);
+  EXPECT_EQ(rcqe->imm, 0x5151u);
+  // The receive reports the write length; the payload landed one-sided at
+  // remote_addr, not in the consumed receive's scatter list.
+  EXPECT_EQ(rcqe->byte_len, 2048u);
+}
+
+TEST(RdmaWrite, InlinePostPaysCpuCopyPerByte) {
+  TwoNodes t;
+  auto& ma = t.as_a.map(4096, mem::PageKind::Small);
+  auto& mb = t.as_b.map(4096, mem::PageKind::Small);
+  const auto ra = t.a.reg_mr(t.as_a, ma.va_base, 4096, kSmallPageSize);
+  const auto rb = t.b.reg_mr(t.as_b, mb.va_base, 4096, kSmallPageSize);
+  auto write_wr = [&](bool inl, std::uint32_t len) {
+    SendWr wr;
+    wr.opcode = Opcode::RdmaWrite;
+    wr.inline_data = inl;
+    wr.sges = {{ma.va_base, len, ra.mr->lkey}};
+    wr.remote_addr = mb.va_base;
+    wr.rkey = rb.mr->lkey;
+    return wr;
+  };
+  t.qa->post_send(write_wr(false, 64), 0);  // warm the ATT
+  const TimePs plain = t.qa->post_send(write_wr(false, 64), ms(1));
+  const TimePs inl = t.qa->post_send(write_wr(true, 64), ms(2));
+  EXPECT_EQ(inl - plain, 64 * t.cfg.post_inline_per_byte)
+      << "the doorbell write carries the payload at a per-byte CPU cost";
+  EXPECT_THROW(
+      t.qa->post_send(write_wr(true, t.cfg.inline_max + 1), ms(3)),
+      SimError);
+}
+
 TEST(RdmaWrite, OutOfBoundsRemoteThrows) {
   TwoNodes t;
   auto& ma = t.as_a.map(4096, mem::PageKind::Small);

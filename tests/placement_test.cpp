@@ -384,7 +384,8 @@ TEST(Roles, NamesRoundTrip) {
   const Role all[] = {Role::EagerSend,    Role::Rendezvous,
                       Role::RecvRing,    Role::WorkloadHeap,
                       Role::RpcRing,     Role::RpcResponse,
-                      Role::RpcShard,    Role::StripeSegment};
+                      Role::RpcShard,    Role::StripeSegment,
+                      Role::RingSlab,    Role::RingSlot};
   static_assert(sizeof(all) / sizeof(all[0]) == kRoleCount);
   for (Role r : all) {
     const auto back = role_from_name(role_name(r));
@@ -395,6 +396,8 @@ TEST(Roles, NamesRoundTrip) {
   EXPECT_EQ(role_from_name("rpc-response"), Role::RpcResponse);
   EXPECT_EQ(role_from_name("rpc-shard"), Role::RpcShard);
   EXPECT_EQ(role_from_name("stripe-segment"), Role::StripeSegment);
+  EXPECT_EQ(role_from_name("ring-slab"), Role::RingSlab);
+  EXPECT_EQ(role_from_name("ring-slot"), Role::RingSlot);
   EXPECT_FALSE(role_from_name("no-such-role").has_value());
   EXPECT_FALSE(role_from_name("").has_value());
 }

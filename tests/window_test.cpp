@@ -128,6 +128,36 @@ TEST(Window, CompareSwapElectsOneWinner) {
   EXPECT_EQ(winner.size(), 1u) << "exactly one CAS may win";
 }
 
+TEST(Window, TelemetryCountsOpsBytesAndFenceWaits) {
+  core::Cluster cluster(topo(2, 1));
+  WindowStats st[2];
+  cluster.run([&](core::RankEnv& env) {
+    Comm comm(env);
+    const VirtAddr win_buf = env.alloc(64 * kKiB);
+    const VirtAddr scratch = env.alloc(64 * kKiB);
+    Window win(comm, win_buf, 64 * kKiB);
+    if (env.rank() == 0) {
+      win.put(scratch, 1000, 1, 0);
+      win.put(scratch, 24, 1, 4096);
+      win.get(scratch, 512, 1, 8192);
+      win.fetch_add(0, 16384, 1);
+      win.compare_swap(0, 16384, 1, 2);
+    }
+    win.fence();
+    st[env.rank()] = win.stats();
+    win.fence();
+  });
+  EXPECT_EQ(st[0].puts, 2u);
+  EXPECT_EQ(st[0].put_bytes, 1024u);
+  EXPECT_EQ(st[0].gets, 1u);
+  EXPECT_EQ(st[0].get_bytes, 512u);
+  EXPECT_EQ(st[0].atomics, 2u);
+  EXPECT_GT(st[0].fence_waits, 0u) << "the fence drained outstanding ops";
+  EXPECT_EQ(st[1].puts, 0u) << "the passive target counts nothing";
+  EXPECT_EQ(st[1].gets, 0u);
+  EXPECT_EQ(st[1].atomics, 0u);
+}
+
 TEST(Window, OutOfRangeAccessThrows) {
   core::Cluster cluster(topo(2, 1));
   EXPECT_THROW(cluster.run([&](core::RankEnv& env) {

@@ -98,6 +98,8 @@ struct Options {
   int threads = 0;                 // rpc: server worker tracks (0 = inline)
   hca::ShareMode share_mode = hca::ShareMode::SharedLocked;  // rpc: QP/CQ
                                                              // sharing
+  bool rdma_eager = false;  // rpc/fabric: one-sided ring channels
+  bool ud_eager = false;    // rpc/fabric: hybrid UD datagram tier
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -122,6 +124,7 @@ struct Options {
                "         --placement-role=ROLE=POLICY (repeatable)\n"
                "         --fault=SPEC --fault-file=PATH\n"
                "         --recovery=failfast|repost\n"
+               "         --rdma-eager=0|1 --ud-eager=0|1 (rpc/fabric)\n"
                "         --metrics-out=PATH --trace-out=PATH\n"
                "         --metrics-filter=PREFIX --json=PATH\n"
                "         --request-trace-out=PATH\n"
@@ -195,6 +198,10 @@ Options parse_options(int argc, char** argv, int first) {
       o.shard_map = v;
     } else if (parse_flag(argv[i], "--threads", &v)) {
       o.threads = std::atoi(v.c_str());
+    } else if (parse_flag(argv[i], "--rdma-eager", &v)) {
+      o.rdma_eager = v == "1";
+    } else if (parse_flag(argv[i], "--ud-eager", &v)) {
+      o.ud_eager = v == "1";
     } else if (parse_flag(argv[i], "--share-mode", &v)) {
       if (!hca::share_mode_from_name(v, &o.share_mode))
         usage(("unknown share mode '" + v +
@@ -435,10 +442,13 @@ loadgen::GenResult run_rpc_once(const Options& o, bool open, bool batching,
   cluster.run([&](core::RankEnv& env) {
     mpi::CommConfig mc;
     mc.sge_gather = true;
+    mc.rdma_eager = o.rdma_eager;
+    mc.ud_eager = o.ud_eager;
     mc.recovery = o.recovery == "repost" ? mpi::CommConfig::Recovery::Repost
                                          : mpi::CommConfig::Recovery::FailFast;
     mpi::Comm comm(env, mc);
     rpc::RpcConfig rc;
+    rc.rdma_response = o.rdma_eager;
     rc.batching = batching;
     rc.max_payload = 256;
     rc.server_workers = static_cast<std::uint32_t>(o.threads);
@@ -521,6 +531,7 @@ int cmd_rpc(const std::string& mode, const Options& o) {
   if (o.threads > 0)
     std::printf(" threads=%d share=%s", o.threads,
                 hca::share_mode_name(o.share_mode));
+  if (o.rdma_eager) std::printf(" rdma-eager=on");
   std::printf("\n\n");
 
   std::optional<core::Cluster> last;
@@ -595,9 +606,9 @@ int cmd_fabric(const Options& o) {
 
   std::printf(
       "fabric closed loop  platform=%s servers=%d stripe=%d shard=%s "
-      "placement=%s\n\n",
+      "placement=%s%s\n\n",
       o.platform.c_str(), o.servers, o.stripe, o.shard_map.c_str(),
-      o.placement.c_str());
+      o.placement.c_str(), o.rdma_eager ? " rdma-eager=on" : "");
 
   core::ClusterConfig cfg = cluster_config(o);
   cfg.nodes = o.servers + 1;  // rank 0 is the client
@@ -621,10 +632,13 @@ int cmd_fabric(const Options& o) {
   cluster.run([&](core::RankEnv& env) {
     mpi::CommConfig mc;
     mc.sge_gather = true;
+    mc.rdma_eager = o.rdma_eager;
+    mc.ud_eager = o.ud_eager;
     mc.recovery = o.recovery == "repost" ? mpi::CommConfig::Recovery::Repost
                                          : mpi::CommConfig::Recovery::FailFast;
     mpi::Comm comm(env, mc);
     fabric::FabricConfig fc;
+    fc.rpc.rdma_response = o.rdma_eager;
     fc.stripe_width = static_cast<std::uint32_t>(o.stripe);
     fc.shard_strategy = *strategy;
     if (fail_after > 0) {
